@@ -1,0 +1,45 @@
+//! DP-Box device throughput (Fig. 11 / Table-hw kernels): full port-level
+//! noising transactions in both limiting modes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dp_box::{Command, DpBox, DpBoxConfig};
+
+fn configured(thresholding: bool) -> DpBox {
+    let mut dev = DpBox::new(DpBoxConfig::default()).expect("default config");
+    dev.issue(Command::StartNoising, 0).expect("leave init");
+    dev.issue(Command::SetEpsilon, 1).expect("ε = 0.5");
+    dev.issue(Command::SetSensorRangeLower, 0).expect("r_l");
+    dev.issue(Command::SetSensorRangeUpper, 320).expect("r_u");
+    if thresholding {
+        dev.issue(Command::SetThreshold, 0).expect("toggle mode");
+    }
+    // Force the (expensive) one-time context build out of the hot loop.
+    dev.noise_value(160).expect("warm-up noising");
+    dev
+}
+
+fn bench_device(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dpbox_noise_transaction");
+    let mut resampling = configured(false);
+    g.bench_function("resampling", |b| {
+        b.iter(|| black_box(resampling.noise_value(black_box(160)).expect("noising")))
+    });
+    let mut thresholding = configured(true);
+    g.bench_function("thresholding", |b| {
+        b.iter(|| black_box(thresholding.noise_value(black_box(160)).expect("noising")))
+    });
+    g.finish();
+}
+
+fn bench_command_decode(c: &mut Criterion) {
+    c.bench_function("command_decode", |b| {
+        b.iter(|| {
+            for bits in 0u8..=6 {
+                black_box(Command::try_from(black_box(bits)).expect("assigned encoding"));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_device, bench_command_decode);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Mechanism privatization throughput — the kernels behind Tables II–V.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ldp_core::Mechanism;
+use ldp_datasets::statlog_heart;
+use ldp_eval::ExperimentSetup;
+use ulp_rng::Taus88;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let setup = ExperimentSetup::paper_default(&statlog_heart(), 0.5).expect("setup");
+    let mut g = c.benchmark_group("privatize_statlog");
+    let mut rng = Taus88::from_seed(3);
+    let x = setup.adc.encode(131.3) as f64;
+
+    let ideal = setup.ideal().expect("ideal");
+    g.bench_function("ideal", |b| {
+        b.iter(|| black_box(ideal.privatize(black_box(x), &mut rng)))
+    });
+
+    let baseline = setup.baseline().expect("baseline");
+    g.bench_function("fxp_baseline", |b| {
+        b.iter(|| black_box(baseline.privatize(black_box(x), &mut rng)))
+    });
+
+    let resampling = setup.resampling(2.0).expect("resampling");
+    g.bench_function("resampling", |b| {
+        b.iter(|| black_box(resampling.privatize(black_box(x), &mut rng)))
+    });
+
+    let thresholding = setup.thresholding(2.0).expect("thresholding");
+    g.bench_function("thresholding", |b| {
+        b.iter(|| black_box(thresholding.privatize(black_box(x), &mut rng)))
+    });
+
+    // Extensions: constant-time resampling and the discrete mechanism.
+    let ct = ldp_core::ConstantTimeResampling::new(
+        setup.resampling(2.0).expect("resampling"),
+        8,
+    )
+    .expect("valid batch");
+    g.bench_function("resampling_constant_time", |b| {
+        b.iter(|| black_box(ct.privatize(black_box(x), &mut rng)))
+    });
+    let discrete = ldp_core::DiscreteLaplaceMechanism::new(setup.range, 0.5, 2_000)
+        .expect("constructible");
+    g.bench_function("discrete_laplace_mech", |b| {
+        b.iter(|| black_box(discrete.privatize(black_box(x), &mut rng)))
+    });
+    g.finish();
+}
+
+fn bench_full_dataset_pass(c: &mut Criterion) {
+    // One trial of a Table II cell: privatize all 270 Statlog entries.
+    let setup = ExperimentSetup::paper_default(&statlog_heart(), 0.5).expect("setup");
+    let data = ldp_datasets::generate(&statlog_heart(), 1);
+    let mech = setup.thresholding(2.0).expect("thresholding");
+    let mut rng = Taus88::from_seed(4);
+    c.bench_function("table2_trial_statlog", |b| {
+        b.iter(|| {
+            let sum: f64 = data
+                .iter()
+                .map(|&x| {
+                    let code = setup.adc.encode(x) as f64;
+                    mech.privatize(code, &mut rng).value
+                })
+                .sum();
+            black_box(sum)
+        })
+    });
+}
+
+criterion_group!(benches, bench_mechanisms, bench_full_dataset_pass);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Noise-generation kernels (Fig. 4's machinery plus the discrete-Laplace
+//! ablation): URNG throughput, CORDIC logarithm, and the four samplers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ulp_fixed::{Fx, QFormat, Rounding};
+use ulp_rng::{
+    CordicLn, DiscreteLaplace, FxpGaussian, FxpGaussianConfig, FxpLaplace, FxpLaplaceConfig,
+    FxpStaircase, FxpStaircaseConfig, IdealLaplace, IdealStaircase, RandomBits, Taus88,
+    Xorshift64Star,
+};
+
+fn paper_cfg() -> FxpLaplaceConfig {
+    FxpLaplaceConfig::new(17, 12, 10.0 / 32.0, 20.0).expect("paper configuration")
+}
+
+fn bench_urngs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("urng");
+    let mut taus = Taus88::from_seed(1);
+    g.bench_function("taus88_u32", |b| b.iter(|| black_box(taus.next_u32())));
+    let mut xs = Xorshift64Star::from_seed(1);
+    g.bench_function("xorshift64star_u64", |b| b.iter(|| black_box(xs.next_u64())));
+    g.finish();
+}
+
+fn bench_cordic(c: &mut Criterion) {
+    let unit = CordicLn::new(24);
+    let fmt = QFormat::new(32, 20).expect("valid format");
+    let x = Fx::from_f64(0.3173, fmt, Rounding::NearestTiesAway).expect("fits");
+    c.bench_function("cordic_ln_24iter", |b| {
+        b.iter(|| black_box(unit.ln(black_box(x), fmt).expect("positive input")))
+    });
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("laplace_samplers");
+    let cfg = paper_cfg();
+    let mut rng = Taus88::from_seed(2);
+
+    let ideal = IdealLaplace::new(20.0).expect("λ = 20");
+    g.bench_function("ideal_f64", |b| b.iter(|| black_box(ideal.sample(&mut rng))));
+
+    let analytic = FxpLaplace::analytic(cfg);
+    g.bench_function("fxp_analytic", |b| {
+        b.iter(|| black_box(analytic.sample_index(&mut rng)))
+    });
+
+    let hw = FxpLaplace::cordic(cfg, CordicLn::new(24));
+    g.bench_function("fxp_cordic", |b| b.iter(|| black_box(hw.sample_index(&mut rng))));
+
+    // Ablation: the OpenDP-style discrete mechanism at the same scale.
+    let discrete = DiscreteLaplace::new(64.0, 2047).expect("valid scale");
+    g.bench_function("discrete_laplace", |b| {
+        b.iter(|| black_box(discrete.sample_index(&mut rng)))
+    });
+
+    // The other noise families of Section III-A4.
+    let gauss = FxpGaussian::new(
+        FxpGaussianConfig::new(17, 16, 10.0 / 32.0, 20.0).expect("gaussian config"),
+    );
+    g.bench_function("fxp_gaussian", |b| {
+        b.iter(|| black_box(gauss.sample_index(&mut rng)))
+    });
+    let stair = FxpStaircase::new(
+        FxpStaircaseConfig::new(17, 16, 10.0 / 32.0).expect("staircase config"),
+        IdealStaircase::optimal(0.5, 10.0).expect("staircase distribution"),
+    );
+    g.bench_function("fxp_staircase", |b| {
+        b.iter(|| black_box(stair.sample_index(&mut rng)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_urngs, bench_cordic, bench_samplers);
+criterion_main!(benches);

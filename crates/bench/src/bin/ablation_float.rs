@@ -1,0 +1,36 @@
+//! Ablation (Section III-A4) — the floating-point mechanism is vulnerable
+//! too: naive `f64` Laplace noising emits doubles reachable from only one
+//! input.
+
+use ldp_core::float_vuln::{distinguishing_fraction, reachable_outputs};
+use ldp_eval::TextTable;
+
+fn main() {
+    println!("Floating-point Laplace vulnerability (Mironov-style, Section III-A4)");
+    println!("outputs y = x + λ·(−ln u) over a Bu-bit uniform grid, λ = 20\n");
+    let mut t = TextTable::new(vec![
+        "inputs (x₁, x₂)",
+        "Bu",
+        "reachable outputs",
+        "distinguishing fraction",
+    ]);
+    for (x1, x2) in [(0.0, 1.0), (5.0, 5.125), (100.0, 101.0)] {
+        for bu in [10u8, 14, 16] {
+            let n = reachable_outputs(x1, 20.0, bu).len();
+            let frac = distinguishing_fraction(x1, x2, 20.0, bu);
+            t.row(vec![
+                format!("({x1}, {x2})"),
+                bu.to_string(),
+                n.to_string(),
+                format!("{:.1}%", frac * 100.0),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "=> almost every double emitted identifies its input exactly: the precision \
+         pathology is not fixed-point-specific. The repair in both worlds is the same \
+         idea — snap outputs to a shared grid and bound the window, which is what \
+         DP-Box does natively."
+    );
+}

@@ -1,0 +1,74 @@
+//! Extension figure — the trust/accuracy trade of Fig. 2: central DP
+//! (trusted curator, Section II-A) vs local DP on the DP-Box (no trusted
+//! party, Section II-B), mean query over growing cohorts.
+
+use ldp_core::{CentralLaplaceMean, Mechanism};
+use ldp_datasets::{generate, DatasetSpec, Query, Shape};
+use ldp_eval::{ExperimentSetup, TextTable};
+use ulp_rng::Taus88;
+
+fn main() {
+    let eps = 0.5;
+    println!("Extension — central vs local DP, mean query at ε = {eps}\n");
+    let mut t = TextTable::new(vec![
+        "cohort n",
+        "central MAE",
+        "local (thresholded DP-Box) MAE",
+        "local/central gap",
+        "√n",
+    ]);
+    for n in [100usize, 1_000, 10_000, 100_000] {
+        let spec = DatasetSpec::new(
+            "cohort",
+            n,
+            0.0,
+            100.0,
+            50.0,
+            18.0,
+            Shape::TruncatedGaussian,
+        );
+        let data = generate(&spec, ldp_bench::SEED ^ n as u64);
+        let truth = Query::Mean.exec(&data);
+        let mut rng = Taus88::from_seed(ldp_bench::SEED ^ 0xCE);
+
+        // Central: one noised answer per trial.
+        let central = CentralLaplaceMean::new(0.0, 100.0, eps).expect("valid mechanism");
+        let trials = 300;
+        let central_mae: f64 = (0..trials)
+            .map(|_| (central.answer(&data, &mut rng) - truth).abs())
+            .sum::<f64>()
+            / trials as f64;
+
+        // Local: every report noised by the DP-Box mechanism, few trials
+        // (each trial privatizes the whole cohort).
+        let setup = ExperimentSetup::paper_default(&spec, eps).expect("setup");
+        let mech = setup.thresholding(ldp_bench::LOSS_MULTIPLE).expect("thresholding");
+        let local_trials = 20;
+        let mut local_mae = 0.0;
+        for _ in 0..local_trials {
+            let noised: Vec<f64> = data
+                .iter()
+                .map(|&x| {
+                    let code = setup.adc.encode(x) as f64;
+                    setup.adc.decode(mech.privatize(code, &mut rng).value.round() as i64)
+                })
+                .collect();
+            local_mae += (Query::Mean.exec(&noised) - truth).abs();
+        }
+        local_mae /= local_trials as f64;
+
+        t.row(vec![
+            n.to_string(),
+            format!("{central_mae:.4}"),
+            format!("{local_mae:.4}"),
+            format!("{:.0}×", local_mae / central_mae),
+            format!("{:.0}", (n as f64).sqrt()),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "=> the gap tracks √n: local DP pays for removing the trusted curator with \
+         √n-worse mean accuracy — the quantified cost of the DP-Box's trust model \
+         (and why it still wins whenever the curator cannot be trusted at all)."
+    );
+}

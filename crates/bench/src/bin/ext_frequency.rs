@@ -1,0 +1,39 @@
+//! Extension figure — private distribution estimation: the LDP frequency
+//! oracle recovers the robot-sonar benchmark's bimodal shape, which no
+//! single aggregate in Tables II–V can see.
+
+use ldp_datasets::{generate, robot_sensors};
+use ldp_eval::{total_variation, FrequencyOracle, TextTable};
+use ulp_rng::Taus88;
+
+fn main() {
+    let spec = robot_sensors();
+    let data = generate(&spec, ldp_bench::SEED);
+    let oracle =
+        FrequencyOracle::new(spec.min, spec.max, 10, 2.0).expect("valid oracle");
+    let mut rng = Taus88::from_seed(ldp_bench::SEED ^ 0xF0);
+    let est = oracle.estimate(&data, &mut rng);
+    let truth = oracle.true_shares(&data);
+
+    println!(
+        "Extension — LDP frequency oracle on {} ({} devices, ε = {:.2} per report)\n",
+        spec.name,
+        data.len(),
+        oracle.epsilon()
+    );
+    let mut t = TextTable::new(vec!["bin centre", "true share", "private estimate", "bar"]);
+    for i in 0..oracle.bins() {
+        let bar = "#".repeat((est[i] * 120.0).round() as usize);
+        t.row(vec![
+            format!("{:.2}", oracle.bin_center(i)),
+            format!("{:.3}", truth[i]),
+            format!("{:.3}", est[i]),
+            bar,
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "total variation distance: {:.4} — both sonar modes survive privatization.",
+        total_variation(&est, &truth)
+    );
+}

@@ -1,0 +1,57 @@
+//! Fig. 8 — normalized privacy loss vs noised-output value: the nested
+//! threshold segments the budget controller charges against.
+
+use ldp_core::{LimitMode, QuantizedRange, SegmentTable};
+use ldp_eval::TextTable;
+use ulp_rng::{FxpLaplaceConfig, FxpNoisePmf};
+
+fn main() {
+    let cfg = FxpLaplaceConfig::new(17, 12, 10.0 / 32.0, 20.0).expect("paper configuration");
+    let pmf = FxpNoisePmf::closed_form(cfg);
+    let range = QuantizedRange::new(0, 32, cfg.delta()).expect("valid range");
+    let eps = range.length() / cfg.lambda();
+    let table = SegmentTable::build(
+        cfg,
+        &pmf,
+        range,
+        &ldp_bench::SEGMENT_MULTIPLES,
+        LimitMode::Thresholding,
+    )
+    .expect("buildable segments");
+
+    println!("Fig. 8 — privacy-loss segments (thresholding, ε = {eps})");
+    println!(
+        "in-range loss ε_RNG = {:.3} ({:.2}ε)\n",
+        table.base_loss(),
+        table.base_loss() / eps
+    );
+    let mut t = TextTable::new(vec![
+        "output region (beyond M)",
+        "charged loss",
+        "loss / ε",
+    ]);
+    t.row(vec![
+        "within [m, M]".into(),
+        format!("{:.3}", table.base_loss()),
+        format!("{:.2}", table.base_loss() / eps),
+    ]);
+    let mut prev = 0i64;
+    for &(n_th, loss) in table.segments() {
+        t.row(vec![
+            format!(
+                "(M+{:.1}, M+{:.1}]",
+                prev as f64 * cfg.delta(),
+                n_th as f64 * cfg.delta()
+            ),
+            format!("{loss:.3}"),
+            format!("{:.2}", loss / eps),
+        ]);
+        prev = n_th;
+    }
+    println!("{t}");
+    println!(
+        "outputs beyond M+{:.1} are clamped there and charged {:.3}",
+        table.outermost().0 as f64 * cfg.delta(),
+        table.outermost().1
+    );
+}

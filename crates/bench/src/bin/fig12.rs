@@ -1,0 +1,65 @@
+//! Fig. 12 — DP-Box output histograms for two Statlog heart-rate entries
+//! under the *naive* mechanism (ε = 1): the body looks fine (a), but the
+//! tails contain outputs only one entry can generate (b), so privacy is not
+//! preserved. Resampling/thresholding eliminate every distinguishing output.
+
+use ldp_core::Mechanism;
+use ldp_eval::{distinguishing_bins, ExperimentSetup, Histogram};
+use ldp_datasets::statlog_heart;
+use ulp_rng::Taus88;
+
+fn main() {
+    let spec = statlog_heart();
+    let setup = ExperimentSetup::paper_default(&spec, 1.0).expect("setup");
+    // Two entries from the dataset: a low and a high blood pressure.
+    let (x1, x2) = (105.0, 180.0);
+    let reps = 20_000usize;
+
+    let naive = setup.baseline().expect("baseline");
+    let thresh = setup.thresholding(ldp_bench::LOSS_MULTIPLE).expect("thresholding");
+
+    let run = |mech: &dyn Mechanism, x: f64, seed: u64| -> Histogram {
+        let mut rng = Taus88::from_seed(seed);
+        let code = setup.adc.encode(x) as f64;
+        // Bin outputs on the code grid over the widest possible window.
+        let span = setup.pmf.support_max_k() + setup.range.span_k();
+        let mut h = Histogram::new(-(span as f64), span as f64 + 1.0, (2 * span + 1) as usize / 8);
+        for _ in 0..reps {
+            h.add(mech.privatize(code, &mut rng).value - setup.range.min_k() as f64);
+        }
+        h
+    };
+
+    println!("Fig. 12 — naive DP-Box output histograms, Statlog entries {x1} and {x2} mmHg, ε=1");
+    let h1 = run(&naive, x1, 41);
+    let h2 = run(&naive, x2, 42);
+    let d_naive = distinguishing_bins(&h1, &h2);
+    println!(
+        "(b) naive: {d_naive} histogram bins are populated by exactly one of the two \
+         entries out of {} bins — observing such an output identifies the entry.",
+        h1.bins()
+    );
+
+    let h1t = run(&thresh, x1, 43);
+    let h2t = run(&thresh, x2, 44);
+    let d_thresh = distinguishing_bins(&h1t, &h2t);
+    println!(
+        "    thresholding: {d_thresh} distinguishing bins (sampling noise only)."
+    );
+
+    // Ground truth from the exact distributions, not samples:
+    let c1 = ldp_core::ConditionalDist::naive(&setup.pmf, setup.adc.encode(x1));
+    let c2 = ldp_core::ConditionalDist::naive(&setup.pmf, setup.adc.encode(x2));
+    let certified_naive = ldp_eval::certified_distinguishing_outputs(&c1, &c2);
+    let n_th = thresh.threshold().n_th_k;
+    let t1 = ldp_core::ConditionalDist::thresholded(&setup.pmf, setup.range, n_th, setup.adc.encode(x1));
+    let t2 = ldp_core::ConditionalDist::thresholded(&setup.pmf, setup.range, n_th, setup.adc.encode(x2));
+    let certified_thresh = ldp_eval::certified_distinguishing_outputs(&t1, &t2);
+    println!(
+        "    certified (exact distributions): naive {certified_naive} distinguishing \
+         outputs, thresholding {certified_thresh}."
+    );
+    assert!(d_naive > 0, "naive mechanism must show distinguishing outputs");
+    assert_eq!(certified_thresh, 0);
+    println!("\n=> naive FxP noising leaks; the proposed DP-Box does not.");
+}

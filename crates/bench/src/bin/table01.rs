@@ -1,0 +1,32 @@
+//! Table I — the seven sensor/IoT benchmarks (synthetic regenerations):
+//! specified vs generated statistics.
+
+use ldp_datasets::{all_benchmarks, generate, summarize};
+use ldp_eval::TextTable;
+
+fn main() {
+    println!("Table I — datasets used for utility comparisons (synthetic regenerations)");
+    let mut t = TextTable::new(vec![
+        "dataset",
+        "entries",
+        "min/max (spec)",
+        "mean (spec/gen)",
+        "std (spec/gen)",
+    ]);
+    for spec in all_benchmarks() {
+        let data = generate(&spec, ldp_bench::SEED);
+        let s = summarize(&data);
+        t.row(vec![
+            spec.name.to_string(),
+            spec.entries.to_string(),
+            format!("{}/{}", spec.min, spec.max),
+            format!("{:.1}/{:.1}", spec.mean, s.mean),
+            format!("{:.1}/{:.1}", spec.std, s.std),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "data are regenerated deterministically from published statistics (see DESIGN.md \
+         substitution notes); LDP utility depends on the range and shape, both matched."
+    );
+}

@@ -1,0 +1,7 @@
+//! Table II — mean absolute error of the **mean** query.
+
+use ldp_datasets::Query;
+
+fn main() {
+    ldp_bench::run_utility_table("Table II — MAE for mean query", Query::Mean);
+}

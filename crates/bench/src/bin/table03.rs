@@ -1,0 +1,7 @@
+//! Table III — mean absolute error of the **median** query.
+
+use ldp_datasets::Query;
+
+fn main() {
+    ldp_bench::run_utility_table("Table III — MAE for median query", Query::Median);
+}

@@ -1,0 +1,7 @@
+//! Table IV — mean absolute error of the **variance** query.
+
+use ldp_datasets::Query;
+
+fn main() {
+    ldp_bench::run_utility_table("Table IV — MAE for variance query", Query::Variance);
+}

@@ -1,0 +1,7 @@
+//! Table V — mean absolute error of the **counting** query (count of
+//! entries at or above the dataset's range midpoint; the paper does not
+//! state its predicate — see EXPERIMENTS.md).
+
+fn main() {
+    ldp_bench::run_counting_table();
+}

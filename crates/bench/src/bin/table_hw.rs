@@ -1,0 +1,47 @@
+//! Section III-D / V — hardware vs software noising: latency and energy.
+
+use dp_box::{EnergyModel, Implementation};
+use ldp_eval::TextTable;
+
+fn main() {
+    let m = EnergyModel::paper_65nm();
+    println!("Hardware vs software noising (65 nm, 16 MHz operating point)");
+    println!(
+        "DP-Box: {} gates, {:.1} µW; MCU modelled at {:.1} µW (derived — see module docs)\n",
+        m.gate_count,
+        m.dpbox_power_w * 1e6,
+        m.mcu_power_w * 1e6
+    );
+    let mut t = TextTable::new(vec![
+        "implementation",
+        "cycles/noising",
+        "latency (µs)",
+        "energy (nJ)",
+        "energy benefit of HW",
+    ]);
+    for (label, imp) in [
+        ("DP-Box hardware", Implementation::HardwareDpBox),
+        ("software, 20-bit fixed point", Implementation::SoftwareFixedPoint),
+        ("software, half-precision float", Implementation::SoftwareHalfFloat),
+    ] {
+        let benefit = if imp == Implementation::HardwareDpBox {
+            "1×".to_string()
+        } else {
+            format!("{:.0}×", m.energy_benefit(imp))
+        };
+        t.row(vec![
+            label.to_string(),
+            m.cycles_per_noising(imp, 0).to_string(),
+            format!("{:.2}", m.latency_per_noising(imp, 0) * 1e6),
+            format!("{:.3}", m.energy_per_noising(imp, 0) * 1e9),
+            benefit,
+        ]);
+    }
+    println!("{t}");
+    let relaxed = EnergyModel::paper_65nm_relaxed();
+    println!(
+        "relaxed-timing variant: {} gates, {:.0} µW (area/power trade of Section V)",
+        relaxed.gate_count,
+        relaxed.dpbox_power_w * 1e6
+    );
+}

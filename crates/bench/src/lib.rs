@@ -1,0 +1,148 @@
+//! Shared configuration for the table/figure regeneration binaries and the
+//! Criterion benches.
+//!
+//! Every binary regenerates one artifact of the paper's evaluation section
+//! (`fig04` … `fig15`, `table01` … `table06`, `table_hw`); run them with
+//! `cargo run --release --bin <name>`. The constants here pin the operating
+//! point the paper uses so all artifacts agree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The privacy parameter used by the utility tables (Section VI-B:
+/// "All of the utility results are for the privacy setting ε = 0.5").
+pub const EPS_UTILITY: f64 = 0.5;
+
+/// Loss-bound multiple (`n` in `n·ε`) used when building the
+/// resampling/thresholding mechanisms.
+pub const LOSS_MULTIPLE: f64 = 2.0;
+
+/// The budget-segment multiples of Fig. 8.
+pub const SEGMENT_MULTIPLES: [f64; 4] = [1.5, 2.0, 2.5, 3.0];
+
+/// Trials per utility cell (the paper presents each entry 500 times; the
+/// binaries default lower for responsiveness and note it in their output).
+pub const TRIALS: usize = 100;
+
+/// Master seed for reproducible regeneration.
+pub const SEED: u64 = 2018;
+
+/// Formats a bool as the tables' "LDP?" cell.
+pub fn ldp_flag(ldp: bool) -> String {
+    if ldp {
+        "Y".into()
+    } else {
+        "N".into()
+    }
+}
+
+/// Runs and prints one utility table (the shared engine behind the
+/// `table02`–`table05` binaries).
+///
+/// # Panics
+///
+/// Panics if the evaluation fails — regeneration binaries surface errors by
+/// aborting with the message.
+pub fn run_utility_table(title: &str, query: ldp_datasets::Query) {
+    use ldp_eval::{fmt_mae, fmt_pct, TextTable};
+
+    println!("{title} (ε = {EPS_UTILITY}, {TRIALS} trials, loss target {LOSS_MULTIPLE}ε)");
+    let specs = ldp_datasets::all_benchmarks();
+    let rows =
+        ldp_eval::utility_table(&specs, query, EPS_UTILITY, LOSS_MULTIPLE, TRIALS, SEED)
+            .expect("utility evaluation");
+    let mut t = TextTable::new(vec![
+        "dataset",
+        "Ideal MAE",
+        "LDP?",
+        "FxP baseline MAE",
+        "LDP?",
+        "Resampling MAE",
+        "LDP?",
+        "Thresholding MAE",
+        "LDP?",
+        "rel. (ideal)",
+    ]);
+    for row in &rows {
+        let c = &row.cells;
+        t.row(vec![
+            row.dataset.to_string(),
+            fmt_mae(c[0].result.mae, c[0].result.std),
+            ldp_flag(c[0].ldp),
+            fmt_mae(c[1].result.mae, c[1].result.std),
+            ldp_flag(c[1].ldp),
+            fmt_mae(c[2].result.mae, c[2].result.std),
+            ldp_flag(c[2].ldp),
+            fmt_mae(c[3].result.mae, c[3].result.std),
+            ldp_flag(c[3].ldp),
+            fmt_pct(c[0].result.relative),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "=> the FxP baseline matches ideal utility but carries no guarantee; \
+         resampling/thresholding keep comparable utility AND guarantee LDP."
+    );
+}
+
+/// Runs and prints Table V: the counting query with a per-dataset threshold
+/// at the range midpoint.
+///
+/// # Panics
+///
+/// Panics if the evaluation fails.
+pub fn run_counting_table() {
+    use ldp_eval::{fmt_mae, TextTable};
+
+    println!(
+        "Table V — MAE for counting query (x ≥ range midpoint; ε = {EPS_UTILITY}, \
+         {TRIALS} trials)"
+    );
+    let mut t = TextTable::new(vec![
+        "dataset",
+        "Ideal MAE",
+        "LDP?",
+        "FxP baseline MAE",
+        "LDP?",
+        "Resampling MAE",
+        "LDP?",
+        "Thresholding MAE",
+        "LDP?",
+    ]);
+    for spec in ldp_datasets::all_benchmarks() {
+        let threshold = (spec.min + spec.max) / 2.0;
+        let row = ldp_eval::utility_row(
+            &spec,
+            ldp_datasets::Query::Count { threshold },
+            EPS_UTILITY,
+            LOSS_MULTIPLE,
+            TRIALS,
+            SEED,
+        )
+        .expect("counting evaluation");
+        let c = &row.cells;
+        t.row(vec![
+            row.dataset.to_string(),
+            fmt_mae(c[0].result.mae, c[0].result.std),
+            ldp_flag(c[0].ldp),
+            fmt_mae(c[1].result.mae, c[1].result.std),
+            ldp_flag(c[1].ldp),
+            fmt_mae(c[2].result.mae, c[2].result.std),
+            ldp_flag(c[2].ldp),
+            fmt_mae(c[3].result.mae, c[3].result.std),
+            ldp_flag(c[3].ldp),
+        ]);
+    }
+    println!("{t}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_render() {
+        assert_eq!(ldp_flag(true), "Y");
+        assert_eq!(ldp_flag(false), "N");
+    }
+}

@@ -1,0 +1,109 @@
+//! Minimal CSV import/export for generated datasets.
+//!
+//! The synthetic benchmarks are deterministic, but deployments often want
+//! to pin the exact values used in a report or feed in their own sensor
+//! traces. One column, one header line, full `f64` round-trip precision —
+//! no external CSV dependency needed for that.
+
+use core::fmt;
+
+/// Error from [`from_csv`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseCsvError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// The offending content.
+    pub content: String,
+}
+
+impl fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: cannot parse {:?} as a number", self.line, self.content)
+    }
+}
+
+impl std::error::Error for ParseCsvError {}
+
+/// Serializes a dataset as a one-column CSV with a `value` header.
+///
+/// Values are written with enough digits to round-trip exactly.
+///
+/// # Examples
+///
+/// ```
+/// use ldp_datasets::{from_csv, to_csv};
+///
+/// let data = vec![1.5, -0.25, 131.3];
+/// let text = to_csv(&data);
+/// assert_eq!(from_csv(&text)?, data);
+/// # Ok::<(), ldp_datasets::ParseCsvError>(())
+/// ```
+pub fn to_csv(data: &[f64]) -> String {
+    let mut out = String::with_capacity(8 + data.len() * 12);
+    out.push_str("value\n");
+    for x in data {
+        // `{:?}` on f64 is the shortest representation that round-trips.
+        out.push_str(&format!("{x:?}\n"));
+    }
+    out
+}
+
+/// Parses a one-column CSV produced by [`to_csv`] (the header line is
+/// optional; blank lines are skipped).
+///
+/// # Errors
+///
+/// [`ParseCsvError`] with the offending line number on malformed input.
+pub fn from_csv(text: &str) -> Result<Vec<f64>, ParseCsvError> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || (idx == 0 && trimmed.eq_ignore_ascii_case("value")) {
+            continue;
+        }
+        let v: f64 = trimmed.parse().map_err(|_| ParseCsvError {
+            line: idx + 1,
+            content: trimmed.to_string(),
+        })?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let data = vec![0.1, -7.25, 1e-300, 123456789.123456, f64::MIN_POSITIVE];
+        assert_eq!(from_csv(&to_csv(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn header_is_optional_and_blanks_skipped() {
+        let text = "1.0\n\n2.5\n";
+        assert_eq!(from_csv(text).unwrap(), vec![1.0, 2.5]);
+    }
+
+    #[test]
+    fn malformed_line_is_located() {
+        let text = "value\n1.0\noops\n";
+        let err = from_csv(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("oops"));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_dataset() {
+        assert_eq!(from_csv("").unwrap(), Vec::<f64>::new());
+        assert_eq!(from_csv("value\n").unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn generated_benchmark_roundtrips() {
+        let data = crate::generate(&crate::statlog_heart(), 1);
+        let back = from_csv(&to_csv(&data)).unwrap();
+        assert_eq!(back, data);
+    }
+}

@@ -1,0 +1,141 @@
+//! Dataset specifications.
+
+use core::fmt;
+
+/// Qualitative shape of a sensor-data distribution.
+///
+/// The LDP utility results depend on the data range and on where the mass
+/// sits inside it (Section VI-B: "their utility depends highly on the data
+/// distribution"), so the synthetic generators reproduce the shape class of
+/// each UCI benchmark, not just its moments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Shape {
+    /// Gaussian truncated to the range (heart rate, blood pressure…).
+    TruncatedGaussian,
+    /// Approximately uniform over the range (coordinates).
+    Uniform,
+    /// Two Gaussian modes (sonar near/far readings).
+    Bimodal {
+        /// First mode's centre as a fraction of the range.
+        low_frac: f64,
+        /// Second mode's centre as a fraction of the range.
+        high_frac: f64,
+        /// Fraction of mass in the first mode.
+        low_weight: f64,
+    },
+    /// Mass concentrated near one end with a long tail (RSSI, activity
+    /// magnitudes).
+    SkewedTail,
+}
+
+/// A synthetic dataset specification matched to one of the paper's UCI
+/// benchmarks (Table I): entry count, range, first two moments, and shape.
+///
+/// # Examples
+///
+/// ```
+/// use ldp_datasets::{DatasetSpec, Shape};
+///
+/// let spec = DatasetSpec::new("statlog-heart", 270, 94.0, 200.0, 131.3, 17.8,
+///                             Shape::TruncatedGaussian);
+/// assert_eq!(spec.range_length(), 106.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Short identifier used in reports.
+    pub name: &'static str,
+    /// Number of entries.
+    pub entries: usize,
+    /// Minimum sensor value.
+    pub min: f64,
+    /// Maximum sensor value.
+    pub max: f64,
+    /// Target mean.
+    pub mean: f64,
+    /// Target standard deviation.
+    pub std: f64,
+    /// Distribution shape.
+    pub shape: Shape,
+}
+
+impl DatasetSpec {
+    /// Creates a specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, the mean lies outside it, or the
+    /// standard deviation is not positive — specifications are static
+    /// constants, so violations are programming errors.
+    pub fn new(
+        name: &'static str,
+        entries: usize,
+        min: f64,
+        max: f64,
+        mean: f64,
+        std: f64,
+        shape: Shape,
+    ) -> Self {
+        assert!(min < max, "{name}: empty range");
+        assert!(
+            mean >= min && mean <= max,
+            "{name}: mean {mean} outside [{min}, {max}]"
+        );
+        assert!(std > 0.0, "{name}: non-positive std");
+        assert!(entries > 0, "{name}: no entries");
+        DatasetSpec {
+            name,
+            entries,
+            min,
+            max,
+            mean,
+            std,
+            shape,
+        }
+    }
+
+    /// The sensor range length `d = max − min` — the quantity that scales
+    /// the local-DP noise.
+    pub fn range_length(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+impl fmt::Display for DatasetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} entries, [{}, {}], μ={}, σ={})",
+            self.name, self.entries, self.min, self.max, self.mean, self.std
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_length_is_positive() {
+        let s = DatasetSpec::new("t", 10, -1.0, 1.0, 0.0, 0.3, Shape::Uniform);
+        assert_eq!(s.range_length(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn rejects_empty_range() {
+        DatasetSpec::new("t", 10, 1.0, 1.0, 1.0, 0.1, Shape::Uniform);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_mean_outside_range() {
+        DatasetSpec::new("t", 10, 0.0, 1.0, 2.0, 0.1, Shape::Uniform);
+    }
+
+    #[test]
+    fn display_mentions_name_and_moments() {
+        let s = DatasetSpec::new("demo", 5, 0.0, 2.0, 1.0, 0.5, Shape::Uniform);
+        let text = s.to_string();
+        assert!(text.contains("demo") && text.contains("μ=1"));
+    }
+}

@@ -1,0 +1,112 @@
+//! The DP-Box's 3-bit command port (Section IV-A).
+
+use core::fmt;
+
+/// A command on the DP-Box's 3-bit command port.
+///
+/// Several commands are overloaded during the initialization phase (before
+/// the first [`Command::StartNoising`]): `SetEpsilon` sets the privacy
+/// budget and `SetSensorRangeUpper` sets the replenishment period.
+///
+/// # Examples
+///
+/// ```
+/// use dp_box::Command;
+///
+/// let cmd = Command::try_from(0b001u8)?;
+/// assert_eq!(cmd, Command::SetEpsilon);
+/// assert_eq!(u8::from(Command::DoNothing), 0b110);
+/// # Ok::<(), dp_box::DecodeCommandError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Begin noising with the loaded parameters; in the initialization
+    /// phase, finalize configuration and transition to waiting.
+    StartNoising,
+    /// Set the privacy level `ε = 2^-n_m` for subsequent readings (the
+    /// input port carries `n_m`); in the initialization phase, set the
+    /// budget.
+    SetEpsilon,
+    /// Load the sensor value to be noised.
+    SetSensorValue,
+    /// Set the sensor range's upper limit; in the initialization phase, set
+    /// the replenishment period.
+    SetSensorRangeUpper,
+    /// Set the sensor range's lower limit.
+    SetSensorRangeLower,
+    /// Toggle between resampling and thresholding.
+    SetThreshold,
+    /// Hold the DP-Box idle (without it, noising would immediately restart).
+    DoNothing,
+}
+
+/// Error decoding a 3-bit command word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeCommandError(
+    /// The unassigned encoding that was received.
+    pub u8,
+);
+
+impl fmt::Display for DecodeCommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unassigned DP-Box command encoding {:#05b}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeCommandError {}
+
+impl From<Command> for u8 {
+    fn from(c: Command) -> u8 {
+        match c {
+            Command::StartNoising => 0b000,
+            Command::SetEpsilon => 0b001,
+            Command::SetSensorValue => 0b010,
+            Command::SetSensorRangeUpper => 0b011,
+            Command::SetSensorRangeLower => 0b100,
+            Command::SetThreshold => 0b101,
+            Command::DoNothing => 0b110,
+        }
+    }
+}
+
+impl TryFrom<u8> for Command {
+    type Error = DecodeCommandError;
+
+    fn try_from(bits: u8) -> Result<Self, Self::Error> {
+        match bits {
+            0b000 => Ok(Command::StartNoising),
+            0b001 => Ok(Command::SetEpsilon),
+            0b010 => Ok(Command::SetSensorValue),
+            0b011 => Ok(Command::SetSensorRangeUpper),
+            0b100 => Ok(Command::SetSensorRangeLower),
+            0b101 => Ok(Command::SetThreshold),
+            0b110 => Ok(Command::DoNothing),
+            other => Err(DecodeCommandError(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_commands() {
+        for bits in 0u8..=0b110 {
+            let cmd = Command::try_from(bits).unwrap();
+            assert_eq!(u8::from(cmd), bits);
+        }
+    }
+
+    #[test]
+    fn unassigned_encoding_is_rejected() {
+        assert_eq!(Command::try_from(0b111), Err(DecodeCommandError(0b111)));
+        assert_eq!(Command::try_from(0xFF), Err(DecodeCommandError(0xFF)));
+    }
+
+    #[test]
+    fn decode_error_displays_encoding() {
+        let e = DecodeCommandError(0b111);
+        assert!(e.to_string().contains("0b111"));
+    }
+}

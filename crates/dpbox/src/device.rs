@@ -1,0 +1,880 @@
+//! The DP-Box device model: a cycle-level simulation of the hardware module
+//! of Section IV.
+//!
+//! The device exposes the paper's port-level interface — a 3-bit command
+//! port, a signed input port, a signed output port, and a ready bit — and
+//! reproduces its timing contract (Section V): noised output in 2 cycles
+//! (one to load registers, one to noise), thresholding free, +1 cycle per
+//! resample. Internally the noise pipeline is the real datapath: Tausworthe
+//! URNG → CORDIC logarithm → shift-and-multiply scaling (`ε = 2^-n_m`, so
+//! scaling by `1/ε` is a left shift, Eq. 19).
+//!
+//! One noise sample is precomputed while the device waits (Section IV-C2),
+//! which is what makes 2-cycle noising possible once a request arrives.
+//!
+//! # Modelling notes (deviations documented in DESIGN.md)
+//!
+//! * The paper's Eq. 17 extracts sign and magnitude from a single uniform
+//!   (`u < 0.5` vs `u ≥ 0.5`); we implement the equivalent sign-bit +
+//!   `(Bu−1)`-bit magnitude split so the output distribution is *exactly*
+//!   the [`ulp_rng::FxpNoisePmf`] model with `Bu_eff = Bu − 1`.
+//! * The window thresholds and budget segments are solved at configuration
+//!   time by the exact solver in [`ldp_core::threshold`]; in silicon these
+//!   would be ROM constants synthesized for the supported (ε, range)
+//!   combinations.
+
+use ldp_core::{LimitMode, QuantizedRange, SegmentTable};
+use ulp_fixed::QFormat;
+use ulp_rng::{CordicLn, FxpLaplaceConfig, FxpNoisePmf, RandomBits, Taus88};
+
+use crate::command::Command;
+use crate::error::DpBoxError;
+use crate::trace::{Trace, TraceEvent};
+
+/// Static (synthesis-time) configuration of a DP-Box instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpBoxConfig {
+    /// Datapath word width in bits (the paper synthesizes 20).
+    pub word_bits: u8,
+    /// Fraction bits of the datapath grid (`Δ = 2^-frac_bits`).
+    pub frac_bits: u8,
+    /// URNG output width `Bu` (1 sign bit + `Bu−1` magnitude bits).
+    pub bu: u8,
+    /// CORDIC iterations of the single-cycle logarithm array.
+    pub cordic_iterations: u8,
+    /// Loss multiples defining the budget segments (Fig. 8).
+    pub segment_multiples: Vec<f64>,
+    /// URNG seed (a hardware TRNG would provide this at power-up).
+    pub seed: u64,
+}
+
+impl Default for DpBoxConfig {
+    /// The synthesized configuration from Section V: 20-bit datapath,
+    /// 17-bit URNG, Fig. 8-style segments.
+    fn default() -> Self {
+        DpBoxConfig {
+            word_bits: 20,
+            frac_bits: 5,
+            bu: 17,
+            cordic_iterations: 24,
+            segment_multiples: vec![1.5, 2.0, 2.5, 3.0],
+            seed: 0x15CA_2018,
+        }
+    }
+}
+
+/// Operating phase of the DP-Box FSM (Section IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Boot-time configuration: budget and replenishment period settable.
+    Initialization,
+    /// Waiting for a noise request; a fresh Laplace sample is staged.
+    Waiting,
+    /// Actively noising a sensor value.
+    Noising,
+}
+
+/// Counters exposed for the evaluation harness.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DpBoxStats {
+    /// Fresh noised outputs produced.
+    pub noisings: u64,
+    /// Requests served from the cache after budget exhaustion.
+    pub cached: u64,
+    /// Total extra resampling cycles across all noisings.
+    pub resamples: u64,
+    /// Cycles spent in the noising phase (the energy-relevant activity).
+    pub busy_cycles: u64,
+}
+
+#[derive(Debug, Clone)]
+struct NoisingCtx {
+    lap_cfg: FxpLaplaceConfig,
+    range: QuantizedRange,
+    table: SegmentTable,
+    n_th_k: i64,
+}
+
+/// A staged noise sample: sign and the CORDIC `-ln u` magnitude at
+/// [`LOG_FRAC`] fraction bits.
+#[derive(Debug, Clone, Copy)]
+struct StagedSample {
+    negative: bool,
+    /// `-ln(u)` as a fixed-point word with `LOG_FRAC` fraction bits.
+    neg_ln_raw: i64,
+}
+
+/// Fraction bits of the CORDIC logarithm output inside the pipeline.
+const LOG_FRAC: u8 = 24;
+
+/// The DP-Box hardware module.
+///
+/// # Examples
+///
+/// Drive the port-level interface directly:
+///
+/// ```
+/// use dp_box::{Command, DpBox, DpBoxConfig};
+///
+/// let mut dev = DpBox::new(DpBoxConfig::default())?;
+/// // Leave initialization (no budget → unlimited).
+/// dev.issue(Command::StartNoising, 0)?;
+///
+/// // ε = 2^-1, sensor range [0, 320] grid units (= [0, 10.0] at Δ = 1/32).
+/// dev.issue(Command::SetEpsilon, 1)?;
+/// dev.issue(Command::SetSensorRangeLower, 0)?;
+/// dev.issue(Command::SetSensorRangeUpper, 320)?;
+/// dev.issue(Command::SetSensorValue, 160)?;
+/// dev.issue(Command::StartNoising, 0)?;
+/// while !dev.ready() {
+///     dev.tick();
+/// }
+/// let noised = dev.output().expect("noised output");
+/// # let _ = noised;
+/// # Ok::<(), dp_box::DpBoxError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DpBox {
+    cfg: DpBoxConfig,
+    fmt: QFormat,
+    phase: Phase,
+    urng: Taus88,
+    cordic: CordicLn,
+    // Configuration registers (initialization phase).
+    budget: Option<f64>,
+    replenish_period: u64,
+    // Operating registers.
+    eps_shift: Option<u8>,
+    x_raw: Option<i64>,
+    r_u: Option<i64>,
+    r_l: Option<i64>,
+    mode: LimitMode,
+    // Derived noising context, rebuilt when parameters change.
+    ctx: Option<NoisingCtx>,
+    dirty: bool,
+    // Runtime state.
+    staged: Option<StagedSample>,
+    remaining: f64,
+    cache: Option<i64>,
+    cycles: u64,
+    since_replenish: u64,
+    noising_subcycle: u8,
+    output: Option<i64>,
+    ready: bool,
+    stats: DpBoxStats,
+    trace: Option<Trace>,
+}
+
+impl DpBox {
+    /// Creates a DP-Box in the initialization phase.
+    ///
+    /// # Errors
+    ///
+    /// [`DpBoxError::InvalidConfig`] for invalid word widths or segment
+    /// multiples.
+    pub fn new(cfg: DpBoxConfig) -> Result<Self, DpBoxError> {
+        let fmt = QFormat::new(cfg.word_bits, cfg.frac_bits)
+            .map_err(|_| DpBoxError::InvalidConfig("bad datapath format"))?;
+        if cfg.bu < 3 || cfg.bu > 53 {
+            return Err(DpBoxError::InvalidConfig("Bu must be in 3..=53"));
+        }
+        if cfg.segment_multiples.is_empty()
+            || cfg.segment_multiples.windows(2).any(|w| w[0] >= w[1])
+            || cfg.segment_multiples.iter().any(|&m| m <= 1.0)
+        {
+            return Err(DpBoxError::InvalidConfig(
+                "segment multiples must be ascending and > 1",
+            ));
+        }
+        let urng = Taus88::from_seed(cfg.seed);
+        let cordic = CordicLn::new(cfg.cordic_iterations);
+        Ok(DpBox {
+            fmt,
+            phase: Phase::Initialization,
+            urng,
+            cordic,
+            budget: None,
+            replenish_period: 0,
+            eps_shift: None,
+            x_raw: None,
+            r_u: None,
+            r_l: None,
+            mode: LimitMode::Resampling,
+            ctx: None,
+            dirty: true,
+            staged: None,
+            remaining: f64::INFINITY,
+            cache: None,
+            cycles: 0,
+            since_replenish: 0,
+            noising_subcycle: 0,
+            output: None,
+            ready: false,
+            stats: DpBoxStats::default(),
+            trace: None,
+            cfg,
+        })
+    }
+
+    /// The current FSM phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The datapath format (word width / fraction bits).
+    pub fn format(&self) -> QFormat {
+        self.fmt
+    }
+
+    /// Total elapsed clock cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Whether a noised output is available on the output port.
+    pub fn ready(&self) -> bool {
+        self.ready
+    }
+
+    /// The output port: the latest noised value (raw datapath word).
+    pub fn output(&self) -> Option<i64> {
+        if self.ready {
+            self.output
+        } else {
+            None
+        }
+    }
+
+    /// The latest noised value in physical units.
+    pub fn output_value(&self) -> Option<f64> {
+        self.output().map(|raw| raw as f64 * self.fmt.delta())
+    }
+
+    /// Remaining privacy budget (infinite if never configured).
+    pub fn remaining_budget(&self) -> f64 {
+        self.remaining
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> DpBoxStats {
+        self.stats
+    }
+
+    /// The active limiting mode.
+    pub fn mode(&self) -> LimitMode {
+        self.mode
+    }
+
+    /// Enables the cycle-stamped event trace (the simulator's waveform
+    /// dump), keeping at most `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::bounded(capacity));
+    }
+
+    /// The event trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Renders the captured trace as a VCD waveform document (see
+    /// [`crate::trace_to_vcd`]); `None` if tracing is disabled.
+    pub fn export_vcd(&self) -> Option<String> {
+        self.trace.as_ref().map(|t| crate::vcd::trace_to_vcd(t, "dp_box"))
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(event);
+        }
+    }
+
+    fn record_phase(&mut self, from: Phase, to: Phase) {
+        let cycle = self.cycles;
+        self.record(TraceEvent::PhaseChange { cycle, from, to });
+    }
+
+    /// The window threshold (grid units) of the current configuration, if
+    /// parameters have been loaded.
+    pub fn threshold_k(&self) -> Option<i64> {
+        self.ctx.as_ref().map(|c| c.n_th_k)
+    }
+
+    /// The fixed-point Laplace RNG configuration the current parameters
+    /// induce (for external privacy analysis of this device instance).
+    pub fn laplace_config(&self) -> Option<FxpLaplaceConfig> {
+        self.ctx.as_ref().map(|c| c.lap_cfg)
+    }
+
+    /// Sends one command with its input-port operand.
+    ///
+    /// # Errors
+    ///
+    /// [`DpBoxError::Busy`] while noising; [`DpBoxError::ValueOutOfRange`]
+    /// if the operand does not fit the datapath word;
+    /// [`DpBoxError::MissingParameters`] when `StartNoising` arrives before
+    /// ε, range, and sensor value are all loaded; solver errors propagate as
+    /// [`DpBoxError::Privacy`].
+    pub fn issue(&mut self, cmd: Command, input: i64) -> Result<(), DpBoxError> {
+        if self.phase == Phase::Noising && cmd != Command::DoNothing {
+            return Err(DpBoxError::Busy);
+        }
+        let before = self.phase;
+        let result = match self.phase {
+            Phase::Initialization => self.issue_init(cmd, input),
+            Phase::Waiting => self.issue_waiting(cmd, input),
+            Phase::Noising => Ok(()), // DoNothing only, already filtered
+        };
+        if result.is_ok() {
+            let cycle = self.cycles;
+            self.record(TraceEvent::Command { cycle, cmd, input });
+            if self.phase != before {
+                self.record_phase(before, self.phase);
+            }
+        }
+        result
+    }
+
+    fn check_word(&self, input: i64) -> Result<i64, DpBoxError> {
+        if self.fmt.contains_raw(input) {
+            Ok(input)
+        } else {
+            Err(DpBoxError::ValueOutOfRange {
+                value: input,
+                bits: self.cfg.word_bits,
+            })
+        }
+    }
+
+    fn issue_init(&mut self, cmd: Command, input: i64) -> Result<(), DpBoxError> {
+        match cmd {
+            Command::SetEpsilon => {
+                // Initialization overload: budget, in grid units of nats.
+                let raw = self.check_word(input)?;
+                if raw <= 0 {
+                    return Err(DpBoxError::InvalidConfig("budget must be positive"));
+                }
+                self.budget = Some(raw as f64 * self.fmt.delta());
+                Ok(())
+            }
+            Command::SetSensorRangeUpper => {
+                // Initialization overload: replenishment period in cycles.
+                if input < 0 {
+                    return Err(DpBoxError::InvalidConfig(
+                        "replenishment period must be non-negative",
+                    ));
+                }
+                self.replenish_period = input as u64;
+                Ok(())
+            }
+            Command::StartNoising => {
+                // Budget and period are now frozen until power cycle.
+                self.remaining = self.budget.unwrap_or(f64::INFINITY);
+                self.phase = Phase::Waiting;
+                self.stage_sample();
+                Ok(())
+            }
+            Command::SetThreshold => {
+                self.toggle_mode();
+                Ok(())
+            }
+            Command::DoNothing => Ok(()),
+            Command::SetSensorValue | Command::SetSensorRangeLower => Err(
+                DpBoxError::WrongPhase("sensor parameters are loaded after initialization"),
+            ),
+        }
+    }
+
+    fn issue_waiting(&mut self, cmd: Command, input: i64) -> Result<(), DpBoxError> {
+        match cmd {
+            Command::SetEpsilon => {
+                if !(0..=(self.cfg.word_bits as i64)).contains(&input) {
+                    return Err(DpBoxError::InvalidConfig("ε shift n_m out of range"));
+                }
+                self.eps_shift = Some(input as u8);
+                self.dirty = true;
+                Ok(())
+            }
+            Command::SetSensorValue => {
+                self.x_raw = Some(self.check_word(input)?);
+                Ok(())
+            }
+            Command::SetSensorRangeUpper => {
+                self.r_u = Some(self.check_word(input)?);
+                self.dirty = true;
+                Ok(())
+            }
+            Command::SetSensorRangeLower => {
+                self.r_l = Some(self.check_word(input)?);
+                self.dirty = true;
+                Ok(())
+            }
+            Command::SetThreshold => {
+                self.toggle_mode();
+                Ok(())
+            }
+            Command::StartNoising => {
+                self.rebuild_ctx_if_needed()?;
+                if self.x_raw.is_none() {
+                    return Err(DpBoxError::MissingParameters("sensor value"));
+                }
+                self.phase = Phase::Noising;
+                self.noising_subcycle = 0;
+                self.ready = false;
+                Ok(())
+            }
+            Command::DoNothing => Ok(()),
+        }
+    }
+
+    fn toggle_mode(&mut self) {
+        self.mode = match self.mode {
+            LimitMode::Resampling => LimitMode::Thresholding,
+            LimitMode::Thresholding => LimitMode::Resampling,
+        };
+        let cycle = self.cycles;
+        let mode = self.mode;
+        self.record(TraceEvent::ModeToggled { cycle, mode });
+        self.dirty = true;
+    }
+
+    fn rebuild_ctx_if_needed(&mut self) -> Result<(), DpBoxError> {
+        if !self.dirty && self.ctx.is_some() {
+            return Ok(());
+        }
+        let eps_shift = self
+            .eps_shift
+            .ok_or(DpBoxError::MissingParameters("epsilon"))?;
+        let r_u = self.r_u.ok_or(DpBoxError::MissingParameters("range upper"))?;
+        let r_l = self.r_l.ok_or(DpBoxError::MissingParameters("range lower"))?;
+        if r_l >= r_u {
+            return Err(DpBoxError::InvalidConfig("range lower must be below upper"));
+        }
+        let delta = self.fmt.delta();
+        let d = (r_u - r_l) as f64 * delta;
+        // λ = d / ε = d · 2^n_m (Eq. 16 + 19).
+        let lambda = d * 2f64.powi(eps_shift as i32);
+        let lap_cfg = FxpLaplaceConfig::new(self.cfg.bu - 1, self.cfg.word_bits, delta, lambda)
+            .map_err(DpBoxError::Rng)?;
+        let range = QuantizedRange::new(r_l, r_u, delta).map_err(DpBoxError::Privacy)?;
+        let pmf = FxpNoisePmf::closed_form(lap_cfg);
+        let table = SegmentTable::build(
+            lap_cfg,
+            &pmf,
+            range,
+            &self.cfg.segment_multiples,
+            self.mode,
+        )
+        .map_err(DpBoxError::Privacy)?;
+        let n_th_k = table.outermost().0;
+        self.ctx = Some(NoisingCtx {
+            lap_cfg,
+            range,
+            table,
+            n_th_k,
+        });
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Draws and stages one Laplace sample (sign + CORDIC `-ln u`), the
+    /// work the waiting phase does ahead of time.
+    fn stage_sample(&mut self) {
+        let negative = self.urng.bit();
+        let mag_bits = self.cfg.bu - 1;
+        let m = self.urng.bits(mag_bits) + 1;
+        // u = m · 2^-(Bu-1) as a fixed-point word.
+        let in_fmt = QFormat::new((mag_bits + 2).min(63), mag_bits)
+            .expect("Bu ≤ 53 keeps the format valid");
+        let u = ulp_fixed::Fx::from_raw(m as i64, in_fmt).expect("m fits the word");
+        let out_fmt = QFormat::new(40, LOG_FRAC).expect("valid log format");
+        let ln_u = self
+            .cordic
+            .ln(u, out_fmt)
+            .expect("u > 0 by construction")
+            .raw();
+        self.staged = Some(StagedSample {
+            negative,
+            neg_ln_raw: -ln_u,
+        });
+    }
+
+    /// Converts the staged sample to a signed noise index on the datapath
+    /// grid: `k = sign · ((d_raw · (-ln u)) >> LOG_FRAC) << n_m`, saturating
+    /// to the output word.
+    fn staged_noise_k(&self, staged: StagedSample) -> i64 {
+        let d_raw = (self.r_u.unwrap_or(0) - self.r_l.unwrap_or(0)) as i128;
+        let eps_shift = self.eps_shift.unwrap_or(0) as u32;
+        let prod = d_raw * staged.neg_ln_raw as i128;
+        // Round the LOG_FRAC-bit fraction away (hardware rounder), then
+        // apply the ε shift.
+        let half = 1i128 << (LOG_FRAC - 1);
+        let mag = ((prod + half) >> LOG_FRAC) << eps_shift;
+        let max = self.fmt.max_raw() as i128;
+        let mag = mag.clamp(0, max) as i64;
+        if staged.negative {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Advances the clock by one cycle.
+    pub fn tick(&mut self) {
+        self.cycles += 1;
+        // Budget replenishment timer runs in every phase after init.
+        if self.phase != Phase::Initialization && self.replenish_period > 0 {
+            self.since_replenish += 1;
+            if self.since_replenish >= self.replenish_period {
+                self.since_replenish = 0;
+                if let Some(b) = self.budget {
+                    self.remaining = b;
+                    let cycle = self.cycles;
+                    self.record(TraceEvent::Replenish { cycle });
+                }
+            }
+        }
+        if self.phase != Phase::Noising {
+            return;
+        }
+        self.stats.busy_cycles += 1;
+        self.noising_subcycle = self.noising_subcycle.saturating_add(1);
+        if self.noising_subcycle == 1 {
+            // Cycle 1: operand registers load.
+            return;
+        }
+        // Cycle 2 onward: noising / resampling.
+        let (range_min, range_max, n_th_k) = {
+            let ctx = self.ctx.as_ref().expect("ctx built at StartNoising");
+            (ctx.range.min_k(), ctx.range.max_k(), ctx.n_th_k)
+        };
+        if self.remaining <= 0.0 {
+            if let Some(cached) = self.cache {
+                self.finish(cached, true);
+            } else {
+                // "Halt": no output, return to waiting.
+                self.record_phase(Phase::Noising, Phase::Waiting);
+                self.phase = Phase::Waiting;
+                self.ready = false;
+                self.output = None;
+            }
+            return;
+        }
+        let staged = match self.staged.take() {
+            Some(s) => s,
+            None => {
+                self.stage_sample();
+                self.staged.take().expect("just staged")
+            }
+        };
+        let x = self.x_raw.expect("validated at StartNoising");
+        let k = self.staged_noise_k(staged);
+        let tmp = x.saturating_add(k).clamp(self.fmt.min_raw(), self.fmt.max_raw());
+        let (lo, hi) = (range_min - n_th_k, range_max + n_th_k);
+        let in_window = tmp >= lo && tmp <= hi;
+        match self.mode {
+            LimitMode::Resampling if !in_window => {
+                // Stage a new sample; next tick retries (+1 cycle each).
+                self.stats.resamples += 1;
+                let cycle = self.cycles;
+                self.record(TraceEvent::Resample { cycle });
+                self.stage_sample();
+            }
+            _ => {
+                let y = if in_window { tmp } else { tmp.clamp(lo, hi) };
+                let overshoot = if y < range_min {
+                    range_min - y
+                } else if y > range_max {
+                    y - range_max
+                } else {
+                    0
+                };
+                let charge = self
+                    .ctx
+                    .as_ref()
+                    .expect("ctx built at StartNoising")
+                    .table
+                    .charge_for_overshoot(overshoot);
+                self.remaining -= charge;
+                let cycle = self.cycles;
+                let remaining = self.remaining;
+                self.record(TraceEvent::BudgetCharge { cycle, charge, remaining });
+                self.finish(y, false);
+            }
+        }
+    }
+
+    fn finish(&mut self, y: i64, from_cache: bool) {
+        self.output = Some(y);
+        self.ready = true;
+        self.cache = Some(y);
+        let cycle = self.cycles;
+        self.record(TraceEvent::Output { cycle, value: y, from_cache });
+        self.record_phase(self.phase, Phase::Waiting);
+        self.phase = Phase::Waiting;
+        if from_cache {
+            self.stats.cached += 1;
+        } else {
+            self.stats.noisings += 1;
+        }
+        // Stage the next sample immediately on re-entering waiting.
+        self.stage_sample();
+    }
+
+    /// Convenience driver: loads a sensor value, starts noising, and ticks
+    /// until the output is ready. Returns `(noised_raw, cycles_taken)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DpBox::issue`] errors; returns
+    /// [`DpBoxError::BudgetExhausted`] when the device halts with no cached
+    /// output.
+    pub fn noise_value(&mut self, x_raw: i64) -> Result<(i64, u64), DpBoxError> {
+        self.issue(Command::SetSensorValue, x_raw)?;
+        let start = self.cycles;
+        self.issue(Command::StartNoising, 0)?;
+        while self.phase == Phase::Noising {
+            self.tick();
+        }
+        let taken = self.cycles - start;
+        match self.output() {
+            Some(y) => Ok((y, taken)),
+            None => Err(DpBoxError::BudgetExhausted),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn configured_box(mode_toggles: u8) -> DpBox {
+        let mut dev = DpBox::new(DpBoxConfig::default()).unwrap();
+        dev.issue(Command::StartNoising, 0).unwrap(); // leave init
+        dev.issue(Command::SetEpsilon, 1).unwrap(); // ε = 0.5
+        dev.issue(Command::SetSensorRangeLower, 0).unwrap();
+        dev.issue(Command::SetSensorRangeUpper, 320).unwrap(); // d = 10.0
+        for _ in 0..mode_toggles {
+            dev.issue(Command::SetThreshold, 0).unwrap();
+        }
+        dev
+    }
+
+    #[test]
+    fn boots_in_initialization_phase() {
+        let dev = DpBox::new(DpBoxConfig::default()).unwrap();
+        assert_eq!(dev.phase(), Phase::Initialization);
+        assert!(!dev.ready());
+        assert_eq!(dev.output(), None);
+    }
+
+    #[test]
+    fn config_validation() {
+        let cfg = DpBoxConfig {
+            segment_multiples: vec![],
+            ..DpBoxConfig::default()
+        };
+        assert!(DpBox::new(cfg).is_err());
+        let cfg = DpBoxConfig {
+            segment_multiples: vec![2.0, 1.5],
+            ..DpBoxConfig::default()
+        };
+        assert!(DpBox::new(cfg).is_err());
+        let cfg = DpBoxConfig {
+            bu: 2,
+            ..DpBoxConfig::default()
+        };
+        assert!(DpBox::new(cfg).is_err());
+        let cfg = DpBoxConfig {
+            frac_bits: 25,
+            ..DpBoxConfig::default()
+        };
+        assert!(DpBox::new(cfg).is_err());
+    }
+
+    #[test]
+    fn init_phase_rejects_sensor_parameters() {
+        let mut dev = DpBox::new(DpBoxConfig::default()).unwrap();
+        assert!(matches!(
+            dev.issue(Command::SetSensorValue, 5),
+            Err(DpBoxError::WrongPhase(_))
+        ));
+    }
+
+    #[test]
+    fn two_cycle_noising_with_thresholding() {
+        let mut dev = configured_box(1); // toggled once → thresholding
+        assert_eq!(dev.mode(), LimitMode::Thresholding);
+        for _ in 0..20 {
+            let (_, cycles) = dev.noise_value(160).unwrap();
+            assert_eq!(cycles, 2, "thresholding must take exactly 2 cycles");
+        }
+    }
+
+    #[test]
+    fn resampling_adds_cycles_only_when_out_of_window() {
+        let mut dev = configured_box(0); // default resampling
+        assert_eq!(dev.mode(), LimitMode::Resampling);
+        let mut total_extra = 0u64;
+        let n = 500;
+        for _ in 0..n {
+            let (_, cycles) = dev.noise_value(160).unwrap();
+            assert!(cycles >= 2);
+            total_extra += cycles - 2;
+        }
+        // Paper Fig. 11: resampling adds well under one cycle on average.
+        assert!(
+            (total_extra as f64 / n as f64) < 1.0,
+            "average extra cycles {}",
+            total_extra as f64 / n as f64
+        );
+        assert_eq!(dev.stats().resamples, total_extra);
+    }
+
+    #[test]
+    fn output_stays_in_window() {
+        let mut dev = configured_box(1);
+        let n_th = dev.threshold_k();
+        // Threshold is built lazily at first StartNoising.
+        let (_, _) = dev.noise_value(0).unwrap();
+        let n_th = n_th.or(dev.threshold_k()).unwrap();
+        for _ in 0..2_000 {
+            let (y, _) = dev.noise_value(0).unwrap();
+            assert!(y >= -n_th && y <= 320 + n_th, "y = {y} outside window");
+        }
+    }
+
+    #[test]
+    fn busy_device_rejects_commands() {
+        let mut dev = configured_box(1);
+        dev.issue(Command::SetSensorValue, 100).unwrap();
+        dev.issue(Command::StartNoising, 0).unwrap();
+        assert_eq!(dev.phase(), Phase::Noising);
+        assert!(matches!(
+            dev.issue(Command::SetEpsilon, 2),
+            Err(DpBoxError::Busy)
+        ));
+        // DoNothing is always accepted.
+        dev.issue(Command::DoNothing, 0).unwrap();
+    }
+
+    #[test]
+    fn missing_parameters_are_reported() {
+        let mut dev = DpBox::new(DpBoxConfig::default()).unwrap();
+        dev.issue(Command::StartNoising, 0).unwrap();
+        dev.issue(Command::SetSensorValue, 10).unwrap(); // x alone is fine
+        let err = dev.issue(Command::StartNoising, 0).unwrap_err();
+        assert!(matches!(err, DpBoxError::MissingParameters(_)));
+    }
+
+    #[test]
+    fn budget_exhaustion_serves_cache() {
+        let cfg = DpBoxConfig {
+            seed: 7,
+            ..DpBoxConfig::default()
+        };
+        let mut dev = DpBox::new(cfg).unwrap();
+        // Budget: 3.0 nats = 96 grid units at Δ = 1/32.
+        dev.issue(Command::SetEpsilon, 96).unwrap();
+        dev.issue(Command::StartNoising, 0).unwrap();
+        dev.issue(Command::SetEpsilon, 1).unwrap();
+        dev.issue(Command::SetSensorRangeLower, 0).unwrap();
+        dev.issue(Command::SetSensorRangeUpper, 320).unwrap();
+        dev.issue(Command::SetThreshold, 0).unwrap(); // thresholding
+        let mut outputs = Vec::new();
+        for _ in 0..40 {
+            outputs.push(dev.noise_value(160).unwrap().0);
+        }
+        let stats = dev.stats();
+        assert!(stats.cached > 0, "budget should run out within 40 requests");
+        assert!(stats.noisings > 0);
+        // All cached replies equal the last fresh output.
+        let last_fresh: Vec<i64> = outputs[..stats.noisings as usize].to_vec();
+        for &y in &outputs[stats.noisings as usize..] {
+            assert_eq!(y, *last_fresh.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn replenishment_restores_budget() {
+        let cfg = DpBoxConfig {
+            seed: 9,
+            ..DpBoxConfig::default()
+        };
+        let mut dev = DpBox::new(cfg).unwrap();
+        dev.issue(Command::SetEpsilon, 64).unwrap(); // budget 2.0 nats
+        dev.issue(Command::SetSensorRangeUpper, 1_000).unwrap(); // period
+        dev.issue(Command::StartNoising, 0).unwrap();
+        dev.issue(Command::SetEpsilon, 1).unwrap();
+        dev.issue(Command::SetSensorRangeLower, 0).unwrap();
+        dev.issue(Command::SetSensorRangeUpper, 320).unwrap();
+        dev.issue(Command::SetThreshold, 0).unwrap();
+        // Exhaust the budget.
+        while dev.remaining_budget() > 0.0 {
+            dev.noise_value(160).unwrap();
+        }
+        let cached_before = dev.stats().cached;
+        dev.noise_value(160).unwrap();
+        assert_eq!(dev.stats().cached, cached_before + 1);
+        // Idle for a full replenishment period.
+        for _ in 0..1_000 {
+            dev.tick();
+        }
+        assert!(dev.remaining_budget() > 0.0, "budget must replenish");
+        dev.noise_value(160).unwrap();
+        assert_eq!(dev.stats().cached, cached_before + 1, "fresh noise again");
+    }
+
+    #[test]
+    fn epsilon_shift_scales_noise() {
+        // Larger n_m → smaller ε → more noise.
+        let spread = |n_m: i64, seed: u64| -> f64 {
+            let cfg = DpBoxConfig {
+                seed,
+                ..DpBoxConfig::default()
+            };
+            let mut dev = DpBox::new(cfg).unwrap();
+            dev.issue(Command::StartNoising, 0).unwrap();
+            dev.issue(Command::SetEpsilon, n_m).unwrap();
+            dev.issue(Command::SetSensorRangeLower, 0).unwrap();
+            dev.issue(Command::SetSensorRangeUpper, 320).unwrap();
+            dev.issue(Command::SetThreshold, 0).unwrap();
+            let n = 800;
+            let xs: Vec<f64> = (0..n)
+                .map(|_| dev.noise_value(160).unwrap().0 as f64 - 160.0)
+                .collect();
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64).sqrt()
+        };
+        let tight = spread(0, 11); // ε = 1
+        let loose = spread(2, 12); // ε = 0.25
+        assert!(
+            loose > 1.5 * tight,
+            "ε=0.25 spread {loose} vs ε=1 spread {tight}"
+        );
+    }
+
+    #[test]
+    fn output_value_converts_units() {
+        let mut dev = configured_box(1);
+        let (raw, _) = dev.noise_value(160).unwrap();
+        let v = dev.output_value().unwrap();
+        assert!((v - raw as f64 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_distribution_matches_fxp_model() {
+        // The hardware pipeline (CORDIC + shift scaling) must land within a
+        // step of the analytic FxP model almost always: compare standard
+        // deviations against the ideal Laplace.
+        let mut dev = configured_box(1);
+        let n = 4_000;
+        let xs: Vec<f64> = (0..n)
+            .map(|_| (dev.noise_value(160).unwrap().0 - 160) as f64 / 32.0)
+            .collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let sd = (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64).sqrt();
+        // Thresholded Lap(20) loses some tail mass, so σ < √2·λ = 28.3 but
+        // must stay in its vicinity.
+        assert!(sd > 15.0 && sd < 30.0, "σ = {sd}");
+    }
+}

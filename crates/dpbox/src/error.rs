@@ -1,0 +1,75 @@
+//! Error types for the DP-Box device model.
+
+use core::fmt;
+
+use ldp_core::LdpError;
+use ulp_rng::RngError;
+
+/// Error raised by the DP-Box port interface or configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpBoxError {
+    /// A synthesis-time configuration parameter is invalid.
+    InvalidConfig(&'static str),
+    /// The command is not valid in the current phase.
+    WrongPhase(&'static str),
+    /// The device is in the noising phase; only `DoNothing` is accepted.
+    Busy,
+    /// An input-port operand does not fit the datapath word.
+    ValueOutOfRange {
+        /// The rejected operand.
+        value: i64,
+        /// The datapath width.
+        bits: u8,
+    },
+    /// `StartNoising` was issued before a required parameter was loaded.
+    MissingParameters(&'static str),
+    /// The privacy budget is spent and no cached output exists.
+    BudgetExhausted,
+    /// A privacy-analysis error (threshold/segment solving).
+    Privacy(LdpError),
+    /// An RNG-substrate error.
+    Rng(RngError),
+}
+
+impl fmt::Display for DpBoxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpBoxError::InvalidConfig(msg) => write!(f, "invalid DP-Box configuration: {msg}"),
+            DpBoxError::WrongPhase(msg) => write!(f, "command not valid in this phase: {msg}"),
+            DpBoxError::Busy => write!(f, "device is noising; only DoNothing is accepted"),
+            DpBoxError::ValueOutOfRange { value, bits } => {
+                write!(f, "operand {value} does not fit a {bits}-bit word")
+            }
+            DpBoxError::MissingParameters(what) => {
+                write!(f, "start-noising issued before loading {what}")
+            }
+            DpBoxError::BudgetExhausted => {
+                write!(f, "privacy budget exhausted with no cached output")
+            }
+            DpBoxError::Privacy(e) => write!(f, "privacy analysis error: {e}"),
+            DpBoxError::Rng(e) => write!(f, "rng error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DpBoxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DpBoxError::Privacy(e) => Some(e),
+            DpBoxError::Rng(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LdpError> for DpBoxError {
+    fn from(e: LdpError) -> Self {
+        DpBoxError::Privacy(e)
+    }
+}
+
+impl From<RngError> for DpBoxError {
+    fn from(e: RngError) -> Self {
+        DpBoxError::Rng(e)
+    }
+}

@@ -1,0 +1,148 @@
+//! Port-protocol conformance tests: the DP-Box must behave like the
+//! hardware interface of Section IV-A under adversarial/hostile command
+//! sequences, because on microcontrollers without process isolation *no*
+//! software is trusted.
+
+use dp_box::{Command, DpBox, DpBoxConfig, DpBoxError, Phase};
+
+fn fresh() -> DpBox {
+    let cfg = DpBoxConfig {
+        seed: 0xBEEF,
+        ..DpBoxConfig::default()
+    };
+    DpBox::new(cfg).expect("valid default configuration")
+}
+
+#[test]
+fn budget_cannot_be_changed_after_initialization() {
+    let mut dev = fresh();
+    dev.issue(Command::SetEpsilon, 64).expect("budget in init");
+    dev.issue(Command::StartNoising, 0).expect("leave init");
+    assert_eq!(dev.phase(), Phase::Waiting);
+    // SetEpsilon now means "privacy level", not "budget": malicious
+    // software cannot replenish or enlarge the budget.
+    dev.issue(Command::SetEpsilon, 0).expect("ε = 1 in waiting");
+    assert!((dev.remaining_budget() - 2.0).abs() < 1e-9, "budget untouched");
+    // And there is no command path back to the initialization phase.
+    for cmd in [
+        Command::StartNoising,
+        Command::SetEpsilon,
+        Command::SetThreshold,
+        Command::DoNothing,
+    ] {
+        let _ = dev.issue(cmd, 1);
+        assert_ne!(dev.phase(), Phase::Initialization);
+    }
+}
+
+#[test]
+fn replenishment_period_is_frozen_after_init() {
+    let mut dev = fresh();
+    dev.issue(Command::SetEpsilon, 32).expect("budget");
+    dev.issue(Command::SetSensorRangeUpper, 500).expect("period");
+    dev.issue(Command::StartNoising, 0).expect("leave init");
+    // In waiting, SetSensorRangeUpper is the sensor range again.
+    dev.issue(Command::SetEpsilon, 1).expect("ε");
+    dev.issue(Command::SetSensorRangeLower, 0).expect("lower");
+    dev.issue(Command::SetSensorRangeUpper, 320).expect("upper = range");
+    dev.issue(Command::SetThreshold, 0).expect("thresholding");
+    // Exhaust and verify the 500-cycle period still replenishes.
+    while dev.remaining_budget() > 0.0 {
+        dev.noise_value(160).expect("served");
+    }
+    for _ in 0..500 {
+        dev.tick();
+    }
+    assert!(dev.remaining_budget() > 0.0, "original period must apply");
+}
+
+#[test]
+fn undecodable_command_bits_are_rejected_at_the_decoder() {
+    assert!(Command::try_from(0b111).is_err());
+}
+
+#[test]
+fn out_of_range_operands_do_not_corrupt_state() {
+    let mut dev = fresh();
+    dev.issue(Command::StartNoising, 0).expect("leave init");
+    let too_big = 1i64 << 40;
+    assert!(matches!(
+        dev.issue(Command::SetSensorValue, too_big),
+        Err(DpBoxError::ValueOutOfRange { .. })
+    ));
+    // The device still works normally afterwards.
+    dev.issue(Command::SetEpsilon, 1).expect("ε");
+    dev.issue(Command::SetSensorRangeLower, 0).expect("lower");
+    dev.issue(Command::SetSensorRangeUpper, 320).expect("upper");
+    dev.issue(Command::SetThreshold, 0).expect("mode");
+    dev.noise_value(100).expect("noising still works");
+}
+
+#[test]
+fn ready_flag_contract() {
+    let mut dev = fresh();
+    dev.issue(Command::StartNoising, 0).expect("leave init");
+    dev.issue(Command::SetEpsilon, 1).expect("ε");
+    dev.issue(Command::SetSensorRangeLower, 0).expect("lower");
+    dev.issue(Command::SetSensorRangeUpper, 320).expect("upper");
+    dev.issue(Command::SetThreshold, 0).expect("mode");
+    dev.issue(Command::SetSensorValue, 160).expect("x");
+    assert!(!dev.ready(), "no output before noising");
+    dev.issue(Command::StartNoising, 0).expect("start");
+    assert!(!dev.ready(), "not ready at start");
+    dev.tick(); // load
+    assert!(!dev.ready(), "not ready after load cycle");
+    dev.tick(); // noise
+    assert!(dev.ready(), "ready after the noise cycle");
+    assert!(dev.output().is_some());
+    // Output holds (DoNothing keeps the device idle).
+    let y = dev.output();
+    dev.issue(Command::DoNothing, 0).expect("idle");
+    dev.tick();
+    assert_eq!(dev.output(), y);
+}
+
+#[test]
+fn repeated_noising_without_reconfiguration() {
+    // "the sensor value, the sensor range, and the privacy level do not
+    // have to change between noising" — StartNoising may be re-issued
+    // directly.
+    let mut dev = fresh();
+    dev.issue(Command::StartNoising, 0).expect("leave init");
+    dev.issue(Command::SetEpsilon, 1).expect("ε");
+    dev.issue(Command::SetSensorRangeLower, 0).expect("lower");
+    dev.issue(Command::SetSensorRangeUpper, 320).expect("upper");
+    dev.issue(Command::SetThreshold, 0).expect("mode");
+    dev.issue(Command::SetSensorValue, 160).expect("x");
+    let mut outputs = Vec::new();
+    for _ in 0..50 {
+        dev.issue(Command::StartNoising, 0).expect("restart");
+        while !dev.ready() {
+            dev.tick();
+        }
+        outputs.push(dev.output().expect("noised"));
+    }
+    // Fresh noise each time: outputs are not all identical.
+    assert!(outputs.windows(2).any(|w| w[0] != w[1]));
+}
+
+#[test]
+fn per_reading_epsilon_changes_take_effect() {
+    // ε can change per reading (Set Epsilon before each Start Noising).
+    let spread = |n_m: i64, dev: &mut DpBox| -> f64 {
+        dev.issue(Command::SetEpsilon, n_m).expect("ε");
+        let xs: Vec<f64> = (0..400)
+            .map(|_| (dev.noise_value(160).expect("served").0 - 160) as f64)
+            .collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+    };
+    let mut dev = fresh();
+    dev.issue(Command::StartNoising, 0).expect("leave init");
+    dev.issue(Command::SetSensorRangeLower, 0).expect("lower");
+    dev.issue(Command::SetSensorRangeUpper, 320).expect("upper");
+    dev.issue(Command::SetThreshold, 0).expect("mode");
+    let tight = spread(0, &mut dev); // ε = 1
+    let loose = spread(2, &mut dev); // ε = 0.25
+    assert!(loose > tight, "ε=0.25 σ={loose} must exceed ε=1 σ={tight}");
+}

@@ -1,0 +1,46 @@
+//! Evaluation harness for the DP-Box reproduction: everything needed to
+//! regenerate the paper's tables and figures.
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | Tables II–V (query MAE per dataset × mechanism) | [`utility_table`] |
+//! | Fig. 4 / Fig. 12 (output histograms, distinguishability) | [`Histogram`], [`distinguishing_bins`] |
+//! | Fig. 11 (noising latency per dataset) | [`latency_row`] |
+//! | Fig. 13 (averaging adversary vs budget control) | [`averaging_attack`] |
+//! | Fig. 14 (randomized-response accuracy vs n) | [`rr_curve`] |
+//! | Fig. 15 (MAE vs dataset size and RNG resolution) | [`scaling_curve`] |
+//! | Table VI (privacy-preserving SVM) | [`svm_accuracy`] |
+//!
+//! The shared experiment plumbing lives in [`ExperimentSetup`] (one dataset
+//! plus privacy level, giving the ADC mapping, noise configuration, and all
+//! four mechanisms) and [`Adc`] (physical values to sensor codes).
+//! [`TextTable`] renders the regeneration binaries' output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adc;
+mod adversary;
+mod frequency;
+mod histogram;
+mod latency;
+mod predict;
+mod report;
+mod rr_eval;
+mod scaling;
+mod setup;
+mod svm;
+mod utility;
+
+pub use adc::Adc;
+pub use adversary::{averaging_attack, AdversaryPoint};
+pub use frequency::{total_variation, FrequencyOracle};
+pub use histogram::{certified_distinguishing_outputs, distinguishing_bins, Histogram};
+pub use latency::{latency_row, tail_mass_outside, LatencyRow, BASE_CYCLES};
+pub use predict::{noise_sigma, predict_mean_mae, sensors_for_mean_mae};
+pub use report::{fmt_mae, fmt_pct, TextTable};
+pub use rr_eval::{rr_curve, RrPoint};
+pub use scaling::{scaling_curve, ScalingPoint};
+pub use setup::{ExperimentSetup, MechKind};
+pub use svm::{halfspace_dataset, svm_accuracy, LinearSvm, Sample, SvmPrivacy};
+pub use utility::{utility_row, utility_table, UtilityCell, UtilityRow};

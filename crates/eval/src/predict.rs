@@ -1,0 +1,139 @@
+//! Analytic utility prediction from exact PMFs.
+//!
+//! The measured tables come from simulation; these predictors derive the
+//! same quantities from the exact noise distribution, giving a second,
+//! independent path to the utility results (and a fast way to size
+//! experiments: how many sensors does a deployment need for a target
+//! accuracy?).
+
+use ldp_core::{conditional, LimitMode};
+
+use crate::setup::ExperimentSetup;
+
+/// Noise standard deviation (in *physical* units) of a window-limited
+/// mechanism for a mid-range input, from the exact conditional
+/// distribution.
+pub fn noise_sigma(setup: &ExperimentSetup, mode: LimitMode, n_th_k: Option<i64>) -> f64 {
+    let mid = (setup.range.min_k() + setup.range.max_k()) / 2;
+    let dist = conditional(&setup.pmf, setup.range, mode, n_th_k, mid);
+    let norm = dist.norm() as f64;
+    let mut mean = 0.0;
+    let mut m2 = 0.0;
+    for (y, w) in dist.iter() {
+        let v = (y - mid) as f64;
+        let p = w as f64 / norm;
+        mean += v * p;
+        m2 += v * v * p;
+    }
+    (m2 - mean * mean).sqrt() * setup.adc.lsb()
+}
+
+/// Predicted MAE of the **mean query** over `n` sensors: the sample mean of
+/// i.i.d. noise is asymptotically normal, so `E|error| = √(2/π)·σ/√n`.
+pub fn predict_mean_mae(
+    setup: &ExperimentSetup,
+    mode: LimitMode,
+    n_th_k: Option<i64>,
+    n: usize,
+) -> f64 {
+    let sigma = noise_sigma(setup, mode, n_th_k);
+    (2.0 / std::f64::consts::PI).sqrt() * sigma / (n as f64).sqrt()
+}
+
+/// Sensors needed for a target mean-query MAE (inverse of
+/// [`predict_mean_mae`]), rounded up.
+pub fn sensors_for_mean_mae(
+    setup: &ExperimentSetup,
+    mode: LimitMode,
+    n_th_k: Option<i64>,
+    target_mae: f64,
+) -> usize {
+    assert!(target_mae > 0.0, "target MAE must be positive");
+    let sigma = noise_sigma(setup, mode, n_th_k);
+    let n = (2.0 / std::f64::consts::PI) * (sigma / target_mae).powi(2);
+    n.ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::Mechanism;
+    use ldp_datasets::{evaluate_query, DatasetSpec, Query, Shape};
+    use ulp_rng::Taus88;
+
+    fn setup() -> ExperimentSetup {
+        let spec = DatasetSpec::new(
+            "predict-test",
+            5_000,
+            0.0,
+            100.0,
+            50.0,
+            20.0,
+            Shape::TruncatedGaussian,
+        );
+        ExperimentSetup::paper_default(&spec, 0.5).unwrap()
+    }
+
+    #[test]
+    fn sigma_matches_unclipped_laplace_for_naive() {
+        let s = setup();
+        let sigma = noise_sigma(&s, LimitMode::Thresholding, None);
+        // Lap(λ): σ = √2·λ; λ_physical = λ_code · lsb.
+        let want = std::f64::consts::SQRT_2 * s.cfg.lambda() * s.adc.lsb();
+        assert!((sigma / want - 1.0).abs() < 0.01, "{sigma} vs {want}");
+    }
+
+    #[test]
+    fn clipping_reduces_sigma() {
+        let s = setup();
+        let full = noise_sigma(&s, LimitMode::Thresholding, None);
+        let clipped = noise_sigma(&s, LimitMode::Thresholding, Some(300));
+        assert!(clipped < full);
+    }
+
+    #[test]
+    fn prediction_matches_simulation() {
+        let s = setup();
+        let mech = s.thresholding(2.0).unwrap();
+        let n_th = mech.threshold().n_th_k;
+        let data = ldp_datasets::generate(&s.spec, 3);
+        let mut rng = Taus88::from_seed(5);
+        let adc = s.adc;
+        let measured = evaluate_query(
+            &data,
+            |x| {
+                let code = adc.encode(x) as f64;
+                adc.decode(mech.privatize(code, &mut rng).value.round() as i64)
+            },
+            Query::Mean,
+            60,
+            1.0,
+        )
+        .mae;
+        let predicted = predict_mean_mae(&s, LimitMode::Thresholding, Some(n_th), data.len());
+        assert!(
+            (measured / predicted - 1.0).abs() < 0.35,
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn sensors_for_target_inverts_prediction() {
+        let s = setup();
+        let n = sensors_for_mean_mae(&s, LimitMode::Thresholding, Some(300), 0.5);
+        let back = predict_mean_mae(&s, LimitMode::Thresholding, Some(300), n);
+        assert!(back <= 0.5 + 1e-9);
+        // One fewer sensor would miss the target.
+        if n > 1 {
+            let worse = predict_mean_mae(&s, LimitMode::Thresholding, Some(300), n - 1);
+            assert!(worse > 0.5 - 1e-2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target MAE must be positive")]
+    fn zero_target_rejected() {
+        let s = setup();
+        sensors_for_mean_mae(&s, LimitMode::Thresholding, None, 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Randomized-response population estimation (Fig. 14).
+//!
+//! The DP-Box in zero-threshold mode implements randomized response over a
+//! binary attribute (Section VI-E, e.g. the gender column of the Statlog
+//! heart dataset). The aggregate of interest is the population proportion;
+//! its MAE shrinks as `1/√n` while each individual bit stays ε-private.
+
+use ldp_core::RandomizedResponse;
+use ulp_rng::Taus88;
+
+/// One point of the Fig. 14 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RrPoint {
+    /// Number of respondents.
+    pub n: usize,
+    /// MAE of the estimated proportion over the repetitions.
+    pub mae: f64,
+    /// Theoretical standard error at this `n`.
+    pub stderr: f64,
+}
+
+/// Sweeps population sizes, measuring the proportion-estimate MAE.
+///
+/// `true_proportion` is the fraction of `true` bits in the population
+/// (≈ 0.68 male in Statlog); `reps` independent populations are averaged
+/// per size.
+///
+/// # Panics
+///
+/// Panics if `sizes` or `reps` is empty/zero, or if `true_proportion` is
+/// outside `[0, 1]`.
+pub fn rr_curve(
+    rr: RandomizedResponse,
+    true_proportion: f64,
+    sizes: &[usize],
+    reps: usize,
+    seed: u64,
+) -> Vec<RrPoint> {
+    assert!(!sizes.is_empty(), "need at least one population size");
+    assert!(reps > 0, "need at least one repetition");
+    assert!(
+        (0.0..=1.0).contains(&true_proportion),
+        "proportion must be in [0, 1]"
+    );
+    let mut rng = Taus88::from_seed(seed ^ 0x4242);
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut abs_err_sum = 0.0;
+            for _ in 0..reps {
+                let true_count = (true_proportion * n as f64).round() as usize;
+                let mut reported = 0usize;
+                for i in 0..n {
+                    let truth = i < true_count;
+                    if rr.privatize(truth, &mut rng) {
+                        reported += 1;
+                    }
+                }
+                let est = rr.estimate_proportion(reported as f64 / n as f64);
+                abs_err_sum += (est - true_count as f64 / n as f64).abs();
+            }
+            RrPoint {
+                n,
+                mae: abs_err_sum / reps as f64,
+                stderr: rr.estimate_stderr(true_proportion, n),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_improves_with_population_size() {
+        let rr = RandomizedResponse::new(0.25).unwrap();
+        let pts = rr_curve(rr, 0.68, &[100, 1_000, 10_000, 50_000], 20, 5);
+        assert!(
+            pts.last().unwrap().mae < pts.first().unwrap().mae / 3.0,
+            "MAE must shrink: {:?}",
+            pts.iter().map(|p| p.mae).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mae_tracks_theoretical_stderr() {
+        let rr = RandomizedResponse::new(0.2).unwrap();
+        let pts = rr_curve(rr, 0.5, &[5_000, 20_000], 30, 6);
+        for p in pts {
+            // MAE of a centred normal ≈ 0.8 σ; allow generous slack.
+            assert!(
+                p.mae < 3.0 * p.stderr + 1e-3 && p.mae > p.stderr / 5.0,
+                "n={}: mae {} vs stderr {}",
+                p.n,
+                p.mae,
+                p.stderr
+            );
+        }
+    }
+
+    #[test]
+    fn stronger_privacy_costs_accuracy() {
+        // Higher flip probability (stronger privacy) → larger MAE at the
+        // same n.
+        let weak = RandomizedResponse::new(0.1).unwrap();
+        let strong = RandomizedResponse::new(0.4).unwrap();
+        let mae_weak = rr_curve(weak, 0.68, &[5_000], 30, 7)[0].mae;
+        let mae_strong = rr_curve(strong, 0.68, &[5_000], 30, 7)[0].mae;
+        assert!(
+            mae_strong > mae_weak,
+            "strong-privacy MAE {mae_strong} vs weak {mae_weak}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "proportion must be in")]
+    fn bad_proportion_panics() {
+        let rr = RandomizedResponse::new(0.2).unwrap();
+        rr_curve(rr, 1.5, &[10], 1, 1);
+    }
+}

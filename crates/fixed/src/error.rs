@@ -1,0 +1,71 @@
+//! Error types for fixed-point construction and arithmetic.
+
+use core::fmt;
+
+use crate::format::QFormat;
+
+/// Error produced by fallible fixed-point operations.
+///
+/// # Examples
+///
+/// ```
+/// use ulp_fixed::{Fx, QFormat, FixedError, Rounding};
+///
+/// let fmt = QFormat::new(8, 4)?;
+/// let err = Fx::from_f64(1.0e9, fmt, Rounding::NearestTiesAway).unwrap_err();
+/// assert!(matches!(err, FixedError::Overflow { .. }));
+/// # Ok::<(), FixedError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FixedError {
+    /// The exact result is not representable in the target format.
+    Overflow {
+        /// Format the result was supposed to fit in.
+        format: QFormat,
+    },
+    /// A binary operation was attempted on operands with different formats.
+    ///
+    /// Hardware datapaths have a single wire width; mixing formats is a
+    /// modelling bug, so it is reported rather than silently coerced.
+    FormatMismatch {
+        /// Format of the left-hand operand.
+        lhs: QFormat,
+        /// Format of the right-hand operand.
+        rhs: QFormat,
+    },
+    /// A [`QFormat`] was requested with zero width or more than 63 bits.
+    InvalidFormat {
+        /// Requested total width in bits.
+        total_bits: u8,
+        /// Requested fractional bits.
+        frac_bits: u8,
+    },
+    /// A conversion from `f64` was attempted on a NaN or infinite input.
+    NotFinite,
+    /// Division by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for FixedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedError::Overflow { format } => {
+                write!(f, "result does not fit in fixed-point format {format}")
+            }
+            FixedError::FormatMismatch { lhs, rhs } => {
+                write!(f, "operand formats differ: {lhs} vs {rhs}")
+            }
+            FixedError::InvalidFormat {
+                total_bits,
+                frac_bits,
+            } => write!(
+                f,
+                "invalid fixed-point format: {total_bits} total bits, {frac_bits} fractional bits"
+            ),
+            FixedError::NotFinite => write!(f, "input value is NaN or infinite"),
+            FixedError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for FixedError {}

@@ -1,0 +1,99 @@
+//! Hardware-style integer formatting for fixed-point words.
+//!
+//! RTL debug output shows fixed-point signals as their raw two's-complement
+//! words; these impls render [`Fx`] the same way — the raw word masked to
+//! the format's width — under the `{:x}`, `{:X}`, `{:o}`, and `{:b}`
+//! specifiers (C-NUM-FMT).
+
+use core::fmt;
+
+use crate::value::Fx;
+
+fn masked_raw(v: &Fx) -> u64 {
+    let width = v.format().total_bits() as u32;
+    if width >= 64 {
+        v.raw() as u64
+    } else {
+        (v.raw() as u64) & ((1u64 << width) - 1)
+    }
+}
+
+impl fmt::LowerHex for Fx {
+    /// The raw word in two's complement, masked to the format width.
+    ///
+    /// ```
+    /// use ulp_fixed::{Fx, QFormat};
+    ///
+    /// let fmt = QFormat::new(8, 4)?;
+    /// let v = Fx::from_raw(-1, fmt)?;
+    /// assert_eq!(format!("{v:x}"), "ff");
+    /// # Ok::<(), ulp_fixed::FixedError>(())
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&masked_raw(self), f)
+    }
+}
+
+impl fmt::UpperHex for Fx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&masked_raw(self), f)
+    }
+}
+
+impl fmt::Octal for Fx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&masked_raw(self), f)
+    }
+}
+
+impl fmt::Binary for Fx {
+    /// The raw word in two's complement binary, masked to the format width.
+    ///
+    /// ```
+    /// use ulp_fixed::{Fx, QFormat};
+    ///
+    /// let fmt = QFormat::new(6, 2)?;
+    /// let v = Fx::from_raw(-3, fmt)?;
+    /// assert_eq!(format!("{v:06b}"), "111101");
+    /// # Ok::<(), ulp_fixed::FixedError>(())
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&masked_raw(self), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Fx, QFormat};
+
+    fn q(t: u8, fr: u8) -> QFormat {
+        QFormat::new(t, fr).unwrap()
+    }
+
+    #[test]
+    fn hex_shows_twos_complement() {
+        let v = Fx::from_raw(-1, q(20, 5)).unwrap();
+        assert_eq!(format!("{v:x}"), "fffff");
+        assert_eq!(format!("{v:X}"), "FFFFF");
+    }
+
+    #[test]
+    fn binary_masks_to_width() {
+        let v = Fx::from_raw(-8, q(4, 0)).unwrap();
+        assert_eq!(format!("{v:b}"), "1000");
+        let p = Fx::from_raw(5, q(4, 0)).unwrap();
+        assert_eq!(format!("{p:04b}"), "0101");
+    }
+
+    #[test]
+    fn octal_of_positive() {
+        let v = Fx::from_raw(9, q(8, 0)).unwrap();
+        assert_eq!(format!("{v:o}"), "11");
+    }
+
+    #[test]
+    fn widest_format_masks_to_63_bits() {
+        let v = Fx::from_raw(-1, q(63, 0)).unwrap();
+        assert_eq!(format!("{v:x}"), "7fffffffffffffff");
+    }
+}

@@ -1,0 +1,49 @@
+//! Runtime Q-format signed fixed-point arithmetic for modelling
+//! ultra-low-power (ULP) hardware datapaths.
+//!
+//! Ultra-low-power processors and sensor controllers use fixed-point
+//! arithmetic — not floating point — for cost, area, energy, and latency
+//! reasons. This crate is the numeric substrate of the DP-Box reproduction:
+//! every value that flows through the simulated hardware (uniform random
+//! words, CORDIC logarithms, Laplace noise samples, sensor readings) is an
+//! [`Fx`] carrying its [`QFormat`] at runtime, so experiments can sweep word
+//! widths the way the paper sweeps `Bu` and `By`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ulp_fixed::{Fx, QFormat, Rounding};
+//!
+//! // The paper's DP-Box uses a 20-bit fixed-point datapath.
+//! let fmt = QFormat::new(20, 10)?;
+//! let reading = Fx::from_f64(131.5, fmt, Rounding::NearestTiesAway)?;
+//! let noise = Fx::from_f64(-12.25, fmt, Rounding::NearestTiesAway)?;
+//! let noised = reading.checked_add(noise)?;
+//! assert!((noised.to_f64() - 119.25).abs() < fmt.delta());
+//! # Ok::<(), ulp_fixed::FixedError>(())
+//! ```
+//!
+//! # Design notes
+//!
+//! * Formats are runtime data ([`QFormat`]), not type parameters: the
+//!   simulators sweep widths as experiment parameters.
+//! * Binary operations on mismatched formats are errors, not coercions —
+//!   hardware wires have one width; silent widening would hide modelling
+//!   bugs.
+//! * Checked, saturating, and wrapping arithmetic are all provided; they
+//!   model guarded, clamping, and unguarded adders respectively.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fmt_impls;
+mod format;
+mod parse;
+mod round;
+mod value;
+
+pub use error::FixedError;
+pub use format::QFormat;
+pub use round::Rounding;
+pub use value::Fx;

@@ -1,0 +1,206 @@
+//! Parsing fixed-point values from text.
+//!
+//! `FromStr` cannot carry a target format, so parsing is an inherent
+//! constructor: [`Fx::parse`] takes the decimal text, the format, and the
+//! rounding mode. Exact decimal fractions are parsed without going through
+//! `f64` when possible, so e.g. `"0.1"` quantizes by the stated rounding
+//! mode rather than by double rounding.
+
+use crate::error::FixedError;
+use crate::format::QFormat;
+use crate::round::Rounding;
+use crate::value::Fx;
+
+impl Fx {
+    /// Parses a decimal string (`"-12.375"`, `"7"`, `"+0.5"`) into the
+    /// given format.
+    ///
+    /// The value is computed as an exact scaled integer where the digits
+    /// fit 128-bit arithmetic (up to ~36 significant digits), avoiding the
+    /// double-rounding a detour through `f64` would introduce.
+    ///
+    /// # Errors
+    ///
+    /// [`FixedError::NotFinite`] for malformed input;
+    /// [`FixedError::Overflow`] if the value does not fit the format.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ulp_fixed::{Fx, QFormat, Rounding};
+    ///
+    /// let fmt = QFormat::new(16, 8)?;
+    /// let v = Fx::parse("-12.375", fmt, Rounding::NearestTiesAway)?;
+    /// assert_eq!(v.to_f64(), -12.375);
+    /// # Ok::<(), ulp_fixed::FixedError>(())
+    /// ```
+    pub fn parse(text: &str, fmt: QFormat, rounding: Rounding) -> Result<Self, FixedError> {
+        let text = text.trim();
+        let (negative, digits) = match text.as_bytes().first() {
+            Some(b'-') => (true, &text[1..]),
+            Some(b'+') => (false, &text[1..]),
+            Some(_) => (false, text),
+            None => return Err(FixedError::NotFinite),
+        };
+        let (int_part, frac_part) = match digits.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (digits, ""),
+        };
+        if int_part.is_empty() && frac_part.is_empty() {
+            return Err(FixedError::NotFinite);
+        }
+        if !int_part.bytes().all(|b| b.is_ascii_digit())
+            || !frac_part.bytes().all(|b| b.is_ascii_digit())
+        {
+            return Err(FixedError::NotFinite);
+        }
+        // Exact path: value = (int_digits·10^n + frac_digits) / 10^n;
+        // raw = value·2^f rounded. Compute numerator·2^f / 10^n in i128.
+        if int_part.len() + frac_part.len() <= 30 {
+            let mut mantissa: i128 = 0;
+            for b in int_part.bytes().chain(frac_part.bytes()) {
+                mantissa = mantissa * 10 + (b - b'0') as i128;
+            }
+            if negative {
+                mantissa = -mantissa;
+            }
+            let den = 10i128.pow(frac_part.len() as u32);
+            let shifted = mantissa.checked_shl(fmt.frac_bits() as u32);
+            if let Some(num) = shifted {
+                let q = num.div_euclid(den);
+                let r = num.rem_euclid(den);
+                let half2 = 2 * r; // compare 2r vs den to find the half point
+                let raw = match rounding {
+                    Rounding::Floor => q,
+                    Rounding::Ceil => {
+                        if r == 0 {
+                            q
+                        } else {
+                            q + 1
+                        }
+                    }
+                    Rounding::TowardZero => {
+                        if num < 0 && r != 0 {
+                            q + 1
+                        } else {
+                            q
+                        }
+                    }
+                    Rounding::NearestTiesAway => {
+                        if half2 > den || (half2 == den && num >= 0) {
+                            q + 1
+                        } else {
+                            q
+                        }
+                    }
+                    Rounding::NearestTiesEven => {
+                        if half2 > den || (half2 == den && q % 2 != 0) {
+                            q + 1
+                        } else {
+                            q
+                        }
+                    }
+                };
+                let raw =
+                    i64::try_from(raw).map_err(|_| FixedError::Overflow { format: fmt })?;
+                return Fx::from_raw(raw, fmt);
+            }
+        }
+        // Fallback for very long digit strings: f64 (documented loss).
+        let v: f64 = text.parse().map_err(|_| FixedError::NotFinite)?;
+        Fx::from_f64(v, fmt, rounding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(t: u8, fr: u8) -> QFormat {
+        QFormat::new(t, fr).unwrap()
+    }
+
+    #[test]
+    fn parses_integers_and_fractions() {
+        let fmt = q(16, 8);
+        assert_eq!(Fx::parse("3", fmt, Rounding::Floor).unwrap().to_f64(), 3.0);
+        assert_eq!(
+            Fx::parse("-12.375", fmt, Rounding::Floor).unwrap().to_f64(),
+            -12.375
+        );
+        assert_eq!(
+            Fx::parse("+0.5", fmt, Rounding::Floor).unwrap().to_f64(),
+            0.5
+        );
+        assert_eq!(
+            Fx::parse(" 7.25 ", fmt, Rounding::Floor).unwrap().to_f64(),
+            7.25
+        );
+    }
+
+    #[test]
+    fn rounds_inexact_decimals_by_mode() {
+        // 0.1 at 4 fraction bits: 0.1·16 = 1.6 → floor 1, ceil 2, nearest 2.
+        let fmt = q(16, 4);
+        assert_eq!(Fx::parse("0.1", fmt, Rounding::Floor).unwrap().raw(), 1);
+        assert_eq!(Fx::parse("0.1", fmt, Rounding::Ceil).unwrap().raw(), 2);
+        assert_eq!(
+            Fx::parse("0.1", fmt, Rounding::NearestTiesAway).unwrap().raw(),
+            2
+        );
+        // Negative: -0.1·16 = -1.6 → floor -2, toward-zero -1.
+        assert_eq!(Fx::parse("-0.1", fmt, Rounding::Floor).unwrap().raw(), -2);
+        assert_eq!(
+            Fx::parse("-0.1", fmt, Rounding::TowardZero).unwrap().raw(),
+            -1
+        );
+    }
+
+    #[test]
+    fn exact_ties_respect_tie_mode() {
+        // 0.125 at 2 fraction bits: 0.5 raw → tie.
+        let fmt = q(16, 2);
+        assert_eq!(
+            Fx::parse("0.125", fmt, Rounding::NearestTiesAway)
+                .unwrap()
+                .raw(),
+            1
+        );
+        assert_eq!(
+            Fx::parse("0.125", fmt, Rounding::NearestTiesEven)
+                .unwrap()
+                .raw(),
+            0
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let fmt = q(16, 8);
+        for bad in ["", "-", "1.2.3", "abc", "0x10", "1e5", "."] {
+            assert!(
+                Fx::parse(bad, fmt, Rounding::Floor).is_err(),
+                "{bad:?} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let fmt = q(8, 4);
+        assert!(matches!(
+            Fx::parse("100", fmt, Rounding::Floor),
+            Err(FixedError::Overflow { .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrips_display_output() {
+        let fmt = q(20, 10);
+        for raw in [-512_000i64, -3, 0, 7, 511_999] {
+            let v = Fx::from_raw(raw, fmt).unwrap();
+            let back = Fx::parse(&v.to_string(), fmt, Rounding::NearestTiesEven).unwrap();
+            assert_eq!(back, v, "roundtrip failed for {v}");
+        }
+    }
+}

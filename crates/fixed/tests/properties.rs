@@ -1,0 +1,162 @@
+//! Property-based tests for `ulp-fixed`.
+
+use proptest::prelude::*;
+use ulp_fixed::{Fx, QFormat, Rounding};
+
+fn arb_format() -> impl Strategy<Value = QFormat> {
+    (1u8..=63).prop_flat_map(|total| {
+        (0u8..=total).prop_map(move |frac| QFormat::new(total, frac).unwrap())
+    })
+}
+
+fn arb_fx(fmt: QFormat) -> impl Strategy<Value = Fx> {
+    (fmt.min_raw()..=fmt.max_raw()).prop_map(move |raw| Fx::from_raw(raw, fmt).unwrap())
+}
+
+fn arb_pair() -> impl Strategy<Value = (Fx, Fx)> {
+    arb_format().prop_flat_map(|fmt| (arb_fx(fmt), arb_fx(fmt)))
+}
+
+proptest! {
+    #[test]
+    fn raw_roundtrip(fmt in arb_format(), raw in any::<i64>()) {
+        let raw = raw.rem_euclid(fmt.cardinality() as i64) + fmt.min_raw();
+        let v = Fx::from_raw(raw, fmt).unwrap();
+        prop_assert_eq!(v.raw(), raw);
+        prop_assert_eq!(v.format(), fmt);
+    }
+
+    #[test]
+    fn f64_roundtrip_is_identity_on_grid((a, _) in arb_pair()) {
+        // Only formats whose raw values fit f64 exactly are lossless.
+        prop_assume!(a.format().total_bits() <= 52);
+        let back = Fx::from_f64(a.to_f64(), a.format(), Rounding::NearestTiesAway).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn add_commutes((a, b) in arb_pair()) {
+        prop_assert_eq!(a.checked_add(b).ok(), b.checked_add(a).ok());
+    }
+
+    #[test]
+    fn add_sub_inverse((a, b) in arb_pair()) {
+        if let Ok(sum) = a.checked_add(b) {
+            prop_assert_eq!(sum.checked_sub(b).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn saturating_add_stays_in_range((a, b) in arb_pair()) {
+        let s = a.saturating_add(b);
+        prop_assert!(s.raw() >= a.format().min_raw());
+        prop_assert!(s.raw() <= a.format().max_raw());
+    }
+
+    #[test]
+    fn wrapping_add_matches_checked_when_no_overflow((a, b) in arb_pair()) {
+        if let Ok(sum) = a.checked_add(b) {
+            prop_assert_eq!(a.wrapping_add(b), sum);
+        }
+    }
+
+    #[test]
+    fn wrapping_add_stays_in_range((a, b) in arb_pair()) {
+        let s = a.wrapping_add(b);
+        prop_assert!(a.format().contains_raw(s.raw()));
+    }
+
+    #[test]
+    fn mul_commutes((a, b) in arb_pair()) {
+        prop_assert_eq!(
+            a.checked_mul(b, Rounding::NearestTiesEven).ok(),
+            b.checked_mul(a, Rounding::NearestTiesEven).ok()
+        );
+    }
+
+    #[test]
+    fn mul_error_at_most_half_ulp((a, b) in arb_pair()) {
+        prop_assume!(a.format().total_bits() <= 26); // keep exact in f64
+        if let Ok(p) = a.checked_mul(b, Rounding::NearestTiesAway) {
+            let exact = a.to_f64() * b.to_f64();
+            prop_assert!((p.to_f64() - exact).abs() <= a.format().delta() / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn div_then_mul_close((a, b) in arb_pair()) {
+        prop_assume!(a.format().total_bits() <= 26);
+        prop_assume!(!b.is_zero());
+        if let Ok(q) = a.checked_div(b, Rounding::NearestTiesAway) {
+            let exact = a.to_f64() / b.to_f64();
+            prop_assert!((q.to_f64() - exact).abs() <= a.format().delta() / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn resize_widen_is_exact(fmt in arb_format(), raw in any::<i64>()) {
+        prop_assume!(fmt.total_bits() <= 40);
+        let raw = raw.rem_euclid(fmt.cardinality() as i64) + fmt.min_raw();
+        let v = Fx::from_raw(raw, fmt).unwrap();
+        let wide = QFormat::new(fmt.total_bits() + 10, fmt.frac_bits() + 5).unwrap();
+        let w = v.resize(wide, Rounding::Floor).unwrap();
+        prop_assert_eq!(w.to_f64(), v.to_f64());
+        // And shrinking back recovers the original value.
+        let back = w.resize(fmt, Rounding::NearestTiesAway).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn resize_narrow_error_bounded((a, _) in arb_pair()) {
+        let fmt = a.format();
+        prop_assume!(fmt.frac_bits() >= 2 && fmt.total_bits() <= 40);
+        let narrow = QFormat::new(fmt.total_bits(), fmt.frac_bits() - 2).unwrap();
+        let n = a.resize(narrow, Rounding::NearestTiesAway).unwrap();
+        prop_assert!((n.to_f64() - a.to_f64()).abs() <= narrow.delta() / 2.0);
+    }
+
+    #[test]
+    fn ordering_agrees_with_f64((a, b) in arb_pair()) {
+        prop_assume!(a.format().total_bits() <= 52);
+        let by_fx = a.partial_cmp(&b).unwrap();
+        let by_f64 = a.to_f64().partial_cmp(&b.to_f64()).unwrap();
+        prop_assert_eq!(by_fx, by_f64);
+    }
+
+    #[test]
+    fn shr_divides_by_power_of_two((a, _) in arb_pair(), n in 0u32..8) {
+        let shifted = a.shr(n);
+        prop_assert_eq!(shifted.raw(), a.raw() >> n);
+    }
+
+    #[test]
+    fn clamp_is_idempotent((a, b) in arb_pair()) {
+        let (lo, hi) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        let c = a.clamp(lo, hi);
+        prop_assert_eq!(c.clamp(lo, hi), c);
+        prop_assert!(c >= lo && c <= hi);
+    }
+
+    #[test]
+    fn from_f64_saturating_never_fails_on_finite(fmt in arb_format(), x in -1e18f64..1e18) {
+        let v = Fx::from_f64_saturating(x, fmt, Rounding::NearestTiesAway).unwrap();
+        prop_assert!(fmt.contains_raw(v.raw()));
+    }
+
+    #[test]
+    fn from_f64_rounding_modes_bracket(
+        total in 40u8..=52,
+        frac in 0u8..=16,
+        x in -1e6f64..1e6,
+    ) {
+        let fmt = QFormat::new(total, frac).unwrap();
+        if let (Ok(fl), Ok(ce)) = (
+            Fx::from_f64(x, fmt, Rounding::Floor),
+            Fx::from_f64(x, fmt, Rounding::Ceil),
+        ) {
+            prop_assert!(fl.to_f64() <= x + 1e-9);
+            prop_assert!(ce.to_f64() >= x - 1e-9);
+            prop_assert!(ce.raw() - fl.raw() <= 1);
+        }
+    }
+}

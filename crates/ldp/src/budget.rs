@@ -1,0 +1,536 @@
+//! Output-adaptive privacy budget control (Section III-C, Algorithm 1).
+//!
+//! A fixed-point mechanism's privacy loss depends on *where* the noised
+//! output lands (Fig. 8): outputs inside the sensor range cost roughly ε,
+//! while outputs deeper in the tail cost more. Charging a flat worst-case
+//! `n·ε` per request wastes budget; the paper's controller instead divides
+//! the output range into segments with increasing loss and charges each
+//! request by the segment its output fell in. When the budget runs out, the
+//! cached last output is replayed — repeating an already-released value
+//! leaks nothing further.
+
+use ulp_rng::{FxpLaplace, FxpLaplaceConfig, FxpNoisePmf, RandomBits};
+
+use crate::error::LdpError;
+use crate::loss::{loss_profile, LimitMode, PrivacyLoss};
+use crate::range::QuantizedRange;
+use crate::threshold::exact_threshold;
+
+/// A nested table of loss segments: overshoot `o ∈ (n_th[i-1], n_th[i]]`
+/// beyond the sensor range costs `loss[i]`.
+///
+/// # Examples
+///
+/// ```
+/// use ldp_core::{LimitMode, QuantizedRange, SegmentTable};
+/// use ulp_rng::{FxpLaplaceConfig, FxpNoisePmf};
+///
+/// let cfg = FxpLaplaceConfig::new(17, 12, 10.0 / 32.0, 20.0)?;
+/// let pmf = FxpNoisePmf::closed_form(cfg);
+/// let range = QuantizedRange::new(0, 32, cfg.delta())?;
+/// let table = SegmentTable::build(
+///     cfg, &pmf, range,
+///     &[1.5, 2.0, 2.5, 3.0],
+///     LimitMode::Thresholding,
+/// )?;
+/// // Equal thresholds collapse, so up to 4 segments survive.
+/// assert!(!table.segments().is_empty() && table.segments().len() <= 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentTable {
+    /// Worst-case loss for outputs *inside* `[m, M]` (the `ε_RNG` of
+    /// Algorithm 1).
+    base_loss: f64,
+    /// `(n_th_k, loss)` pairs, strictly increasing in both components.
+    segments: Vec<(i64, f64)>,
+    mode: LimitMode,
+}
+
+impl SegmentTable {
+    /// Builds a table from loss multiples (e.g. `[1.5, 2.0, 2.5, 3.0]`
+    /// yielding Fig. 8's dashed thresholds), solving each threshold exactly
+    /// against the PMF.
+    ///
+    /// # Errors
+    ///
+    /// [`LdpError::InvalidEpsilon`] if `multiples` is empty, unsorted, or
+    /// contains values ≤ 1; threshold-solver errors propagate.
+    pub fn build(
+        cfg: FxpLaplaceConfig,
+        pmf: &FxpNoisePmf,
+        range: QuantizedRange,
+        multiples: &[f64],
+        mode: LimitMode,
+    ) -> Result<Self, LdpError> {
+        if multiples.is_empty() {
+            return Err(LdpError::InvalidEpsilon(f64::NAN));
+        }
+        if multiples.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(LdpError::InvalidEpsilon(f64::NAN));
+        }
+        let eps = range.length() / cfg.lambda();
+        // Base loss: worst pointwise loss over outputs inside [m, M] at the
+        // outermost (largest-window) configuration — dominated by ε plus
+        // quantization raggedness.
+        let outer = exact_threshold(cfg, pmf, range, *multiples.last().unwrap(), mode)?;
+        let profile = loss_profile(pmf, range, mode, Some(outer.n_th_k));
+        let base_loss = profile
+            .iter()
+            .filter(|(y, _)| range.contains_k(*y))
+            .map(|(_, l)| match l {
+                PrivacyLoss::Finite(v) => *v,
+                PrivacyLoss::Infinite => f64::INFINITY,
+            })
+            .fold(0.0f64, f64::max);
+        if !base_loss.is_finite() {
+            return Err(LdpError::Unsatisfiable(
+                "infinite loss inside the sensor range",
+            ));
+        }
+        let mut segments = Vec::with_capacity(multiples.len());
+        let mut prev_t = 0i64;
+        for &m in multiples {
+            let spec = exact_threshold(cfg, pmf, range, m, mode)?;
+            // Degenerate nesting (equal thresholds) collapses to the larger
+            // loss only — keep strictly increasing thresholds.
+            if spec.n_th_k > prev_t {
+                segments.push((spec.n_th_k, m * eps));
+                prev_t = spec.n_th_k;
+            } else if let Some(last) = segments.last_mut() {
+                last.1 = m * eps;
+            } else {
+                segments.push((spec.n_th_k.max(1), m * eps));
+                prev_t = spec.n_th_k.max(1);
+            }
+        }
+        Ok(SegmentTable {
+            base_loss,
+            segments,
+            mode,
+        })
+    }
+
+    /// The in-range loss `ε_RNG`.
+    pub fn base_loss(&self) -> f64 {
+        self.base_loss
+    }
+
+    /// The `(n_th_k, loss)` segment boundaries, ascending.
+    pub fn segments(&self) -> &[(i64, f64)] {
+        &self.segments
+    }
+
+    /// The outermost threshold — the window the mechanism enforces.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: `build` guarantees at least one segment.
+    pub fn outermost(&self) -> (i64, f64) {
+        *self.segments.last().expect("table has at least one segment")
+    }
+
+    /// Which limiting mode the table was built for.
+    pub fn mode(&self) -> LimitMode {
+        self.mode
+    }
+
+    /// The loss charged for an output that overshot the sensor range by
+    /// `overshoot_k` grid steps (0 = inside the range). Overshoots beyond
+    /// the outermost threshold charge the outermost loss (the output will
+    /// have been clamped or resampled there).
+    pub fn charge_for_overshoot(&self, overshoot_k: i64) -> f64 {
+        if overshoot_k <= 0 {
+            return self.base_loss;
+        }
+        for &(t, loss) in &self.segments {
+            if overshoot_k <= t {
+                return loss;
+            }
+        }
+        self.outermost().1
+    }
+
+    /// Serializes the table to the ROM words a synthesized DP-Box would
+    /// hard-wire: losses as fixed-point micro-nats, interleaved
+    /// `[mode, base_loss, n, t₁, l₁, …, t_n, l_n]`.
+    pub fn to_rom_words(&self) -> Vec<i64> {
+        let to_unats = |l: f64| (l * 1e6).round() as i64;
+        let mut out = vec![
+            match self.mode {
+                LimitMode::Resampling => 0,
+                LimitMode::Thresholding => 1,
+            },
+            to_unats(self.base_loss),
+            self.segments.len() as i64,
+        ];
+        for &(t, l) in &self.segments {
+            out.push(t);
+            out.push(to_unats(l));
+        }
+        out
+    }
+
+    /// Reconstructs a table from ROM words produced by
+    /// [`SegmentTable::to_rom_words`] (losses round-trip at micro-nat
+    /// precision).
+    ///
+    /// # Errors
+    ///
+    /// [`LdpError::Unsatisfiable`] on malformed words (wrong length, bad
+    /// mode tag, non-increasing segments).
+    pub fn from_rom_words(words: &[i64]) -> Result<Self, LdpError> {
+        let malformed = LdpError::Unsatisfiable("malformed segment-table ROM");
+        if words.len() < 3 {
+            return Err(malformed);
+        }
+        let mode = match words[0] {
+            0 => LimitMode::Resampling,
+            1 => LimitMode::Thresholding,
+            _ => return Err(malformed),
+        };
+        let base_loss = words[1] as f64 / 1e6;
+        let n = usize::try_from(words[2]).map_err(|_| malformed)?;
+        if words.len() != 3 + 2 * n || n == 0 {
+            return Err(malformed);
+        }
+        let mut segments = Vec::with_capacity(n);
+        for pair in words[3..].chunks_exact(2) {
+            segments.push((pair[0], pair[1] as f64 / 1e6));
+        }
+        if segments.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err(malformed);
+        }
+        Ok(SegmentTable {
+            base_loss,
+            segments,
+            mode,
+        })
+    }
+}
+
+/// Statistics kept by the budget controller.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BudgetStats {
+    /// Requests answered with fresh noise.
+    pub served: u64,
+    /// Requests answered from the cache after exhaustion.
+    pub cached: u64,
+    /// Total privacy loss charged so far (this replenishment period).
+    pub charged: f64,
+}
+
+/// Algorithm 1: the per-sensor privacy budget controller.
+///
+/// Drives a [`FxpLaplace`] sampler through the configured limiting mode,
+/// charges the output-dependent loss from a [`SegmentTable`], and replays
+/// the cached output once the budget is spent.
+///
+/// # Examples
+///
+/// ```
+/// use ldp_core::{BudgetController, LimitMode, QuantizedRange, SegmentTable};
+/// use ulp_rng::{FxpLaplace, FxpLaplaceConfig, FxpNoisePmf, Taus88};
+///
+/// let cfg = FxpLaplaceConfig::new(17, 12, 10.0 / 32.0, 20.0)?;
+/// let pmf = FxpNoisePmf::closed_form(cfg);
+/// let range = QuantizedRange::new(0, 32, cfg.delta())?;
+/// let table = SegmentTable::build(cfg, &pmf, range, &[1.5, 2.0, 3.0], LimitMode::Thresholding)?;
+/// let mut ctrl = BudgetController::new(table, range, 5.0)?;
+///
+/// let sampler = FxpLaplace::analytic(cfg);
+/// let mut rng = Taus88::from_seed(7);
+/// let first = ctrl.respond(5.0, &sampler, &mut rng)?;
+/// assert!(first.is_finite());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BudgetController {
+    table: SegmentTable,
+    range: QuantizedRange,
+    budget: f64,
+    remaining: f64,
+    cached: Option<f64>,
+    stats: BudgetStats,
+}
+
+impl BudgetController {
+    /// Creates a controller with a total budget (nats of privacy loss per
+    /// replenishment period).
+    ///
+    /// # Errors
+    ///
+    /// [`LdpError::InvalidEpsilon`] if the budget is not finite and positive.
+    pub fn new(
+        table: SegmentTable,
+        range: QuantizedRange,
+        budget: f64,
+    ) -> Result<Self, LdpError> {
+        if !(budget.is_finite() && budget > 0.0) {
+            return Err(LdpError::InvalidEpsilon(budget));
+        }
+        Ok(BudgetController {
+            table,
+            range,
+            budget,
+            remaining: budget,
+            cached: None,
+            stats: BudgetStats::default(),
+        })
+    }
+
+    /// Remaining budget in the current period.
+    pub fn remaining(&self) -> f64 {
+        self.remaining
+    }
+
+    /// The configured per-period budget.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// Counters for served/cached requests and charged loss.
+    pub fn stats(&self) -> BudgetStats {
+        self.stats
+    }
+
+    /// Whether the next request will be served from cache.
+    pub fn exhausted(&self) -> bool {
+        self.remaining <= 0.0
+    }
+
+    /// Resets the budget (the DP-Box does this on its replenishment timer).
+    /// The cache is kept: replaying it is always free.
+    pub fn replenish(&mut self) {
+        self.remaining = self.budget;
+        self.stats.charged = 0.0;
+    }
+
+    /// Serves one sensor-data request (Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// [`LdpError::BudgetExhausted`] if the budget is spent and no output
+    /// was ever cached ("Halt" in the paper's pseudocode).
+    pub fn respond<R: RandomBits + ?Sized>(
+        &mut self,
+        x: f64,
+        sampler: &FxpLaplace,
+        rng: &mut R,
+    ) -> Result<f64, LdpError> {
+        if self.exhausted() {
+            self.stats.cached += 1;
+            return self.cached.ok_or(LdpError::BudgetExhausted);
+        }
+        let x_k = self.range.quantize(x);
+        let (outer_t, _) = self.table.outermost();
+        let lo = self.range.min_k() - outer_t;
+        let hi = self.range.max_k() + outer_t;
+        let (y_k, charge) = loop {
+            let tmp = x_k + sampler.sample_index(rng);
+            let overshoot = if tmp < self.range.min_k() {
+                self.range.min_k() - tmp
+            } else if tmp > self.range.max_k() {
+                tmp - self.range.max_k()
+            } else {
+                0
+            };
+            if overshoot <= outer_t {
+                break (tmp, self.table.charge_for_overshoot(overshoot));
+            }
+            match self.table.mode() {
+                LimitMode::Thresholding => {
+                    let clamped = tmp.clamp(lo, hi);
+                    break (clamped, self.table.outermost().1);
+                }
+                LimitMode::Resampling => continue,
+            }
+        };
+        self.remaining -= charge;
+        self.stats.served += 1;
+        self.stats.charged += charge;
+        let y = self.range.to_value(y_k);
+        self.cached = Some(y);
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulp_rng::Taus88;
+
+    fn setup() -> (FxpLaplaceConfig, FxpNoisePmf, QuantizedRange, FxpLaplace) {
+        let cfg = FxpLaplaceConfig::new(17, 12, 10.0 / 32.0, 20.0).unwrap();
+        let pmf = FxpNoisePmf::closed_form(cfg);
+        let range = QuantizedRange::new(0, 32, cfg.delta()).unwrap();
+        let sampler = FxpLaplace::analytic(cfg);
+        (cfg, pmf, range, sampler)
+    }
+
+    fn table(mode: LimitMode) -> (SegmentTable, QuantizedRange, FxpLaplace) {
+        let (cfg, pmf, range, sampler) = setup();
+        let t = SegmentTable::build(cfg, &pmf, range, &[1.5, 2.0, 2.5, 3.0], mode).unwrap();
+        (t, range, sampler)
+    }
+
+    #[test]
+    fn table_segments_are_strictly_increasing() {
+        let (t, _, _) = table(LimitMode::Thresholding);
+        for w in t.segments().windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn base_loss_is_close_to_eps() {
+        // Inside the sensor range the FxP loss is ~ε = 0.5 (plus grid
+        // raggedness).
+        let (t, _, _) = table(LimitMode::Thresholding);
+        assert!(t.base_loss() >= 0.4 && t.base_loss() <= 0.8, "{}", t.base_loss());
+    }
+
+    #[test]
+    fn charge_grows_with_overshoot() {
+        let (t, _, _) = table(LimitMode::Thresholding);
+        let inside = t.charge_for_overshoot(0);
+        let first = t.charge_for_overshoot(t.segments()[0].0);
+        let beyond = t.charge_for_overshoot(t.outermost().0 + 50);
+        assert!(inside < first);
+        assert!(first < beyond + 1e-12);
+        assert_eq!(beyond, t.outermost().1);
+    }
+
+    #[test]
+    fn rom_words_roundtrip() {
+        let (t, _, _) = table(LimitMode::Thresholding);
+        let words = t.to_rom_words();
+        let back = SegmentTable::from_rom_words(&words).unwrap();
+        assert_eq!(back.segments(), t.segments());
+        assert_eq!(back.mode(), t.mode());
+        assert!((back.base_loss() - t.base_loss()).abs() < 1e-6);
+        // Charges agree everywhere (micro-nat precision).
+        for o in [0i64, 1, 100, 10_000] {
+            assert!((back.charge_for_overshoot(o) - t.charge_for_overshoot(o)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rom_words_reject_malformed_input() {
+        assert!(SegmentTable::from_rom_words(&[]).is_err());
+        assert!(SegmentTable::from_rom_words(&[9, 100, 1, 5, 100]).is_err()); // bad mode
+        assert!(SegmentTable::from_rom_words(&[1, 100, 2, 5, 100]).is_err()); // short
+        assert!(SegmentTable::from_rom_words(&[1, 100, 0]).is_err()); // no segments
+        assert!(SegmentTable::from_rom_words(&[1, 100, 2, 7, 100, 5, 200]).is_err()); // unordered
+        assert!(SegmentTable::from_rom_words(&[1, 100, 1, 5, 150]).is_ok());
+    }
+
+    #[test]
+    fn build_rejects_bad_multiples() {
+        let (cfg, pmf, range, _) = setup();
+        assert!(SegmentTable::build(cfg, &pmf, range, &[], LimitMode::Thresholding).is_err());
+        assert!(
+            SegmentTable::build(cfg, &pmf, range, &[2.0, 1.5], LimitMode::Thresholding).is_err()
+        );
+    }
+
+    #[test]
+    fn controller_serves_until_exhaustion_then_caches() {
+        let (t, range, sampler) = table(LimitMode::Thresholding);
+        // Budget for roughly three average requests.
+        let mut ctrl = BudgetController::new(t, range, 1.6).unwrap();
+        let mut rng = Taus88::from_seed(20);
+        let mut outputs = Vec::new();
+        for _ in 0..50 {
+            outputs.push(ctrl.respond(5.0, &sampler, &mut rng).unwrap());
+        }
+        assert!(ctrl.exhausted());
+        let stats = ctrl.stats();
+        assert!(stats.served >= 1);
+        assert!(stats.cached >= 1);
+        // After exhaustion every answer equals the last fresh one.
+        let last_fresh = outputs[(stats.served - 1) as usize];
+        for &y in &outputs[stats.served as usize..] {
+            assert_eq!(y, last_fresh);
+        }
+    }
+
+    #[test]
+    fn exhausted_controller_without_cache_halts() {
+        let (t, range, sampler) = table(LimitMode::Thresholding);
+        let mut ctrl = BudgetController::new(t, range, 1e-9).unwrap();
+        let mut rng = Taus88::from_seed(21);
+        // First request is served (budget > 0), driving it negative.
+        ctrl.respond(5.0, &sampler, &mut rng).unwrap();
+        // Now exhausted but cached — still answers.
+        assert!(ctrl.respond(5.0, &sampler, &mut rng).is_ok());
+        // A fresh controller with zero-ish budget and no cache halts.
+        let (t2, _, _) = table(LimitMode::Thresholding);
+        let mut empty = BudgetController::new(t2, range, 1e-9).unwrap();
+        empty.remaining = 0.0;
+        assert_eq!(
+            empty.respond(5.0, &sampler, &mut rng),
+            Err(LdpError::BudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn replenish_restores_budget_and_keeps_cache() {
+        let (t, range, sampler) = table(LimitMode::Thresholding);
+        let mut ctrl = BudgetController::new(t, range, 1.2).unwrap();
+        let mut rng = Taus88::from_seed(22);
+        while !ctrl.exhausted() {
+            ctrl.respond(5.0, &sampler, &mut rng).unwrap();
+        }
+        ctrl.replenish();
+        assert!(!ctrl.exhausted());
+        assert_eq!(ctrl.remaining(), ctrl.budget());
+        let y = ctrl.respond(5.0, &sampler, &mut rng).unwrap();
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn charged_loss_respects_adaptive_segments() {
+        // Adaptive charging must cost no more than flat worst-case charging.
+        let (t, range, sampler) = table(LimitMode::Thresholding);
+        let outer_loss = t.outermost().1;
+        let mut ctrl = BudgetController::new(t, range, 1e9).unwrap();
+        let mut rng = Taus88::from_seed(23);
+        let n = 5_000;
+        for _ in 0..n {
+            ctrl.respond(5.0, &sampler, &mut rng).unwrap();
+        }
+        let stats = ctrl.stats();
+        assert!(stats.charged < outer_loss * n as f64);
+        // Most outputs land inside the range, so the average charge should
+        // be near the base loss.
+        let avg = stats.charged / n as f64;
+        assert!(
+            avg < 2.0 * ctrl.table.base_loss(),
+            "average charge {avg} vs base {}",
+            ctrl.table.base_loss()
+        );
+    }
+
+    #[test]
+    fn resampling_mode_never_exceeds_window() {
+        let (t, range, sampler) = table(LimitMode::Resampling);
+        let (outer_t, _) = t.outermost();
+        let mut ctrl = BudgetController::new(t, range, 1e9).unwrap();
+        let mut rng = Taus88::from_seed(24);
+        for _ in 0..10_000 {
+            let y = ctrl.respond(10.0, &sampler, &mut rng).unwrap();
+            let y_k = (y / range.delta()).round() as i64;
+            assert!(y_k >= range.min_k() - outer_t);
+            assert!(y_k <= range.max_k() + outer_t);
+        }
+    }
+
+    #[test]
+    fn rejects_non_positive_budget() {
+        let (t, range, _) = table(LimitMode::Thresholding);
+        assert!(BudgetController::new(t.clone(), range, 0.0).is_err());
+        assert!(BudgetController::new(t, range, f64::INFINITY).is_err());
+    }
+}

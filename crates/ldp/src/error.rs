@@ -1,0 +1,72 @@
+//! Error types for the LDP core.
+
+use core::fmt;
+
+use ulp_rng::RngError;
+
+/// Error produced by mechanism construction and budget operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LdpError {
+    /// A sensor range was empty, inverted, or non-finite.
+    InvalidRange {
+        /// Offending lower bound (grid index).
+        min_k: i64,
+        /// Offending upper bound (grid index).
+        max_k: i64,
+    },
+    /// A privacy parameter (ε, loss multiple, budget) was not finite and
+    /// positive.
+    InvalidEpsilon(f64),
+    /// No threshold can satisfy the requested loss bound with this RNG
+    /// configuration (e.g. the target multiple is below the loss already
+    /// incurred inside the data range).
+    Unsatisfiable(&'static str),
+    /// The privacy budget is exhausted and no cached output is available.
+    BudgetExhausted,
+    /// A noise sampler and a sensor range disagree on the quantization step.
+    MismatchedDelta {
+        /// The noise sampler's output grid step.
+        noise: f64,
+        /// The sensor range's grid step.
+        range: f64,
+    },
+    /// An underlying RNG/substrate error.
+    Rng(RngError),
+}
+
+impl fmt::Display for LdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LdpError::InvalidRange { min_k, max_k } => {
+                write!(f, "invalid sensor range: [{min_k}, {max_k}] grid units")
+            }
+            LdpError::InvalidEpsilon(e) => {
+                write!(f, "privacy parameter must be finite and positive, got {e}")
+            }
+            LdpError::Unsatisfiable(msg) => write!(f, "no feasible threshold: {msg}"),
+            LdpError::BudgetExhausted => {
+                write!(f, "privacy budget exhausted and no cached output available")
+            }
+            LdpError::MismatchedDelta { noise, range } => write!(
+                f,
+                "noise grid step {noise} does not match sensor grid step {range}"
+            ),
+            LdpError::Rng(e) => write!(f, "rng error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LdpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LdpError::Rng(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RngError> for LdpError {
+    fn from(e: RngError) -> Self {
+        LdpError::Rng(e)
+    }
+}

@@ -1,0 +1,494 @@
+//! The local-DP noising mechanisms compared in the paper's evaluation.
+//!
+//! Four mechanisms, matching the four columns of Tables II–V:
+//!
+//! | Mechanism | Noise | LDP guarantee |
+//! |---|---|---|
+//! | [`IdealLaplaceMechanism`] | continuous `Lap(d/ε)` | ε (mathematical ideal) |
+//! | [`FxpBaseline`] | fixed-point Laplace RNG, unmodified | **none** (infinite loss) |
+//! | [`ResamplingMechanism`] | FxP RNG, out-of-window noise redrawn | `n·ε` |
+//! | [`ThresholdingMechanism`] | FxP RNG, outputs clamped to window | `n·ε` |
+
+use ulp_rng::{FxpLaplace, IdealLaplace, RandomBits};
+
+use crate::error::LdpError;
+use crate::range::QuantizedRange;
+use crate::threshold::ThresholdSpec;
+
+/// One privatized sensor reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoisedOutput {
+    /// The reported (noised) value, in physical units.
+    pub value: f64,
+    /// How many extra noise draws resampling needed (0 for the other
+    /// mechanisms). Each redraw costs one DP-Box cycle (Section V).
+    pub resamples: u32,
+}
+
+/// What a mechanism promises about its worst-case privacy loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Guarantee {
+    /// ε-LDP with the given loss bound in nats.
+    EpsLdp(f64),
+    /// No bound: some outputs reveal the input exactly.
+    Broken,
+}
+
+impl Guarantee {
+    /// The loss bound, if the mechanism has one.
+    pub fn bound(self) -> Option<f64> {
+        match self {
+            Guarantee::EpsLdp(b) => Some(b),
+            Guarantee::Broken => None,
+        }
+    }
+}
+
+/// A local differential privacy mechanism: maps one private sensor value to
+/// one noised report.
+///
+/// Object safe so the evaluation harness can sweep heterogeneous mechanism
+/// lists.
+pub trait Mechanism {
+    /// Privatizes one sensor reading.
+    fn privatize(&self, x: f64, rng: &mut dyn RandomBits) -> NoisedOutput;
+
+    /// The privacy guarantee this mechanism provides.
+    fn guarantee(&self) -> Guarantee;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The mathematical ideal: continuous `Lap(d/ε)` noise at `f64` precision.
+///
+/// # Examples
+///
+/// ```
+/// use ldp_core::{IdealLaplaceMechanism, Mechanism, QuantizedRange};
+/// use ulp_rng::Taus88;
+///
+/// let range = QuantizedRange::from_values(94.0, 200.0, 0.5)?;
+/// let mech = IdealLaplaceMechanism::new(range, 0.5)?;
+/// let mut rng = Taus88::from_seed(1);
+/// let out = mech.privatize(131.5, &mut rng);
+/// assert!(out.value.is_finite());
+/// # Ok::<(), ldp_core::LdpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdealLaplaceMechanism {
+    lap: IdealLaplace,
+    range: QuantizedRange,
+    eps: f64,
+}
+
+impl IdealLaplaceMechanism {
+    /// Creates the mechanism for a sensor range and privacy parameter ε
+    /// (noise scale `λ = d/ε`).
+    ///
+    /// # Errors
+    ///
+    /// [`LdpError::InvalidEpsilon`] if ε is not finite and positive.
+    pub fn new(range: QuantizedRange, eps: f64) -> Result<Self, LdpError> {
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(LdpError::InvalidEpsilon(eps));
+        }
+        let lap = IdealLaplace::new(range.length() / eps).map_err(LdpError::Rng)?;
+        Ok(IdealLaplaceMechanism { lap, range, eps })
+    }
+
+    /// The sensor range.
+    pub fn range(&self) -> QuantizedRange {
+        self.range
+    }
+}
+
+impl Mechanism for IdealLaplaceMechanism {
+    fn privatize(&self, x: f64, rng: &mut dyn RandomBits) -> NoisedOutput {
+        let x = self
+            .range
+            .to_value(self.range.quantize(x));
+        NoisedOutput {
+            value: x + self.lap.sample(rng),
+            resamples: 0,
+        }
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::EpsLdp(self.eps)
+    }
+
+    fn name(&self) -> &'static str {
+        "ideal-laplace"
+    }
+}
+
+fn check_delta(sampler: &FxpLaplace, range: QuantizedRange) -> Result<(), LdpError> {
+    let noise = sampler.config().delta();
+    let grid = range.delta();
+    if (noise - grid).abs() > 1e-12 * grid.max(noise) {
+        return Err(LdpError::MismatchedDelta { noise, range: grid });
+    }
+    Ok(())
+}
+
+/// The naive fixed-point baseline: `y = x + n` with the FxP Laplace RNG and
+/// no output limiting. Matches the ideal's utility but its loss is infinite
+/// (Section III-A3) — the paper's negative result.
+#[derive(Debug, Clone)]
+pub struct FxpBaseline {
+    sampler: FxpLaplace,
+    range: QuantizedRange,
+}
+
+impl FxpBaseline {
+    /// Creates the baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`LdpError::MismatchedDelta`] if the sampler's output grid differs
+    /// from the sensor grid.
+    pub fn new(sampler: FxpLaplace, range: QuantizedRange) -> Result<Self, LdpError> {
+        check_delta(&sampler, range)?;
+        Ok(FxpBaseline { sampler, range })
+    }
+
+    /// The sensor range.
+    pub fn range(&self) -> QuantizedRange {
+        self.range
+    }
+
+    /// Privatizes on the grid, returning the output index.
+    pub fn privatize_index(&self, x_k: i64, rng: &mut dyn RandomBits) -> i64 {
+        x_k + self.sampler.sample_index(rng)
+    }
+}
+
+impl Mechanism for FxpBaseline {
+    fn privatize(&self, x: f64, rng: &mut dyn RandomBits) -> NoisedOutput {
+        let x_k = self.range.quantize(x);
+        NoisedOutput {
+            value: self.range.to_value(self.privatize_index(x_k, rng)),
+            resamples: 0,
+        }
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Broken
+    }
+
+    fn name(&self) -> &'static str {
+        "fxp-baseline"
+    }
+}
+
+/// Resampling (Section III-B1): noise is redrawn until the noised output
+/// falls inside `[m − n_th, M + n_th]`. Every redraw costs one extra cycle.
+#[derive(Debug, Clone)]
+pub struct ResamplingMechanism {
+    sampler: FxpLaplace,
+    range: QuantizedRange,
+    spec: ThresholdSpec,
+}
+
+impl ResamplingMechanism {
+    /// Creates the mechanism with a threshold from one of the solvers in
+    /// [`crate::threshold`].
+    ///
+    /// # Errors
+    ///
+    /// [`LdpError::MismatchedDelta`] on grid disagreement;
+    /// [`LdpError::InvalidRange`] if the threshold is negative.
+    pub fn new(
+        sampler: FxpLaplace,
+        range: QuantizedRange,
+        spec: ThresholdSpec,
+    ) -> Result<Self, LdpError> {
+        check_delta(&sampler, range)?;
+        if spec.n_th_k < 0 {
+            return Err(LdpError::InvalidRange {
+                min_k: spec.n_th_k,
+                max_k: spec.n_th_k,
+            });
+        }
+        Ok(ResamplingMechanism {
+            sampler,
+            range,
+            spec,
+        })
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> ThresholdSpec {
+        self.spec
+    }
+
+    /// The sensor range.
+    pub fn range(&self) -> QuantizedRange {
+        self.range
+    }
+
+    /// One raw noise index from the underlying sampler, with no window
+    /// logic — the building block the constant-time wrapper batches.
+    pub(crate) fn privatize_index_raw_draw(&self, rng: &mut dyn RandomBits) -> i64 {
+        self.sampler.sample_index(rng)
+    }
+
+    /// Privatizes on the grid, returning `(y_k, resamples)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if 100 000 consecutive draws fall outside the window — an
+    /// acceptance probability this low means the threshold/range
+    /// configuration is broken (real configurations accept > 90% of draws).
+    pub fn privatize_index(&self, x_k: i64, rng: &mut dyn RandomBits) -> (i64, u32) {
+        let lo = self.range.min_k() - self.spec.n_th_k;
+        let hi = self.range.max_k() + self.spec.n_th_k;
+        let mut resamples = 0u32;
+        loop {
+            let y = x_k + self.sampler.sample_index(rng);
+            if y >= lo && y <= hi {
+                return (y, resamples);
+            }
+            resamples += 1;
+            assert!(
+                resamples < 100_000,
+                "resampling acceptance probability pathologically low"
+            );
+        }
+    }
+}
+
+impl Mechanism for ResamplingMechanism {
+    fn privatize(&self, x: f64, rng: &mut dyn RandomBits) -> NoisedOutput {
+        let x_k = self.range.quantize(x);
+        let (y, resamples) = self.privatize_index(x_k, rng);
+        NoisedOutput {
+            value: self.range.to_value(y),
+            resamples,
+        }
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::EpsLdp(self.spec.guaranteed_loss)
+    }
+
+    fn name(&self) -> &'static str {
+        "resampling"
+    }
+}
+
+/// Thresholding (Section III-B2): the noised output is clamped into
+/// `[m − n_th, M + n_th]`; the clipped tails pile up as boundary atoms.
+/// One noise draw always suffices (best energy efficiency).
+#[derive(Debug, Clone)]
+pub struct ThresholdingMechanism {
+    sampler: FxpLaplace,
+    range: QuantizedRange,
+    spec: ThresholdSpec,
+}
+
+impl ThresholdingMechanism {
+    /// Creates the mechanism with a threshold from one of the solvers in
+    /// [`crate::threshold`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ResamplingMechanism::new`].
+    pub fn new(
+        sampler: FxpLaplace,
+        range: QuantizedRange,
+        spec: ThresholdSpec,
+    ) -> Result<Self, LdpError> {
+        check_delta(&sampler, range)?;
+        if spec.n_th_k < 0 {
+            return Err(LdpError::InvalidRange {
+                min_k: spec.n_th_k,
+                max_k: spec.n_th_k,
+            });
+        }
+        Ok(ThresholdingMechanism {
+            sampler,
+            range,
+            spec,
+        })
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> ThresholdSpec {
+        self.spec
+    }
+
+    /// The sensor range.
+    pub fn range(&self) -> QuantizedRange {
+        self.range
+    }
+
+    /// Privatizes on the grid, returning the output index.
+    pub fn privatize_index(&self, x_k: i64, rng: &mut dyn RandomBits) -> i64 {
+        let lo = self.range.min_k() - self.spec.n_th_k;
+        let hi = self.range.max_k() + self.spec.n_th_k;
+        (x_k + self.sampler.sample_index(rng)).clamp(lo, hi)
+    }
+}
+
+impl Mechanism for ThresholdingMechanism {
+    fn privatize(&self, x: f64, rng: &mut dyn RandomBits) -> NoisedOutput {
+        let x_k = self.range.quantize(x);
+        NoisedOutput {
+            value: self.range.to_value(self.privatize_index(x_k, rng)),
+            resamples: 0,
+        }
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::EpsLdp(self.spec.guaranteed_loss)
+    }
+
+    fn name(&self) -> &'static str {
+        "thresholding"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::LimitMode;
+    use crate::threshold::exact_threshold;
+    use ulp_rng::{FxpLaplaceConfig, FxpNoisePmf, Taus88};
+
+    fn setup() -> (FxpLaplace, QuantizedRange, FxpNoisePmf, FxpLaplaceConfig) {
+        let cfg = FxpLaplaceConfig::new(17, 12, 10.0 / 32.0, 20.0).unwrap();
+        let sampler = FxpLaplace::analytic(cfg);
+        let range = QuantizedRange::new(0, 32, cfg.delta()).unwrap();
+        let pmf = FxpNoisePmf::closed_form(cfg);
+        (sampler, range, pmf, cfg)
+    }
+
+    #[test]
+    fn delta_mismatch_is_rejected() {
+        let (sampler, _, _, _) = setup();
+        let bad_range = QuantizedRange::new(0, 32, 0.5).unwrap();
+        assert!(matches!(
+            FxpBaseline::new(sampler.clone(), bad_range),
+            Err(LdpError::MismatchedDelta { .. })
+        ));
+    }
+
+    #[test]
+    fn ideal_rejects_bad_eps() {
+        let (_, range, _, _) = setup();
+        assert!(IdealLaplaceMechanism::new(range, 0.0).is_err());
+        assert!(IdealLaplaceMechanism::new(range, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn baseline_output_is_unbounded_within_support() {
+        let (sampler, range, pmf, _) = setup();
+        let mech = FxpBaseline::new(sampler, range).unwrap();
+        let mut rng = Taus88::from_seed(4);
+        let mut max_abs: i64 = 0;
+        for _ in 0..50_000 {
+            let y = mech.privatize_index(range.max_k(), &mut rng);
+            max_abs = max_abs.max((y - range.max_k()).abs());
+        }
+        // With 50k draws we reach deep into the tail, beyond any threshold
+        // the bounded mechanisms would use.
+        assert!(max_abs > pmf.support_max_k() / 3);
+        assert_eq!(mech.guarantee(), Guarantee::Broken);
+    }
+
+    #[test]
+    fn resampling_respects_window() {
+        let (sampler, range, pmf, cfg) = setup();
+        let spec = exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Resampling).unwrap();
+        let mech = ResamplingMechanism::new(sampler, range, spec).unwrap();
+        let mut rng = Taus88::from_seed(5);
+        for x_k in [range.min_k(), range.max_k()] {
+            for _ in 0..20_000 {
+                let (y, _) = mech.privatize_index(x_k, &mut rng);
+                assert!(y >= range.min_k() - spec.n_th_k);
+                assert!(y <= range.max_k() + spec.n_th_k);
+            }
+        }
+    }
+
+    #[test]
+    fn thresholding_respects_window_and_has_atoms() {
+        let (sampler, range, pmf, cfg) = setup();
+        let spec = exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Thresholding).unwrap();
+        let mech = ThresholdingMechanism::new(sampler, range, spec).unwrap();
+        let mut rng = Taus88::from_seed(6);
+        let hi = range.max_k() + spec.n_th_k;
+        let mut at_boundary = 0u32;
+        for _ in 0..50_000 {
+            let y = mech.privatize_index(range.max_k(), &mut rng);
+            assert!(y <= hi && y >= range.min_k() - spec.n_th_k);
+            if y == hi {
+                at_boundary += 1;
+            }
+        }
+        // The boundary atom carries the clipped tail mass: it must show up.
+        assert!(at_boundary > 0, "expected boundary atom hits");
+    }
+
+    #[test]
+    fn resample_counter_reports_redraws() {
+        let (sampler, range, _, _) = setup();
+        // Tiny window forces frequent resampling.
+        let spec = ThresholdSpec {
+            n_th_k: 2,
+            guaranteed_loss: 10.0,
+        };
+        let mech = ResamplingMechanism::new(sampler, range, spec).unwrap();
+        let mut rng = Taus88::from_seed(7);
+        let total: u32 = (0..2_000)
+            .map(|_| mech.privatize(5.0, &mut rng).resamples)
+            .sum();
+        assert!(total > 0, "a 2-step window must trigger resampling");
+    }
+
+    #[test]
+    fn thresholding_never_resamples() {
+        let (sampler, range, pmf, cfg) = setup();
+        let spec = exact_threshold(cfg, &pmf, range, 1.5, LimitMode::Thresholding).unwrap();
+        let mech = ThresholdingMechanism::new(sampler, range, spec).unwrap();
+        let mut rng = Taus88::from_seed(8);
+        for _ in 0..1_000 {
+            assert_eq!(mech.privatize(3.0, &mut rng).resamples, 0);
+        }
+    }
+
+    #[test]
+    fn mechanisms_are_usable_as_trait_objects() {
+        let (sampler, range, pmf, cfg) = setup();
+        let spec = exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Thresholding).unwrap();
+        let mechs: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(IdealLaplaceMechanism::new(range, 0.5).unwrap()),
+            Box::new(FxpBaseline::new(sampler.clone(), range).unwrap()),
+            Box::new(ThresholdingMechanism::new(sampler, range, spec).unwrap()),
+        ];
+        let mut rng = Taus88::from_seed(9);
+        for m in &mechs {
+            let out = m.privatize(5.0, &mut rng);
+            assert!(out.value.is_finite(), "{} produced non-finite", m.name());
+        }
+    }
+
+    #[test]
+    fn noised_mean_tracks_input_over_many_draws() {
+        let (sampler, range, pmf, cfg) = setup();
+        let spec = exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Resampling).unwrap();
+        let mech = ResamplingMechanism::new(sampler, range, spec).unwrap();
+        let mut rng = Taus88::from_seed(10);
+        let n = 50_000;
+        let x = 5.0;
+        let mean: f64 = (0..n)
+            .map(|_| mech.privatize(x, &mut rng).value)
+            .sum::<f64>()
+            / n as f64;
+        // Resampling window is symmetric around the range, not around x,
+        // so a small bias exists; it must be well under one λ.
+        assert!((mean - x).abs() < 3.0, "mean {mean} too far from {x}");
+    }
+}

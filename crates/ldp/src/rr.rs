@@ -1,0 +1,178 @@
+//! Randomized response for categorical data (Section VI-E).
+//!
+//! The DP-Box "can be reconfigured to support the randomized response
+//! mechanism by setting the threshold zero": put the two categories at the
+//! ends of a one-step grid (`Δ = d`), and thresholding with `n_th = 0`
+//! clamps every noised output back onto `{m, M}`. The induced flip
+//! probability is the FxP RNG's one-step tail `Pr[n ≥ Δ]`.
+
+use ulp_rng::{FxpNoisePmf, RandomBits};
+
+use crate::error::LdpError;
+
+/// A binary randomized-response mechanism: report the true bit with
+/// probability `1 − p`, the flipped bit with probability `p` (`p < ½`).
+///
+/// # Examples
+///
+/// ```
+/// use ldp_core::RandomizedResponse;
+/// use ulp_rng::Taus88;
+///
+/// let rr = RandomizedResponse::new(0.25)?;
+/// // ε = ln((1-p)/p) = ln 3.
+/// assert!((rr.epsilon() - 3f64.ln()).abs() < 1e-12);
+///
+/// let mut rng = Taus88::from_seed(1);
+/// let _report = rr.privatize(true, &mut rng);
+/// # Ok::<(), ldp_core::LdpError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomizedResponse {
+    flip_prob: f64,
+}
+
+impl RandomizedResponse {
+    /// Creates a mechanism with the given flip probability.
+    ///
+    /// # Errors
+    ///
+    /// [`LdpError::InvalidEpsilon`] unless `0 < p < 0.5` (at `p = 0.5` the
+    /// output carries no information; at `p = 0` no privacy).
+    pub fn new(flip_prob: f64) -> Result<Self, LdpError> {
+        if !(flip_prob.is_finite() && flip_prob > 0.0 && flip_prob < 0.5) {
+            return Err(LdpError::InvalidEpsilon(flip_prob));
+        }
+        Ok(RandomizedResponse { flip_prob })
+    }
+
+    /// Derives the mechanism induced by a zero-threshold DP-Box over a
+    /// one-step binary grid: the flip probability is the noise PMF's
+    /// one-step signed tail `Pr[n ≥ Δ]`.
+    ///
+    /// # Errors
+    ///
+    /// [`LdpError::InvalidEpsilon`] if the induced flip probability leaves
+    /// `(0, 0.5)` — e.g. a scale so large the output is pure noise.
+    pub fn from_zero_threshold_pmf(pmf: &FxpNoisePmf) -> Result<Self, LdpError> {
+        Self::new(pmf.tail_prob_ge(1))
+    }
+
+    /// The flip probability `p`.
+    pub fn flip_prob(self) -> f64 {
+        self.flip_prob
+    }
+
+    /// The LDP parameter: `ε = ln((1−p)/p)`.
+    pub fn epsilon(self) -> f64 {
+        ((1.0 - self.flip_prob) / self.flip_prob).ln()
+    }
+
+    /// Privatizes one bit.
+    pub fn privatize<R: RandomBits + ?Sized>(self, truth: bool, rng: &mut R) -> bool {
+        // Compare 53 uniform bits against p.
+        let u = (rng.bits(53) as f64 + 0.5) * 2f64.powi(-53);
+        if u < self.flip_prob {
+            !truth
+        } else {
+            truth
+        }
+    }
+
+    /// Unbiased estimate of the true population proportion `π` of `true`
+    /// bits from the observed proportion `f` of `true` reports:
+    /// `π̂ = (f − p) / (1 − 2p)`.
+    ///
+    /// The estimate is clamped to `[0, 1]`.
+    pub fn estimate_proportion(self, observed_fraction: f64) -> f64 {
+        ((observed_fraction - self.flip_prob) / (1.0 - 2.0 * self.flip_prob)).clamp(0.0, 1.0)
+    }
+
+    /// Standard error of [`RandomizedResponse::estimate_proportion`] for `n`
+    /// reports at true proportion `π` (used to size experiments):
+    /// `sqrt(q(1−q)/n) / (1−2p)` with `q = π(1−p) + (1−π)p`.
+    pub fn estimate_stderr(self, true_proportion: f64, n: usize) -> f64 {
+        let q = true_proportion * (1.0 - self.flip_prob) + (1.0 - true_proportion) * self.flip_prob;
+        (q * (1.0 - q) / n as f64).sqrt() / (1.0 - 2.0 * self.flip_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulp_rng::{FxpLaplaceConfig, Taus88};
+
+    #[test]
+    fn validates_flip_probability() {
+        assert!(RandomizedResponse::new(0.0).is_err());
+        assert!(RandomizedResponse::new(0.5).is_err());
+        assert!(RandomizedResponse::new(0.7).is_err());
+        assert!(RandomizedResponse::new(f64::NAN).is_err());
+        assert!(RandomizedResponse::new(0.25).is_ok());
+    }
+
+    #[test]
+    fn epsilon_matches_definition() {
+        let rr = RandomizedResponse::new(0.1).unwrap();
+        assert!((rr.epsilon() - (0.9f64 / 0.1).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_threshold_dpbox_induces_rr() {
+        // Binary grid: Δ = d = 1, λ = d/ε with ε = 1 → λ = 1.
+        let cfg = FxpLaplaceConfig::new(17, 12, 1.0, 1.0).unwrap();
+        let pmf = ulp_rng::FxpNoisePmf::closed_form(cfg);
+        let rr = RandomizedResponse::from_zero_threshold_pmf(&pmf).unwrap();
+        // The rounder maps continuous noise ≥ Δ/2 to the k ≥ 1 bins, so the
+        // induced flip probability is ½·e^(-Δ/(2λ)) = ½·e^(-0.5) ≈ 0.3033 —
+        // a grid-coarseness effect of running RR on a one-step grid.
+        assert!(
+            (rr.flip_prob() - 0.5 * (-0.5f64).exp()).abs() < 0.005,
+            "flip prob {}",
+            rr.flip_prob()
+        );
+    }
+
+    #[test]
+    fn empirical_flip_rate_matches_p() {
+        let rr = RandomizedResponse::new(0.2).unwrap();
+        let mut rng = Taus88::from_seed(12);
+        let n = 200_000;
+        let flips = (0..n).filter(|_| !rr.privatize(true, &mut rng)).count();
+        let rate = flips as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.005, "flip rate {rate}");
+    }
+
+    #[test]
+    fn proportion_estimator_is_unbiased() {
+        let rr = RandomizedResponse::new(0.3).unwrap();
+        let mut rng = Taus88::from_seed(13);
+        let n = 100_000;
+        let truth_fraction = 0.65;
+        let mut true_reports = 0usize;
+        for i in 0..n {
+            let truth = (i as f64 / n as f64) < truth_fraction;
+            if rr.privatize(truth, &mut rng) {
+                true_reports += 1;
+            }
+        }
+        let est = rr.estimate_proportion(true_reports as f64 / n as f64);
+        assert!(
+            (est - truth_fraction).abs() < 4.0 * rr.estimate_stderr(truth_fraction, n),
+            "estimate {est} vs truth {truth_fraction}"
+        );
+    }
+
+    #[test]
+    fn estimator_clamps_to_unit_interval() {
+        let rr = RandomizedResponse::new(0.4).unwrap();
+        assert_eq!(rr.estimate_proportion(0.0), 0.0);
+        assert_eq!(rr.estimate_proportion(1.0), 1.0);
+    }
+
+    #[test]
+    fn stderr_shrinks_with_n() {
+        let rr = RandomizedResponse::new(0.25).unwrap();
+        assert!(rr.estimate_stderr(0.5, 10_000) < rr.estimate_stderr(0.5, 100));
+    }
+}

@@ -1,0 +1,91 @@
+//! # Theory appendix — the math behind the exact analysis
+//!
+//! This module contains no code; it is the workspace's derivation record,
+//! kept next to the implementation it justifies. Line references are to the
+//! ISCA'18 paper.
+//!
+//! ## 1. The exact PMF (Eq. 11)
+//!
+//! The FxP RNG maps a uniform `u = m·2^-Bu` (`m ∈ {1,…,2^Bu}`) through the
+//! half-ICDF `-λ·ln u` and rounds to the grid: `k = round(λ(Bu·ln2 − ln m)/Δ)`.
+//! Magnitude `k` is produced exactly by the integers `m` in the interval
+//! `(A(k+½), A(k−½)]` where `A(t) = 2^Bu·e^{-tΔ/λ}`, so
+//!
+//! ```text
+//! count(k) = ⌊A(k−½)⌋ − ⌊A(k+½)⌋,   Pr[n = ±kΔ] = count(k) / 2^(Bu+1).
+//! ```
+//!
+//! [`ulp_rng::FxpNoisePmf::closed_form`] implements exactly this and the
+//! test suite checks it against full enumeration for every `Bu ≤ 26`. Two
+//! structural consequences drive the whole paper:
+//!
+//! * **bounded support** — `m = 1` gives the largest magnitude
+//!   `λ·Bu·ln 2`;
+//! * **tail gaps** — once `A(k−½) − A(k+½) < 1`, consecutive floors can be
+//!   equal and `count(k) = 0` while neighbours are positive.
+//!
+//! ## 2. Privacy loss is an integer ratio (Eq. 4)
+//!
+//! For inputs `x₁, x₂` and output `y`, the loss is
+//! `ln(count(y−x₁)/count(y−x₂))` — a ratio of integers. "Impossible under
+//! one input" is `count = 0`, not a small float, which is why the analysis
+//! here can *prove* infinite loss rather than estimate it
+//! ([`crate::loss::ConditionalDist::loss_at`]).
+//!
+//! ## 3. The resampling bound (Eq. 13), rederived
+//!
+//! With `a = Δ/λ = Δε/d` and `s = d/Δ` (so `a·s = ε`), bracketing the
+//! floors by `m₁−1 ≤ ⌊m₁⌋ ≤ m₁`, the boundary condition
+//! `count(k)/count(k+s) ≤ e^{nε}` is implied by
+//!
+//! ```text
+//! G(k) ≥ (e^{nε} + 1) / (e^{(n−1)ε} − 1),
+//! G(k) = 2^Bu·e^{-ak}(e^{a/2} − e^{-a/2}),
+//! ```
+//!
+//! giving `k ≤ (1/a)[Bu·ln2 + ln((e^{a/2} − e^{-a/2})(e^{(n−1)ε} − 1)) −
+//! ln(e^{nε} + 1)]` — [`crate::resampling_threshold`]. Because `G` is
+//! decreasing, the condition at the boundary index implies it at every
+//! interior index, so this closed form is globally sound (verified against
+//! the exact solver in tests).
+//!
+//! ## 4. The thresholding bound (Eq. 15) and why it is NOT sufficient
+//!
+//! Thresholding's boundary atoms carry the tails
+//! `Pr[n ≥ kΔ] = ⌊A(k−½)⌋ / 2^(Bu+1)` (the telescoping sum of counts), and
+//! the paper bounds only their ratio, yielding
+//! `k ≤ ½ + (1/a)[Bu·ln2 + ln(e^{-ε} − e^{-nε})]` —
+//! [`crate::thresholding_threshold`]. But *interior* outputs below the
+//! threshold still expose raw `count` ratios, and in the gap region a
+//! `count(k) ≥ 1 / count(k+s) = 0` pair is fatal. For the paper's own
+//! Fig. 4 configuration Eq. 15 returns 626 grid units, inside gap
+//! territory (gaps start ≈ 488); the exact solver stops at 390. The pinned
+//! test `reproduction_note_eq15_is_not_globally_sound` keeps this honest.
+//!
+//! ## 5. Resampling renormalization
+//!
+//! Resampling's conditional distribution is `count(y−x)/Z(x)` with
+//! `Z(x) = Σ_{y∈window} count(y−x)`. At the extreme inputs the windows are
+//! mirror images and the PMF is symmetric, so `Z(m) = Z(M)` exactly and
+//! the normalizers cancel in the worst-case pair — the silent assumption
+//! behind the paper's Eq. 12, verified by
+//! `resampled_norm_is_symmetric_at_extremes`.
+//!
+//! ## 6. Zero-threshold randomized response
+//!
+//! On a one-step grid (`Δ = d`), clamping maps noise `k ≥ 1` to a category
+//! flip. The rounder assigns `k ≥ 1` to continuous noise `≥ Δ/2`, so the
+//! flip probability is `½e^{-Δ/(2λ)}` — *not* `½e^{-Δ/λ}`; see
+//! [`crate::RandomizedResponse::from_zero_threshold_pmf`].
+//!
+//! ## 7. Gaussian windows are quadratic
+//!
+//! For a Gaussian PMF the boundary log-ratio between tails at `k` and
+//! `k+s` grows like `s·(k + s/2)/σ²` (difference of quadratic exponents),
+//! so the feasible window for a bound `B` is `k* ≈ σ²·B/s − s/2` — linear
+//! in `σ²`, unlike the Laplace case where the ratio is constant and the
+//! window is set by count raggedness instead. The test
+//! `gaussian_loss_grows_quadratically_not_linearly` checks the solver
+//! against this prediction.
+
+// Documentation-only module: nothing to export.

@@ -1,0 +1,242 @@
+//! Hyperbolic CORDIC exponential (rotation mode).
+//!
+//! The logarithm unit covers the sampling datapath; the exponential is its
+//! counterpart for on-chip *analysis* constants — threshold formulas like
+//! Eq. 13/15 evaluate `e^{±nε}` terms, and a DP-Box variant that derives
+//! its window from run-time (ε, range) settings needs exactly this block.
+//!
+//! Rotation-mode hyperbolic CORDIC drives the angle register to zero while
+//! accumulating `cosh z` and `sinh z`; their sum is `e^z`. Convergence
+//! covers `|z| ≲ 1.118`, so the argument is range-reduced with
+//! `e^z = 2^q · e^r`, `r = z − q·ln 2`.
+
+use ulp_fixed::{Fx, QFormat, Rounding};
+
+use crate::error::RngError;
+
+/// Internal guard precision (fraction bits).
+const GUARD_FRAC: u8 = 44;
+
+/// Gain of the hyperbolic CORDIC iteration product,
+/// `K = Π √(1 − 2^-2i)` (with the 4/13/40 repeats).
+fn hyperbolic_gain(iterations: u8) -> f64 {
+    let mut k = 1.0f64;
+    for i in 1..=iterations as i32 {
+        let repeats = if i == 4 || i == 13 || i == 40 { 2 } else { 1 };
+        for _ in 0..repeats {
+            k *= (1.0 - 2f64.powi(-2 * i)).sqrt();
+        }
+    }
+    k
+}
+
+/// A fixed-point exponential unit.
+///
+/// # Examples
+///
+/// ```
+/// use ulp_fixed::{Fx, QFormat, Rounding};
+/// use ulp_rng::CordicExp;
+///
+/// let unit = CordicExp::new(24);
+/// let fmt = QFormat::new(32, 20)?;
+/// let z = Fx::from_f64(1.37, fmt, Rounding::NearestTiesAway)?;
+/// let e = unit.exp(z, fmt)?;
+/// assert!((e.to_f64() - 1.37f64.exp()).abs() < 1e-3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CordicExp {
+    iterations: u8,
+    /// `atanh(2^-i)` table at `GUARD_FRAC` fraction bits.
+    atanh_table: Vec<i64>,
+    /// `1/K` pre-scaled at `GUARD_FRAC` fraction bits.
+    inv_gain: i64,
+    /// `ln 2` at `GUARD_FRAC` fraction bits.
+    ln2: i64,
+}
+
+impl CordicExp {
+    /// Creates an exponential unit (`iterations` clamped to `1..=40`).
+    pub fn new(iterations: u8) -> Self {
+        let iterations = iterations.clamp(1, 40);
+        let scale = 2f64.powi(GUARD_FRAC as i32);
+        let atanh_table = (1..=iterations as i32)
+            .map(|i| {
+                let t = 2f64.powi(-i);
+                (0.5 * ((1.0 + t) / (1.0 - t)).ln() * scale).round() as i64
+            })
+            .collect();
+        CordicExp {
+            iterations,
+            atanh_table,
+            inv_gain: ((1.0 / hyperbolic_gain(iterations)) * scale).round() as i64,
+            ln2: (std::f64::consts::LN_2 * scale).round() as i64,
+        }
+    }
+
+    /// Number of base iterations.
+    pub fn iterations(&self) -> u8 {
+        self.iterations
+    }
+
+    /// Computes `e^z` into `out` format.
+    ///
+    /// # Errors
+    ///
+    /// A fixed-point error if the result does not fit `out` (e.g. `e^20`
+    /// into a narrow word).
+    pub fn exp(&self, z: Fx, out: QFormat) -> Result<Fx, RngError> {
+        // Range-reduce onto |r| < ln2 ≤ CORDIC convergence: z = q·ln2 + r.
+        let guard = QFormat::new(63, GUARD_FRAC).expect("guard format is valid");
+        let z_wide = z
+            .resize(guard, Rounding::NearestTiesAway)
+            .map_err(RngError::Fixed)?;
+        let q = z_wide.raw().div_euclid(self.ln2);
+        let r = z_wide.raw().rem_euclid(self.ln2); // r ∈ [0, ln2)
+        let er = self.exp_small(r); // e^r ∈ [1, 2), GUARD_FRAC bits
+        // Result = e^r · 2^q: shift with rounding.
+        let raw = if q >= 0 {
+            let q = u32::try_from(q).map_err(|_| RngError::Fixed(
+                ulp_fixed::FixedError::Overflow { format: out },
+            ))?;
+            er.checked_shl(q)
+                .filter(|v| (v >> q) == er)
+                .ok_or(RngError::Fixed(ulp_fixed::FixedError::Overflow { format: out }))?
+        } else {
+            let s = (-q) as u32;
+            if s >= 63 {
+                0
+            } else {
+                let half = 1i64 << (s - 1);
+                (er + half) >> s
+            }
+        };
+        let wide = Fx::from_raw(raw, guard).map_err(RngError::Fixed)?;
+        wide.resize(out, Rounding::NearestTiesAway)
+            .map_err(RngError::Fixed)
+    }
+
+    /// Rotation-mode CORDIC for `e^r`, `r ∈ [0, ln 2)` at `GUARD_FRAC`
+    /// fraction bits.
+    fn exp_small(&self, r_raw: i64) -> i64 {
+        // Seed x = 1/K, y = 0: the rotations then end at x = cosh r,
+        // y = sinh r (the iteration gain K cancels the seed).
+        let mut x = self.inv_gain;
+        let mut y = 0i64;
+        let mut zr = r_raw;
+        for i in 1..=self.iterations as u32 {
+            let repeats = if i == 4 || i == 13 || i == 40 { 2 } else { 1 };
+            for _ in 0..repeats {
+                let a = self.atanh_table[(i - 1) as usize];
+                let dx = y >> i;
+                let dy = x >> i;
+                if zr >= 0 {
+                    x += dx;
+                    y += dy;
+                    zr -= a;
+                } else {
+                    x -= dx;
+                    y -= dy;
+                    zr += a;
+                }
+            }
+        }
+        // x ends at cosh r and y at sinh r (the 1/K seed cancels the
+        // iteration gain); their sum is e^r. Both are < 2^46, no overflow.
+        x + y
+    }
+
+    /// Convenience: `e^x` through the fixed-point datapath as `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CordicExp::exp`].
+    pub fn exp_f64(&self, x: f64, in_fmt: QFormat, out_fmt: QFormat) -> Result<f64, RngError> {
+        let fx = Fx::from_f64(x, in_fmt, Rounding::NearestTiesAway).map_err(RngError::Fixed)?;
+        Ok(self.exp(fx, out_fmt)?.to_f64())
+    }
+}
+
+impl Default for CordicExp {
+    fn default() -> Self {
+        CordicExp::new(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(t: u8, f: u8) -> QFormat {
+        QFormat::new(t, f).unwrap()
+    }
+
+    #[test]
+    fn exp_of_zero_is_one() {
+        let unit = CordicExp::new(32);
+        let fmt = q(32, 20);
+        let r = unit.exp(Fx::zero(fmt), fmt).unwrap();
+        assert!((r.to_f64() - 1.0).abs() < 1e-5, "e^0 = {}", r.to_f64());
+    }
+
+    #[test]
+    fn exp_matches_f64_across_range() {
+        let unit = CordicExp::new(36);
+        let in_fmt = q(48, 30);
+        let out_fmt = q(48, 24);
+        for &x in &[-8.0, -2.5, -0.7, -0.1, 0.0, 0.3, 0.69, 1.0, 2.0, 5.0, 10.0] {
+            let got = unit.exp_f64(x, in_fmt, out_fmt).unwrap();
+            let want = x.exp();
+            // Tolerance: CORDIC truncation plus one output-grid ulp (which
+            // dominates for small results).
+            let tol = 1e-5 * want + out_fmt.delta();
+            assert!((got - want).abs() < tol, "e^{x}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn exp_ln_roundtrip() {
+        use crate::cordic::CordicLn;
+        let e = CordicExp::new(36);
+        let l = CordicLn::new(36);
+        let fmt = q(48, 30);
+        for &x in &[0.5f64, 1.0, 3.7, 42.0] {
+            let up = e.exp_f64(x.ln(), fmt, fmt).unwrap();
+            assert!((up - x).abs() / x < 1e-5, "exp(ln {x}) = {up}");
+            let down = l.ln_f64(x.exp().min(1e8), fmt, fmt);
+            if x.exp() < 1e8 {
+                assert!((down.unwrap() - x).abs() < 1e-4, "ln(exp {x})");
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let unit = CordicExp::new(24);
+        let in_fmt = q(32, 16);
+        let tiny_out = q(8, 4); // max value < 8
+        let x = Fx::from_f64(5.0, in_fmt, Rounding::Floor).unwrap();
+        assert!(unit.exp(x, tiny_out).is_err());
+    }
+
+    #[test]
+    fn deep_negative_arguments_round_to_zero() {
+        let unit = CordicExp::new(24);
+        let fmt = q(32, 16);
+        let x = Fx::from_f64(-30.0, fmt, Rounding::Floor).unwrap();
+        let r = unit.exp(x, fmt).unwrap();
+        assert_eq!(r.raw(), 0);
+    }
+
+    #[test]
+    fn precision_scales_with_iterations() {
+        let coarse = CordicExp::new(10);
+        let fine = CordicExp::new(34);
+        let fmt = q(48, 30);
+        let x = 0.37;
+        let ec = (coarse.exp_f64(x, fmt, fmt).unwrap() - x.exp()).abs();
+        let ef = (fine.exp_f64(x, fmt, fmt).unwrap() - x.exp()).abs();
+        assert!(ef <= ec);
+    }
+}

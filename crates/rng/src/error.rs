@@ -1,0 +1,42 @@
+//! Error types for the RNG substrate.
+
+use core::fmt;
+
+use ulp_fixed::FixedError;
+
+/// Error produced by samplers and function generators in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RngError {
+    /// The logarithm (or another domain-restricted function) was applied to
+    /// a non-positive input.
+    NonPositive,
+    /// An invalid sampler configuration (word widths, scale) was supplied.
+    InvalidConfig(&'static str),
+    /// An underlying fixed-point operation failed.
+    Fixed(FixedError),
+}
+
+impl fmt::Display for RngError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RngError::NonPositive => write!(f, "input must be strictly positive"),
+            RngError::InvalidConfig(msg) => write!(f, "invalid sampler configuration: {msg}"),
+            RngError::Fixed(e) => write!(f, "fixed-point error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RngError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RngError::Fixed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FixedError> for RngError {
+    fn from(e: FixedError) -> Self {
+        RngError::Fixed(e)
+    }
+}

@@ -1,0 +1,213 @@
+//! Fault-injection wrappers for uniform bit sources.
+//!
+//! The DP-Box's guarantee has two legs: the *structural* window bound
+//! (holds for any bit source whatsoever) and the *distributional* ε bound
+//! (requires the URNG to actually be uniform). Hardware RNGs fail —
+//! stuck-at bits, bias, correlated stages — and a privacy module that
+//! silently keeps "working" under a degraded URNG is a real deployment
+//! hazard. These wrappers inject such faults so tests can check both that
+//! the structural leg survives and that health monitoring would catch the
+//! distributional failure.
+
+use crate::source::RandomBits;
+
+/// A bit source with one output bit stuck at a constant value.
+///
+/// # Examples
+///
+/// ```
+/// use ulp_rng::{RandomBits, StuckAtBits, Taus88};
+///
+/// // Bit 31 (the MSB every `bit()` call reads) stuck at 1.
+/// let mut faulty = StuckAtBits::new(Taus88::from_seed(1), 31, true);
+/// for _ in 0..100 {
+///     assert!(faulty.bit(), "stuck MSB forces every coin flip");
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StuckAtBits<R> {
+    inner: R,
+    bit: u8,
+    value: bool,
+}
+
+impl<R: RandomBits> StuckAtBits<R> {
+    /// Wraps `inner`, forcing output bit `bit` (0 = LSB, 31 = MSB of each
+    /// 32-bit word) to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit > 31`.
+    pub fn new(inner: R, bit: u8, value: bool) -> Self {
+        assert!(bit <= 31, "bit index must be within a 32-bit word");
+        StuckAtBits { inner, bit, value }
+    }
+}
+
+impl<R: RandomBits> RandomBits for StuckAtBits<R> {
+    fn next_u32(&mut self) -> u32 {
+        let w = self.inner.next_u32();
+        if self.value {
+            w | (1 << self.bit)
+        } else {
+            w & !(1 << self.bit)
+        }
+    }
+}
+
+/// A bit source whose bits are biased toward 1 with probability `p`
+/// (independently per bit), modelling a degraded entropy source.
+#[derive(Debug, Clone)]
+pub struct BiasedBits<R> {
+    inner: R,
+    /// Threshold in 1/256ths: each output bit is OR'd in with prob ≈ extra.
+    extra_256: u8,
+}
+
+impl<R: RandomBits> BiasedBits<R> {
+    /// Wraps `inner`, adding a bias toward 1: each bit is independently
+    /// forced to 1 with probability `extra_256 / 256` (on top of the fair
+    /// coin).
+    pub fn new(inner: R, extra_256: u8) -> Self {
+        BiasedBits { inner, extra_256 }
+    }
+}
+
+impl<R: RandomBits> RandomBits for BiasedBits<R> {
+    fn next_u32(&mut self) -> u32 {
+        let base = self.inner.next_u32();
+        // Build a mask where each bit is 1 with prob extra/256, from 8
+        // auxiliary words (one per bit of the threshold comparison) — cheap
+        // approximation: compare per-bit bytes drawn pairwise.
+        let mut force = 0u32;
+        if self.extra_256 > 0 {
+            for _ in 0..2 {
+                // Each AND of two uniform words has p(1) = 1/4 per bit;
+                // accumulate until the closest power-of-two-ish approximation
+                // of the requested bias is reached.
+                force |= self.inner.next_u32() & self.inner.next_u32();
+                if self.extra_256 <= 64 {
+                    force &= self.inner.next_u32();
+                }
+                if self.extra_256 <= 16 {
+                    force &= self.inner.next_u32();
+                }
+            }
+        }
+        base | force
+    }
+}
+
+/// A simple URNG health monitor: counts ones per bit position over a
+/// window and flags positions whose frequency leaves `[0.5 − tol, 0.5 +
+/// tol]` — the kind of online test (cf. NIST SP 800-90B continuous health
+/// tests) a privacy module should gate its guarantee on.
+#[derive(Debug, Clone)]
+pub struct BitHealthMonitor {
+    ones: [u64; 32],
+    samples: u64,
+}
+
+impl BitHealthMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        BitHealthMonitor {
+            ones: [0; 32],
+            samples: 0,
+        }
+    }
+
+    /// Feeds one 32-bit word.
+    pub fn observe(&mut self, word: u32) {
+        self.samples += 1;
+        for (i, count) in self.ones.iter_mut().enumerate() {
+            *count += u64::from((word >> i) & 1);
+        }
+    }
+
+    /// Number of observed words.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Bit positions whose ones-frequency is outside `0.5 ± tol`.
+    pub fn unhealthy_bits(&self, tol: f64) -> Vec<u8> {
+        if self.samples == 0 {
+            return Vec::new();
+        }
+        (0..32u8)
+            .filter(|&i| {
+                let f = self.ones[i as usize] as f64 / self.samples as f64;
+                (f - 0.5).abs() > tol
+            })
+            .collect()
+    }
+
+    /// Whether every bit position looks fair at tolerance `tol`.
+    pub fn healthy(&self, tol: f64) -> bool {
+        self.unhealthy_bits(tol).is_empty()
+    }
+}
+
+impl Default for BitHealthMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tausworthe::Taus88;
+
+    #[test]
+    fn stuck_bit_is_stuck() {
+        let mut s = StuckAtBits::new(Taus88::from_seed(1), 7, false);
+        for _ in 0..1_000 {
+            assert_eq!(s.next_u32() & (1 << 7), 0);
+        }
+        let mut s = StuckAtBits::new(Taus88::from_seed(1), 0, true);
+        for _ in 0..1_000 {
+            assert_eq!(s.next_u32() & 1, 1);
+        }
+    }
+
+    #[test]
+    fn health_monitor_passes_a_good_urng() {
+        let mut rng = Taus88::from_seed(2);
+        let mut mon = BitHealthMonitor::new();
+        for _ in 0..50_000 {
+            mon.observe(rng.next_u32());
+        }
+        assert!(mon.healthy(0.02), "bad bits: {:?}", mon.unhealthy_bits(0.02));
+    }
+
+    #[test]
+    fn health_monitor_catches_a_stuck_bit() {
+        let mut rng = StuckAtBits::new(Taus88::from_seed(3), 13, true);
+        let mut mon = BitHealthMonitor::new();
+        for _ in 0..50_000 {
+            mon.observe(rng.next_u32());
+        }
+        assert_eq!(mon.unhealthy_bits(0.02), vec![13]);
+    }
+
+    #[test]
+    fn health_monitor_catches_broad_bias() {
+        let mut rng = BiasedBits::new(Taus88::from_seed(4), 64);
+        let mut mon = BitHealthMonitor::new();
+        for _ in 0..50_000 {
+            mon.observe(rng.next_u32());
+        }
+        assert!(
+            mon.unhealthy_bits(0.02).len() > 16,
+            "bias should show on most bits: {:?}",
+            mon.unhealthy_bits(0.02)
+        );
+    }
+
+    #[test]
+    fn empty_monitor_is_vacuously_healthy() {
+        assert!(BitHealthMonitor::new().healthy(0.01));
+    }
+}

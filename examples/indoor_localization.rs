@@ -1,0 +1,63 @@
+//! Crowd-sourced indoor localization (UJIIndoorLoc scenario): thousands of
+//! phones report their WiFi-derived position with local DP; the service
+//! learns the aggregate distribution without learning anyone's location.
+//!
+//! Compares all four mechanism settings on mean and median aggregates.
+//!
+//! Run with: `cargo run --release --example indoor_localization`
+
+use ulp_ldp::datasets::{evaluate_query, generate, ujiindoorloc, Query};
+use ulp_ldp::eval::{ExperimentSetup, MechKind};
+use ulp_ldp::ldp::Mechanism;
+use ulp_ldp::rng::Taus88;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = ujiindoorloc();
+    let setup = ExperimentSetup::paper_default(&spec, 0.5)?;
+    let positions = generate(&spec, 99);
+    println!(
+        "{} phones reporting longitude in [{}, {}] m with ε = 0.5\n",
+        spec.entries, spec.min, spec.max
+    );
+
+    for query in [Query::Mean, Query::Median] {
+        println!("aggregate: {query}");
+        for kind in MechKind::all() {
+            let mech: Box<dyn Mechanism> = match kind {
+                MechKind::Ideal => Box::new(setup.ideal()?),
+                MechKind::Baseline => Box::new(setup.baseline()?),
+                MechKind::Resampling => Box::new(setup.resampling(2.0)?),
+                MechKind::Thresholding => Box::new(setup.thresholding(2.0)?),
+            };
+            let mut rng = Taus88::from_seed(5 ^ (kind as u64));
+            let adc = setup.adc;
+            let result = evaluate_query(
+                &positions,
+                |x| {
+                    let code = adc.encode(x) as f64;
+                    adc.decode(mech.privatize(code, &mut rng).value.round() as i64)
+                },
+                query,
+                10,
+                spec.range_length(),
+            );
+            println!(
+                "  {:<16} MAE = {:>8.2} m ({:.3}% of range) — {}",
+                kind.label(),
+                result.mae,
+                100.0 * result.relative,
+                if mech.guarantee().bound().is_some() {
+                    "ε-LDP guaranteed"
+                } else {
+                    "NO guarantee (broken on FxP hardware)"
+                }
+            );
+        }
+        println!();
+    }
+    println!(
+        "note how the naive baseline matches ideal utility — the privacy failure is \
+         invisible in aggregate statistics, which is exactly why it is dangerous."
+    );
+    Ok(())
+}

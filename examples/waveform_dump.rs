@@ -1,0 +1,50 @@
+//! Hardware-debug workflow: capture a DP-Box session's event trace and
+//! write it out as a VCD waveform for GTKWave-style inspection next to
+//! real RTL.
+//!
+//! Run with: `cargo run --example waveform_dump`
+//! The VCD is written to `target/dp_box.vcd`.
+
+use ulp_ldp::dpbox::{Command, DpBox, DpBoxConfig, TraceEvent};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = DpBoxConfig {
+        seed: 0xD1A6,
+        ..DpBoxConfig::default()
+    };
+    let mut dev = DpBox::new(cfg)?;
+    dev.enable_trace(8192);
+
+    // Boot with a small budget so the dump shows exhaustion + caching.
+    dev.issue(Command::SetEpsilon, 64)?; // budget = 2.0 nats
+    dev.issue(Command::StartNoising, 0)?;
+    dev.issue(Command::SetEpsilon, 1)?;
+    dev.issue(Command::SetSensorRangeLower, 0)?;
+    dev.issue(Command::SetSensorRangeUpper, 320)?;
+    dev.issue(Command::SetThreshold, 0)?;
+    for _ in 0..8 {
+        dev.noise_value(160)?;
+    }
+
+    let trace = dev.trace().expect("tracing enabled");
+    println!("captured {} events over {} cycles:", trace.len(), dev.cycles());
+    for e in trace.events().take(12) {
+        println!("  cycle {:>4}: {e:?}", e.cycle());
+    }
+    let cached = trace
+        .events()
+        .filter(|e| matches!(e, TraceEvent::Output { from_cache: true, .. }))
+        .count();
+    println!("  … ({cached} cache replays after budget exhaustion)");
+
+    let vcd = dev.export_vcd().expect("tracing enabled");
+    let path = std::path::Path::new("target").join("dp_box.vcd");
+    std::fs::create_dir_all("target")?;
+    std::fs::write(&path, &vcd)?;
+    println!(
+        "\nwrote {} bytes of VCD to {} — open it in any waveform viewer.",
+        vcd.len(),
+        path.display()
+    );
+    Ok(())
+}
