@@ -21,7 +21,12 @@ fn bench_budget_responder(c: &mut Criterion) {
     let sampler = FxpLaplace::analytic(setup.cfg);
     let mut rng = Taus88::from_seed(5);
     c.bench_function("budget_respond_fig13", |b| {
-        b.iter(|| black_box(ctrl.respond(black_box(89.0), &sampler, &mut rng).expect("served")))
+        b.iter(|| {
+            black_box(
+                ctrl.respond(black_box(89.0), &sampler, &mut rng)
+                    .expect("served"),
+            )
+        })
     });
 }
 

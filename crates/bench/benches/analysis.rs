@@ -47,7 +47,14 @@ fn bench_loss(c: &mut Criterion) {
     });
     g.finish();
     c.bench_function("loss_profile_fig8", |b| {
-        b.iter(|| black_box(loss_profile(&pmf, range, LimitMode::Thresholding, Some(300))))
+        b.iter(|| {
+            black_box(loss_profile(
+                &pmf,
+                range,
+                LimitMode::Thresholding,
+                Some(300),
+            ))
+        })
     });
 }
 
@@ -58,8 +65,7 @@ fn bench_solvers(c: &mut Criterion) {
     g.bench_function("exact_thresholding", |b| {
         b.iter(|| {
             black_box(
-                exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Thresholding)
-                    .expect("solvable"),
+                exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Thresholding).expect("solvable"),
             )
         })
     });

@@ -33,16 +33,13 @@ fn bench_mechanisms(c: &mut Criterion) {
     });
 
     // Extensions: constant-time resampling and the discrete mechanism.
-    let ct = ldp_core::ConstantTimeResampling::new(
-        setup.resampling(2.0).expect("resampling"),
-        8,
-    )
-    .expect("valid batch");
+    let ct = ldp_core::ConstantTimeResampling::new(setup.resampling(2.0).expect("resampling"), 8)
+        .expect("valid batch");
     g.bench_function("resampling_constant_time", |b| {
         b.iter(|| black_box(ct.privatize(black_box(x), &mut rng)))
     });
-    let discrete = ldp_core::DiscreteLaplaceMechanism::new(setup.range, 0.5, 2_000)
-        .expect("constructible");
+    let discrete =
+        ldp_core::DiscreteLaplaceMechanism::new(setup.range, 0.5, 2_000).expect("constructible");
     g.bench_function("discrete_laplace_mech", |b| {
         b.iter(|| black_box(discrete.privatize(black_box(x), &mut rng)))
     });

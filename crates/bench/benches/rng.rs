@@ -18,7 +18,9 @@ fn bench_urngs(c: &mut Criterion) {
     let mut taus = Taus88::from_seed(1);
     g.bench_function("taus88_u32", |b| b.iter(|| black_box(taus.next_u32())));
     let mut xs = Xorshift64Star::from_seed(1);
-    g.bench_function("xorshift64star_u64", |b| b.iter(|| black_box(xs.next_u64())));
+    g.bench_function("xorshift64star_u64", |b| {
+        b.iter(|| black_box(xs.next_u64()))
+    });
     g.finish();
 }
 
@@ -37,7 +39,9 @@ fn bench_samplers(c: &mut Criterion) {
     let mut rng = Taus88::from_seed(2);
 
     let ideal = IdealLaplace::new(20.0).expect("λ = 20");
-    g.bench_function("ideal_f64", |b| b.iter(|| black_box(ideal.sample(&mut rng))));
+    g.bench_function("ideal_f64", |b| {
+        b.iter(|| black_box(ideal.sample(&mut rng)))
+    });
 
     let analytic = FxpLaplace::analytic(cfg);
     g.bench_function("fxp_analytic", |b| {
@@ -45,7 +49,9 @@ fn bench_samplers(c: &mut Criterion) {
     });
 
     let hw = FxpLaplace::cordic(cfg, CordicLn::new(24));
-    g.bench_function("fxp_cordic", |b| b.iter(|| black_box(hw.sample_index(&mut rng))));
+    g.bench_function("fxp_cordic", |b| {
+        b.iter(|| black_box(hw.sample_index(&mut rng)))
+    });
 
     // Ablation: the OpenDP-style discrete mechanism at the same scale.
     let discrete = DiscreteLaplace::new(64.0, 2047).expect("valid scale");

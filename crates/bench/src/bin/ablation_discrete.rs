@@ -28,16 +28,14 @@ fn main() {
     println!("Ablation — FxP Laplace + window repair vs discrete-targeting mechanism");
     println!("(sensor range [0, 10], ε = {eps}; windows solved for a 2ε target)\n");
 
-    let t_spec =
-        exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Thresholding).expect("solvable");
+    let t_spec = exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Thresholding).expect("solvable");
     let r_spec = exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Resampling).expect("solvable");
     let thresh = ldp_core::ThresholdingMechanism::new(FxpLaplace::analytic(cfg), range, t_spec)
         .expect("constructible");
     let resamp = ldp_core::ResamplingMechanism::new(FxpLaplace::analytic(cfg), range, r_spec)
         .expect("constructible");
     // Give the discrete mechanism the same window as thresholding.
-    let discrete =
-        DiscreteLaplaceMechanism::new(range, eps, t_spec.n_th_k).expect("constructible");
+    let discrete = DiscreteLaplaceMechanism::new(range, eps, t_spec.n_th_k).expect("constructible");
 
     let x = 5.0;
     let reps = 100_000;

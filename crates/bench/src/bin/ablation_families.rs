@@ -22,9 +22,8 @@ fn main() {
         FxpLaplaceConfig::new(17, 16, delta, 20.0).expect("laplace config"),
     );
     // Gaussian with σ = 2d (a typical (ε, δ) working point at this range).
-    let gaussian = FxpGaussian::new(
-        FxpGaussianConfig::new(17, 16, delta, 20.0).expect("gaussian config"),
-    );
+    let gaussian =
+        FxpGaussian::new(FxpGaussianConfig::new(17, 16, delta, 20.0).expect("gaussian config"));
     let staircase = FxpStaircase::new(
         FxpStaircaseConfig::new(17, 16, delta).expect("staircase config"),
         IdealStaircase::optimal(0.5, 10.0).expect("staircase distribution"),

@@ -42,7 +42,9 @@ fn main() {
         // Local: every report noised by the DP-Box mechanism, few trials
         // (each trial privatizes the whole cohort).
         let setup = ExperimentSetup::paper_default(&spec, eps).expect("setup");
-        let mech = setup.thresholding(ldp_bench::LOSS_MULTIPLE).expect("thresholding");
+        let mech = setup
+            .thresholding(ldp_bench::LOSS_MULTIPLE)
+            .expect("thresholding");
         let local_trials = 20;
         let mut local_mae = 0.0;
         for _ in 0..local_trials {
@@ -50,7 +52,9 @@ fn main() {
                 .iter()
                 .map(|&x| {
                     let code = setup.adc.encode(x) as f64;
-                    setup.adc.decode(mech.privatize(code, &mut rng).value.round() as i64)
+                    setup
+                        .adc
+                        .decode(mech.privatize(code, &mut rng).value.round() as i64)
                 })
                 .collect();
             local_mae += (Query::Mean.exec(&noised) - truth).abs();

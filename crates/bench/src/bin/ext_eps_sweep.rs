@@ -10,7 +10,10 @@ use ulp_rng::Taus88;
 fn main() {
     let spec = statlog_heart();
     let data = generate(&spec, ldp_bench::SEED);
-    println!("Extension — privacy/utility frontier on {} (mean query)\n", spec.name);
+    println!(
+        "Extension — privacy/utility frontier on {} (mean query)\n",
+        spec.name
+    );
     let mut t = TextTable::new(vec![
         "ε",
         "ideal rel-MAE",

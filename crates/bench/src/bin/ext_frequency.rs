@@ -9,8 +9,7 @@ use ulp_rng::Taus88;
 fn main() {
     let spec = robot_sensors();
     let data = generate(&spec, ldp_bench::SEED);
-    let oracle =
-        FrequencyOracle::new(spec.min, spec.max, 10, 2.0).expect("valid oracle");
+    let oracle = FrequencyOracle::new(spec.min, spec.max, 10, 2.0).expect("valid oracle");
     let mut rng = Taus88::from_seed(ldp_bench::SEED ^ 0xF0);
     let est = oracle.estimate(&data, &mut rng);
     let truth = oracle.true_shares(&data);

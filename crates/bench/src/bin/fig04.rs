@@ -32,7 +32,12 @@ fn main() {
 
     println!("(b) tail: quantized probabilities, gaps, and a hard cutoff");
     let unit = 1.0 / pmf.total_weight() as f64;
-    let mut tail = TextTable::new(vec!["n", "ideal density·Δ", "FxP Pr[n=kΔ]", "multiple of 2^-(Bu+1)"]);
+    let mut tail = TextTable::new(vec![
+        "n",
+        "ideal density·Δ",
+        "FxP Pr[n=kΔ]",
+        "multiple of 2^-(Bu+1)",
+    ]);
     let top = pmf.support_max_k();
     for k in (top - 40..=top + 4).step_by(4) {
         let x = k as f64 * cfg.delta();

@@ -12,8 +12,14 @@ fn main() {
     let cfg = FxpLaplaceConfig::new(17, 12, 10.0 / 32.0, 20.0).expect("paper configuration");
     let pmf = FxpNoisePmf::closed_form(cfg);
     let range = QuantizedRange::new(0, 32, cfg.delta()).expect("valid range");
-    let spec = exact_threshold(cfg, &pmf, range, ldp_bench::LOSS_MULTIPLE, LimitMode::Resampling)
-        .expect("solvable threshold");
+    let spec = exact_threshold(
+        cfg,
+        &pmf,
+        range,
+        ldp_bench::LOSS_MULTIPLE,
+        LimitMode::Resampling,
+    )
+    .expect("solvable threshold");
 
     println!(
         "Fig. 6 — resampling: n_th = {} grid units ({:.1} in value), loss target {}ε",
@@ -39,5 +45,8 @@ fn main() {
         d_m.norm() as f64 / pmf.total_weight() as f64
     );
     let worst = worst_case_loss_extremes(&pmf, range, LimitMode::Resampling, Some(spec.n_th_k));
-    println!("exact worst-case loss: {worst:?} (target {})", spec.guaranteed_loss);
+    println!(
+        "exact worst-case loss: {worst:?} (target {})",
+        spec.guaranteed_loss
+    );
 }

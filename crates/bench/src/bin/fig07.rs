@@ -37,7 +37,11 @@ fn main() {
         rows.push(hi);
     }
     for y in rows {
-        let note = if y == lo || y == hi { "boundary atom" } else { "" };
+        let note = if y == lo || y == hi {
+            "boundary atom"
+        } else {
+            ""
+        };
         t.row(vec![
             format!("{:.1}", range.to_value(y)),
             format!("{:.5}", d_m.prob(y)),
@@ -53,5 +57,8 @@ fn main() {
         d_max.prob(hi)
     );
     let worst = worst_case_loss_extremes(&pmf, range, LimitMode::Thresholding, Some(spec.n_th_k));
-    println!("exact worst-case loss: {worst:?} (target {})", spec.guaranteed_loss);
+    println!(
+        "exact worst-case loss: {worst:?} (target {})",
+        spec.guaranteed_loss
+    );
 }

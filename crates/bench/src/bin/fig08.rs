@@ -25,11 +25,7 @@ fn main() {
         table.base_loss(),
         table.base_loss() / eps
     );
-    let mut t = TextTable::new(vec![
-        "output region (beyond M)",
-        "charged loss",
-        "loss / ε",
-    ]);
+    let mut t = TextTable::new(vec!["output region (beyond M)", "charged loss", "loss / ε"]);
     t.row(vec![
         "within [m, M]".into(),
         format!("{:.3}", table.base_loss()),

@@ -4,8 +4,8 @@
 //! preserved. Resampling/thresholding eliminate every distinguishing output.
 
 use ldp_core::Mechanism;
-use ldp_eval::{distinguishing_bins, ExperimentSetup, Histogram};
 use ldp_datasets::statlog_heart;
+use ldp_eval::{distinguishing_bins, ExperimentSetup, Histogram};
 use ulp_rng::Taus88;
 
 fn main() {
@@ -16,14 +16,20 @@ fn main() {
     let reps = 20_000usize;
 
     let naive = setup.baseline().expect("baseline");
-    let thresh = setup.thresholding(ldp_bench::LOSS_MULTIPLE).expect("thresholding");
+    let thresh = setup
+        .thresholding(ldp_bench::LOSS_MULTIPLE)
+        .expect("thresholding");
 
     let run = |mech: &dyn Mechanism, x: f64, seed: u64| -> Histogram {
         let mut rng = Taus88::from_seed(seed);
         let code = setup.adc.encode(x) as f64;
         // Bin outputs on the code grid over the widest possible window.
         let span = setup.pmf.support_max_k() + setup.range.span_k();
-        let mut h = Histogram::new(-(span as f64), span as f64 + 1.0, (2 * span + 1) as usize / 8);
+        let mut h = Histogram::new(
+            -(span as f64),
+            span as f64 + 1.0,
+            (2 * span + 1) as usize / 8,
+        );
         for _ in 0..reps {
             h.add(mech.privatize(code, &mut rng).value - setup.range.min_k() as f64);
         }
@@ -43,23 +49,26 @@ fn main() {
     let h1t = run(&thresh, x1, 43);
     let h2t = run(&thresh, x2, 44);
     let d_thresh = distinguishing_bins(&h1t, &h2t);
-    println!(
-        "    thresholding: {d_thresh} distinguishing bins (sampling noise only)."
-    );
+    println!("    thresholding: {d_thresh} distinguishing bins (sampling noise only).");
 
     // Ground truth from the exact distributions, not samples:
     let c1 = ldp_core::ConditionalDist::naive(&setup.pmf, setup.adc.encode(x1));
     let c2 = ldp_core::ConditionalDist::naive(&setup.pmf, setup.adc.encode(x2));
     let certified_naive = ldp_eval::certified_distinguishing_outputs(&c1, &c2);
     let n_th = thresh.threshold().n_th_k;
-    let t1 = ldp_core::ConditionalDist::thresholded(&setup.pmf, setup.range, n_th, setup.adc.encode(x1));
-    let t2 = ldp_core::ConditionalDist::thresholded(&setup.pmf, setup.range, n_th, setup.adc.encode(x2));
+    let t1 =
+        ldp_core::ConditionalDist::thresholded(&setup.pmf, setup.range, n_th, setup.adc.encode(x1));
+    let t2 =
+        ldp_core::ConditionalDist::thresholded(&setup.pmf, setup.range, n_th, setup.adc.encode(x2));
     let certified_thresh = ldp_eval::certified_distinguishing_outputs(&t1, &t2);
     println!(
         "    certified (exact distributions): naive {certified_naive} distinguishing \
          outputs, thresholding {certified_thresh}."
     );
-    assert!(d_naive > 0, "naive mechanism must show distinguishing outputs");
+    assert!(
+        d_naive > 0,
+        "naive mechanism must show distinguishing outputs"
+    );
     assert_eq!(certified_thresh, 0);
     println!("\n=> naive FxP noising leaks; the proposed DP-Box does not.");
 }

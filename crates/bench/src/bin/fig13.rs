@@ -2,15 +2,18 @@
 //! error of the adversary's estimate as a function of request count, with
 //! no budget and with two finite budgets.
 
-use ldp_eval::{averaging_attack, ExperimentSetup, TextTable};
 use ldp_datasets::statlog_heart;
+use ldp_eval::{averaging_attack, ExperimentSetup, TextTable};
 
 fn main() {
     let setup = ExperimentSetup::paper_default(&statlog_heart(), 0.5).expect("setup");
     let x = 131.0;
     let checkpoints = [1u64, 10, 100, 1_000, 10_000, 50_000];
-    let budgets: [(&str, Option<f64>); 3] =
-        [("no budget", None), ("B = 50", Some(50.0)), ("B = 10", Some(10.0))];
+    let budgets: [(&str, Option<f64>); 3] = [
+        ("no budget", None),
+        ("B = 50", Some(50.0)),
+        ("B = 10", Some(10.0)),
+    ];
 
     println!("Fig. 13 — adversary estimate error vs #requests (ε = 0.5, thresholding)");
     let mut t = TextTable::new(vec!["requests", "no budget", "B = 50", "B = 10"]);

@@ -44,7 +44,11 @@ fn print_panel(title: &str, by: u8, sizes: &[usize]) {
 fn main() {
     println!("Fig. 15 — mean-query relative MAE vs dataset size (ε = 0.5)\n");
     let sizes = [100usize, 300, 1_000, 3_000, 10_000];
-    print_panel("(a) wide output word: error → 0 for every setting", 20, &sizes);
+    print_panel(
+        "(a) wide output word: error → 0 for every setting",
+        20,
+        &sizes,
+    );
     print_panel(
         "(b) narrow output word: resampling/thresholding hit a floor",
         10,

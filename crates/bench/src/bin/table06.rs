@@ -24,8 +24,13 @@ fn main() {
         for (i, &n) in sizes.iter().enumerate() {
             let mut acc = 0.0;
             for s in 0..seeds {
-                acc += svm_accuracy(n, privacy, &test, ldp_bench::SEED + i as u64 + 1000 * s + 77 * i as u64)
-                    .expect("svm evaluation");
+                acc += svm_accuracy(
+                    n,
+                    privacy,
+                    &test,
+                    ldp_bench::SEED + i as u64 + 1000 * s + 77 * i as u64,
+                )
+                .expect("svm evaluation");
             }
             cells.push(fmt_pct(acc / seeds as f64));
         }

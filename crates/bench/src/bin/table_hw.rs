@@ -21,8 +21,14 @@ fn main() {
     ]);
     for (label, imp) in [
         ("DP-Box hardware", Implementation::HardwareDpBox),
-        ("software, 20-bit fixed point", Implementation::SoftwareFixedPoint),
-        ("software, half-precision float", Implementation::SoftwareHalfFloat),
+        (
+            "software, 20-bit fixed point",
+            Implementation::SoftwareFixedPoint,
+        ),
+        (
+            "software, half-precision float",
+            Implementation::SoftwareHalfFloat,
+        ),
     ] {
         let benefit = if imp == Implementation::HardwareDpBox {
             "1×".to_string()

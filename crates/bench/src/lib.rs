@@ -48,9 +48,8 @@ pub fn run_utility_table(title: &str, query: ldp_datasets::Query) {
 
     println!("{title} (ε = {EPS_UTILITY}, {TRIALS} trials, loss target {LOSS_MULTIPLE}ε)");
     let specs = ldp_datasets::all_benchmarks();
-    let rows =
-        ldp_eval::utility_table(&specs, query, EPS_UTILITY, LOSS_MULTIPLE, TRIALS, SEED)
-            .expect("utility evaluation");
+    let rows = ldp_eval::utility_table(&specs, query, EPS_UTILITY, LOSS_MULTIPLE, TRIALS, SEED)
+        .expect("utility evaluation");
     let mut t = TextTable::new(vec![
         "dataset",
         "Ideal MAE",

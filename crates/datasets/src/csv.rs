@@ -18,7 +18,11 @@ pub struct ParseCsvError {
 
 impl fmt::Display for ParseCsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: cannot parse {:?} as a number", self.line, self.content)
+        write!(
+            f,
+            "line {}: cannot parse {:?} as a number",
+            self.line, self.content
+        )
     }
 }
 

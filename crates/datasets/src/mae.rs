@@ -142,8 +142,7 @@ mod tests {
         // Mechanism adds +3 to every value → mean query biased by +3.
         let biased = evaluate_query(&raw, |x| x + 3.0, Query::Mean, 4, 10.0);
         assert!((biased.mae - 3.0).abs() < 1e-12);
-        let debiased =
-            evaluate_query_debiased(&raw, |x| x + 3.0, Query::Mean, 4, 10.0, 3.0);
+        let debiased = evaluate_query_debiased(&raw, |x| x + 3.0, Query::Mean, 4, 10.0, 3.0);
         assert_eq!(debiased.mae, 0.0);
     }
 

@@ -63,7 +63,10 @@ impl Query {
             }
             Query::Count { threshold } => data.iter().filter(|&&x| x >= threshold).count() as f64,
             Query::Quantile { q } => {
-                assert!(q > 0.0 && q < 1.0, "quantile level must be in (0,1), got {q}");
+                assert!(
+                    q > 0.0 && q < 1.0,
+                    "quantile level must be in (0,1), got {q}"
+                );
                 let mut sorted = data.to_vec();
                 sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in data"));
                 let pos = q * (sorted.len() - 1) as f64;
@@ -145,7 +148,10 @@ mod tests {
     fn error_scales_are_sane() {
         assert_eq!(Query::Mean.error_scale(10.0, 100), 10.0);
         assert_eq!(Query::Variance.error_scale(10.0, 100), 25.0);
-        assert_eq!(Query::Count { threshold: 0.0 }.error_scale(10.0, 100), 100.0);
+        assert_eq!(
+            Query::Count { threshold: 0.0 }.error_scale(10.0, 100),
+            100.0
+        );
     }
 
     #[test]

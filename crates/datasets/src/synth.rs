@@ -82,7 +82,9 @@ fn raw_draw<R: Rng>(spec: &DatasetSpec, rng: &mut R) -> f64 {
 /// ```
 pub fn generate(spec: &DatasetSpec, seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_DA7A);
-    let mut data: Vec<f64> = (0..spec.entries).map(|_| raw_draw(spec, &mut rng)).collect();
+    let mut data: Vec<f64> = (0..spec.entries)
+        .map(|_| raw_draw(spec, &mut rng))
+        .collect();
 
     // Affine moment correction toward the spec's mean/std.
     let n = data.len() as f64;
@@ -209,7 +211,11 @@ mod tests {
         let mut sorted = data.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = sorted[sorted.len() / 2];
-        assert!(sum.mean > median, "right skew: mean {} > median {median}", sum.mean);
+        assert!(
+            sum.mean > median,
+            "right skew: mean {} > median {median}",
+            sum.mean
+        );
     }
 
     #[test]

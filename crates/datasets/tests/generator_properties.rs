@@ -1,6 +1,6 @@
 //! Property-based tests for the dataset generators and queries.
 
-use ldp_datasets::{evaluate_query, from_csv, generate, summarize, to_csv, DatasetSpec, Query, Shape};
+use ldp_datasets::{evaluate_query, from_csv, generate, to_csv, DatasetSpec, Query, Shape};
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = DatasetSpec> {

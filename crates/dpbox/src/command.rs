@@ -38,6 +38,11 @@ pub enum Command {
     SetThreshold,
     /// Hold the DP-Box idle (without it, noising would immediately restart).
     DoNothing,
+    /// Clear a latched URNG health alarm and rerun the startup health test.
+    /// Recovery from a [`HealthFault`](crate::Phase::HealthFault) is
+    /// deliberate: only this command (never `DoNothing` or a timeout)
+    /// re-arms fresh noising, and only if the retest passes.
+    ResetHealth,
 }
 
 /// Error decoding a 3-bit command word.
@@ -65,6 +70,7 @@ impl From<Command> for u8 {
             Command::SetSensorRangeLower => 0b100,
             Command::SetThreshold => 0b101,
             Command::DoNothing => 0b110,
+            Command::ResetHealth => 0b111,
         }
     }
 }
@@ -81,6 +87,7 @@ impl TryFrom<u8> for Command {
             0b100 => Ok(Command::SetSensorRangeLower),
             0b101 => Ok(Command::SetThreshold),
             0b110 => Ok(Command::DoNothing),
+            0b111 => Ok(Command::ResetHealth),
             other => Err(DecodeCommandError(other)),
         }
     }
@@ -92,21 +99,21 @@ mod tests {
 
     #[test]
     fn roundtrip_all_commands() {
-        for bits in 0u8..=0b110 {
+        for bits in 0u8..=0b111 {
             let cmd = Command::try_from(bits).unwrap();
             assert_eq!(u8::from(cmd), bits);
         }
     }
 
     #[test]
-    fn unassigned_encoding_is_rejected() {
-        assert_eq!(Command::try_from(0b111), Err(DecodeCommandError(0b111)));
+    fn wider_than_three_bit_encodings_are_rejected() {
+        assert_eq!(Command::try_from(0b1000), Err(DecodeCommandError(0b1000)));
         assert_eq!(Command::try_from(0xFF), Err(DecodeCommandError(0xFF)));
     }
 
     #[test]
     fn decode_error_displays_encoding() {
-        let e = DecodeCommandError(0b111);
-        assert!(e.to_string().contains("0b111"));
+        let e = DecodeCommandError(0b1000);
+        assert!(e.to_string().contains("0b1000"));
     }
 }

@@ -25,7 +25,10 @@
 
 use ldp_core::{LimitMode, QuantizedRange, SegmentTable};
 use ulp_fixed::QFormat;
-use ulp_rng::{CordicLn, FxpLaplaceConfig, FxpNoisePmf, RandomBits, Taus88};
+use ulp_rng::{
+    CordicLn, FxpLaplaceConfig, FxpNoisePmf, HealthAlarm, HealthConfig, RandomBits, Taus88,
+    UrngHealth,
+};
 
 use crate::command::Command;
 use crate::error::DpBoxError;
@@ -63,7 +66,8 @@ impl Default for DpBoxConfig {
     }
 }
 
-/// Operating phase of the DP-Box FSM (Section IV-C).
+/// Operating phase of the DP-Box FSM (Section IV-C, extended with the
+/// fail-safe health-fault state).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     /// Boot-time configuration: budget and replenishment period settable.
@@ -72,6 +76,10 @@ pub enum Phase {
     Waiting,
     /// Actively noising a sensor value.
     Noising,
+    /// The URNG health monitor tripped: the distributional ε guarantee is
+    /// void, so the device serves only cached outputs until an explicit
+    /// [`Command::ResetHealth`] retest passes.
+    HealthFault,
 }
 
 /// Counters exposed for the evaluation harness.
@@ -85,6 +93,8 @@ pub struct DpBoxStats {
     pub resamples: u64,
     /// Cycles spent in the noising phase (the energy-relevant activity).
     pub busy_cycles: u64,
+    /// URNG health alarms latched (trips plus failed retests).
+    pub health_alarms: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -108,6 +118,13 @@ struct StagedSample {
 const LOG_FRAC: u8 = 24;
 
 /// The DP-Box hardware module.
+///
+/// Generic over the URNG bit source `R` (defaulting to the paper's
+/// [`Taus88`]) so fault-injection campaigns can substitute degraded
+/// sources via [`DpBox::with_urng`]. Every word the noise pipeline draws
+/// is fed through the continuous health tests ([`UrngHealth`]); a trip
+/// moves the FSM to [`Phase::HealthFault`], from which only cached outputs
+/// are served until an explicit [`Command::ResetHealth`] retest passes.
 ///
 /// # Examples
 ///
@@ -134,11 +151,12 @@ const LOG_FRAC: u8 = 24;
 /// # Ok::<(), dp_box::DpBoxError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct DpBox {
+pub struct DpBox<R = Taus88> {
     cfg: DpBoxConfig,
     fmt: QFormat,
     phase: Phase,
-    urng: Taus88,
+    urng: R,
+    health: Option<UrngHealth>,
     cordic: CordicLn,
     // Configuration registers (initialization phase).
     budget: Option<f64>,
@@ -161,18 +179,35 @@ pub struct DpBox {
     noising_subcycle: u8,
     output: Option<i64>,
     ready: bool,
+    fault: Option<HealthAlarm>,
     stats: DpBoxStats,
     trace: Option<Trace>,
 }
 
 impl DpBox {
-    /// Creates a DP-Box in the initialization phase.
+    /// Creates a DP-Box in the initialization phase, with the paper's
+    /// Tausworthe URNG seeded from the configuration.
     ///
     /// # Errors
     ///
     /// [`DpBoxError::InvalidConfig`] for invalid word widths or segment
     /// multiples.
     pub fn new(cfg: DpBoxConfig) -> Result<Self, DpBoxError> {
+        let urng = Taus88::from_seed(cfg.seed);
+        DpBox::with_urng(cfg, urng)
+    }
+}
+
+impl<R: RandomBits> DpBox<R> {
+    /// Creates a DP-Box in the initialization phase running on a caller
+    /// supplied URNG — the hook fault-injection campaigns use to substitute
+    /// degraded bit sources (the configuration's `seed` is ignored).
+    ///
+    /// # Errors
+    ///
+    /// [`DpBoxError::InvalidConfig`] for invalid word widths or segment
+    /// multiples.
+    pub fn with_urng(cfg: DpBoxConfig, urng: R) -> Result<Self, DpBoxError> {
         let fmt = QFormat::new(cfg.word_bits, cfg.frac_bits)
             .map_err(|_| DpBoxError::InvalidConfig("bad datapath format"))?;
         if cfg.bu < 3 || cfg.bu > 53 {
@@ -186,12 +221,12 @@ impl DpBox {
                 "segment multiples must be ascending and > 1",
             ));
         }
-        let urng = Taus88::from_seed(cfg.seed);
         let cordic = CordicLn::new(cfg.cordic_iterations);
         Ok(DpBox {
             fmt,
             phase: Phase::Initialization,
             urng,
+            health: Some(UrngHealth::default()),
             cordic,
             budget: None,
             replenish_period: 0,
@@ -210,6 +245,7 @@ impl DpBox {
             noising_subcycle: 0,
             output: None,
             ready: false,
+            fault: None,
             stats: DpBoxStats::default(),
             trace: None,
             cfg,
@@ -265,6 +301,34 @@ impl DpBox {
         self.mode
     }
 
+    /// The URNG health monitor, if enabled.
+    pub fn health(&self) -> Option<&UrngHealth> {
+        self.health.as_ref()
+    }
+
+    /// The latched health alarm, if a continuous test has tripped.
+    pub fn health_alarm(&self) -> Option<HealthAlarm> {
+        self.fault
+    }
+
+    /// Replaces the health monitor with a fresh one built from `cfg`.
+    ///
+    /// Takes effect immediately but does *not* clear a latched
+    /// [`Phase::HealthFault`] — recovery always goes through
+    /// [`Command::ResetHealth`].
+    pub fn set_health_config(&mut self, cfg: HealthConfig) {
+        self.health = Some(UrngHealth::new(cfg));
+    }
+
+    /// Disables URNG health monitoring entirely.
+    ///
+    /// Intended for structural-bound experiments only: without the monitor
+    /// the device keeps noising on arbitrarily degraded URNGs and the
+    /// distributional ε guarantee is uncertified.
+    pub fn disable_health(&mut self) {
+        self.health = None;
+    }
+
     /// Enables the cycle-stamped event trace (the simulator's waveform
     /// dump), keeping at most `capacity` events.
     pub fn enable_trace(&mut self, capacity: usize) {
@@ -279,7 +343,9 @@ impl DpBox {
     /// Renders the captured trace as a VCD waveform document (see
     /// [`crate::trace_to_vcd`]); `None` if tracing is disabled.
     pub fn export_vcd(&self) -> Option<String> {
-        self.trace.as_ref().map(|t| crate::vcd::trace_to_vcd(t, "dp_box"))
+        self.trace
+            .as_ref()
+            .map(|t| crate::vcd::trace_to_vcd(t, "dp_box"))
     }
 
     fn record(&mut self, event: TraceEvent) {
@@ -313,7 +379,9 @@ impl DpBox {
     /// if the operand does not fit the datapath word;
     /// [`DpBoxError::MissingParameters`] when `StartNoising` arrives before
     /// ε, range, and sensor value are all loaded; solver errors propagate as
-    /// [`DpBoxError::Privacy`].
+    /// [`DpBoxError::Privacy`]; [`DpBoxError::UrngHealthFault`] for any
+    /// command other than `DoNothing`/`ResetHealth` (or a cache-serving
+    /// `StartNoising`) while a health alarm is latched.
     pub fn issue(&mut self, cmd: Command, input: i64) -> Result<(), DpBoxError> {
         if self.phase == Phase::Noising && cmd != Command::DoNothing {
             return Err(DpBoxError::Busy);
@@ -323,6 +391,7 @@ impl DpBox {
             Phase::Initialization => self.issue_init(cmd, input),
             Phase::Waiting => self.issue_waiting(cmd, input),
             Phase::Noising => Ok(()), // DoNothing only, already filtered
+            Phase::HealthFault => self.issue_faulted(cmd),
         };
         if result.is_ok() {
             let cycle = self.cycles;
@@ -378,9 +447,13 @@ impl DpBox {
                 Ok(())
             }
             Command::DoNothing => Ok(()),
-            Command::SetSensorValue | Command::SetSensorRangeLower => Err(
-                DpBoxError::WrongPhase("sensor parameters are loaded after initialization"),
-            ),
+            Command::ResetHealth => {
+                self.reset_health();
+                Ok(())
+            }
+            Command::SetSensorValue | Command::SetSensorRangeLower => Err(DpBoxError::WrongPhase(
+                "sensor parameters are loaded after initialization",
+            )),
         }
     }
 
@@ -423,6 +496,79 @@ impl DpBox {
                 Ok(())
             }
             Command::DoNothing => Ok(()),
+            Command::ResetHealth => {
+                self.reset_health();
+                Ok(())
+            }
+        }
+    }
+
+    /// Command handling while a health alarm is latched: the fail-safe
+    /// contract is "no fresh noised output until an explicit reset".
+    fn issue_faulted(&mut self, cmd: Command) -> Result<(), DpBoxError> {
+        let alarm = self
+            .fault
+            .expect("HealthFault phase implies a latched alarm");
+        match cmd {
+            // Holding the device idle must NOT clear the alarm.
+            Command::DoNothing => Ok(()),
+            Command::ResetHealth => {
+                self.reset_health();
+                Ok(())
+            }
+            // A noise request is served from the cache if one exists —
+            // replaying an already-released output leaks nothing new —
+            // and refused otherwise.
+            Command::StartNoising => {
+                if let Some(cached) = self.cache {
+                    self.output = Some(cached);
+                    self.ready = true;
+                    self.stats.cached += 1;
+                    let cycle = self.cycles;
+                    self.record(TraceEvent::Output {
+                        cycle,
+                        value: cached,
+                        from_cache: true,
+                    });
+                    Ok(())
+                } else {
+                    Err(DpBoxError::UrngHealthFault(alarm))
+                }
+            }
+            _ => Err(DpBoxError::UrngHealthFault(alarm)),
+        }
+    }
+
+    /// The `ResetHealth` command path: clear the monitor, rerun the startup
+    /// test on fresh URNG words, and only then re-arm fresh noising.
+    fn reset_health(&mut self) {
+        let cycle = self.cycles;
+        let passed = match self.health.as_mut() {
+            Some(h) => {
+                h.reset();
+                h.startup(&mut self.urng).is_ok()
+            }
+            None => true,
+        };
+        self.record(TraceEvent::HealthReset { cycle, passed });
+        if passed {
+            self.fault = None;
+            if self.phase == Phase::HealthFault {
+                self.record_phase(Phase::HealthFault, Phase::Waiting);
+                self.phase = Phase::Waiting;
+                self.ready = false;
+                self.output = None;
+                // Re-stage the sample the waiting phase keeps ready (this
+                // can itself trip and re-enter the fault phase).
+                self.stage_sample();
+            }
+        } else {
+            let alarm = self
+                .health
+                .as_ref()
+                .and_then(|h| h.alarm().copied())
+                .expect("failed retest latches an alarm");
+            self.trip(alarm);
         }
     }
 
@@ -444,8 +590,12 @@ impl DpBox {
         let eps_shift = self
             .eps_shift
             .ok_or(DpBoxError::MissingParameters("epsilon"))?;
-        let r_u = self.r_u.ok_or(DpBoxError::MissingParameters("range upper"))?;
-        let r_l = self.r_l.ok_or(DpBoxError::MissingParameters("range lower"))?;
+        let r_u = self
+            .r_u
+            .ok_or(DpBoxError::MissingParameters("range upper"))?;
+        let r_l = self
+            .r_l
+            .ok_or(DpBoxError::MissingParameters("range lower"))?;
         if r_l >= r_u {
             return Err(DpBoxError::InvalidConfig("range lower must be below upper"));
         }
@@ -457,14 +607,9 @@ impl DpBox {
             .map_err(DpBoxError::Rng)?;
         let range = QuantizedRange::new(r_l, r_u, delta).map_err(DpBoxError::Privacy)?;
         let pmf = FxpNoisePmf::closed_form(lap_cfg);
-        let table = SegmentTable::build(
-            lap_cfg,
-            &pmf,
-            range,
-            &self.cfg.segment_multiples,
-            self.mode,
-        )
-        .map_err(DpBoxError::Privacy)?;
+        let table =
+            SegmentTable::build(lap_cfg, &pmf, range, &self.cfg.segment_multiples, self.mode)
+                .map_err(DpBoxError::Privacy)?;
         let n_th_k = table.outermost().0;
         self.ctx = Some(NoisingCtx {
             lap_cfg,
@@ -476,15 +621,62 @@ impl DpBox {
         Ok(())
     }
 
+    /// Latches a health alarm: record it, stamp the FSM into the fail-safe
+    /// phase, and void any staged (now uncertified) sample. The last
+    /// *released* output is deliberately left intact — it becomes the cache
+    /// the fault phase serves.
+    fn trip(&mut self, alarm: HealthAlarm) {
+        self.fault = Some(alarm);
+        self.stats.health_alarms += 1;
+        let cycle = self.cycles;
+        self.record(TraceEvent::HealthAlarm { cycle, alarm });
+        if self.phase != Phase::HealthFault {
+            self.record_phase(self.phase, Phase::HealthFault);
+            self.phase = Phase::HealthFault;
+        }
+        self.staged = None;
+    }
+
+    /// Draws one URNG word through the continuous health tests. A trip
+    /// latches the fault phase; the word is still returned (the hardware
+    /// pipeline has already consumed it) but its consumer's result is
+    /// discarded by the early-outs on [`Phase::HealthFault`].
+    fn draw_word(&mut self) -> u32 {
+        let w = self.urng.next_u32();
+        if let Some(h) = self.health.as_mut() {
+            if !h.is_alarmed() {
+                if let Err(alarm) = h.observe(w) {
+                    self.trip(alarm);
+                }
+            }
+        }
+        w
+    }
+
     /// Draws and stages one Laplace sample (sign + CORDIC `-ln u`), the
     /// work the waiting phase does ahead of time.
+    ///
+    /// The word-consumption pattern matches the pre-health pipeline
+    /// bit-for-bit: one word for the sign (MSB), then one or two words for
+    /// the `Bu−1` magnitude bits (high bits first), so seeded streams
+    /// reproduce historical outputs exactly.
     fn stage_sample(&mut self) {
-        let negative = self.urng.bit();
+        let negative = self.draw_word() >> 31 == 1;
         let mag_bits = self.cfg.bu - 1;
-        let m = self.urng.bits(mag_bits) + 1;
+        let m = if mag_bits <= 32 {
+            u64::from(self.draw_word()) >> (32 - u32::from(mag_bits))
+        } else {
+            let hi = u64::from(self.draw_word());
+            let lo = u64::from(self.draw_word());
+            ((hi << 32) | lo) >> (64 - u32::from(mag_bits))
+        } + 1;
+        if self.phase == Phase::HealthFault {
+            // The draw tripped the monitor: the sample is uncertified.
+            return;
+        }
         // u = m · 2^-(Bu-1) as a fixed-point word.
-        let in_fmt = QFormat::new((mag_bits + 2).min(63), mag_bits)
-            .expect("Bu ≤ 53 keeps the format valid");
+        let in_fmt =
+            QFormat::new((mag_bits + 2).min(63), mag_bits).expect("Bu ≤ 53 keeps the format valid");
         let u = ulp_fixed::Fx::from_raw(m as i64, in_fmt).expect("m fits the word");
         let out_fmt = QFormat::new(40, LOG_FRAC).expect("valid log format");
         let ln_u = self
@@ -563,12 +755,19 @@ impl DpBox {
             Some(s) => s,
             None => {
                 self.stage_sample();
-                self.staged.take().expect("just staged")
+                match self.staged.take() {
+                    Some(s) => s,
+                    // The health monitor tripped mid-draw: the FSM is in
+                    // HealthFault and this request is abandoned unserved.
+                    None => return,
+                }
             }
         };
         let x = self.x_raw.expect("validated at StartNoising");
         let k = self.staged_noise_k(staged);
-        let tmp = x.saturating_add(k).clamp(self.fmt.min_raw(), self.fmt.max_raw());
+        let tmp = x
+            .saturating_add(k)
+            .clamp(self.fmt.min_raw(), self.fmt.max_raw());
         let (lo, hi) = (range_min - n_th_k, range_max + n_th_k);
         let in_window = tmp >= lo && tmp <= hi;
         match self.mode {
@@ -597,7 +796,11 @@ impl DpBox {
                 self.remaining -= charge;
                 let cycle = self.cycles;
                 let remaining = self.remaining;
-                self.record(TraceEvent::BudgetCharge { cycle, charge, remaining });
+                self.record(TraceEvent::BudgetCharge {
+                    cycle,
+                    charge,
+                    remaining,
+                });
                 self.finish(y, false);
             }
         }
@@ -608,7 +811,11 @@ impl DpBox {
         self.ready = true;
         self.cache = Some(y);
         let cycle = self.cycles;
-        self.record(TraceEvent::Output { cycle, value: y, from_cache });
+        self.record(TraceEvent::Output {
+            cycle,
+            value: y,
+            from_cache,
+        });
         self.record_phase(self.phase, Phase::Waiting);
         self.phase = Phase::Waiting;
         if from_cache {
@@ -627,7 +834,8 @@ impl DpBox {
     ///
     /// Propagates [`DpBox::issue`] errors; returns
     /// [`DpBoxError::BudgetExhausted`] when the device halts with no cached
-    /// output.
+    /// output, and [`DpBoxError::UrngHealthFault`] when the health monitor
+    /// trips before this request could be served.
     pub fn noise_value(&mut self, x_raw: i64) -> Result<(i64, u64), DpBoxError> {
         self.issue(Command::SetSensorValue, x_raw)?;
         let start = self.cycles;
@@ -638,7 +846,10 @@ impl DpBox {
         let taken = self.cycles - start;
         match self.output() {
             Some(y) => Ok((y, taken)),
-            None => Err(DpBoxError::BudgetExhausted),
+            None => match self.fault {
+                Some(alarm) => Err(DpBoxError::UrngHealthFault(alarm)),
+                None => Err(DpBoxError::BudgetExhausted),
+            },
         }
     }
 }

@@ -120,8 +120,7 @@ impl EnergyModel {
     pub fn session_energy(&self, imp: Implementation, stats: &crate::DpBoxStats) -> f64 {
         let base = self.energy_per_noising(imp, 0);
         let marginal_resample = self.energy_per_noising(imp, 1) - base;
-        let cached_read =
-            self.dpbox_power_w / self.clock_hz; // one cycle of the module
+        let cached_read = self.dpbox_power_w / self.clock_hz; // one cycle of the module
         stats.noisings as f64 * base
             + stats.resamples as f64 * marginal_resample
             + stats.cached as f64 * cached_read
@@ -184,6 +183,7 @@ mod tests {
             cached: 10,
             resamples: 5,
             busy_cycles: 0,
+            health_alarms: 0,
         };
         let hw = m.session_energy(Implementation::HardwareDpBox, &stats);
         // 100 noisings × 4 cycles + 5 resample cycles + 10 read cycles,

@@ -3,7 +3,7 @@
 use core::fmt;
 
 use ldp_core::LdpError;
-use ulp_rng::RngError;
+use ulp_rng::{HealthAlarm, RngError};
 
 /// Error raised by the DP-Box port interface or configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +25,10 @@ pub enum DpBoxError {
     MissingParameters(&'static str),
     /// The privacy budget is spent and no cached output exists.
     BudgetExhausted,
+    /// The URNG health monitor has tripped: the distributional ε guarantee
+    /// can no longer be certified, so the device refuses to emit fresh
+    /// noised outputs until an explicit `ResetHealth` retest passes.
+    UrngHealthFault(HealthAlarm),
     /// A privacy-analysis error (threshold/segment solving).
     Privacy(LdpError),
     /// An RNG-substrate error.
@@ -45,6 +49,9 @@ impl fmt::Display for DpBoxError {
             }
             DpBoxError::BudgetExhausted => {
                 write!(f, "privacy budget exhausted with no cached output")
+            }
+            DpBoxError::UrngHealthFault(alarm) => {
+                write!(f, "fresh noising refused: {alarm}")
             }
             DpBoxError::Privacy(e) => write!(f, "privacy analysis error: {e}"),
             DpBoxError::Rng(e) => write!(f, "rng error: {e}"),

@@ -49,3 +49,6 @@ pub use energy::{EnergyModel, Implementation};
 pub use error::DpBoxError;
 pub use trace::{Trace, TraceEvent};
 pub use vcd::trace_to_vcd;
+// Health-monitoring vocabulary, re-exported so device users can configure
+// the monitor and inspect alarms without depending on `ulp-rng` directly.
+pub use ulp_rng::{HealthAlarm, HealthConfig, HealthTest, UrngHealth};

@@ -7,6 +7,7 @@
 use std::collections::VecDeque;
 
 use ldp_core::LimitMode;
+use ulp_rng::HealthAlarm as UrngHealthAlarm;
 
 use crate::command::Command;
 use crate::device::Phase;
@@ -67,6 +68,20 @@ pub enum TraceEvent {
         /// Cycle stamp.
         cycle: u64,
     },
+    /// The URNG health monitor tripped; the device enters `HealthFault`.
+    HealthAlarm {
+        /// Cycle stamp.
+        cycle: u64,
+        /// The continuous-test alarm that latched.
+        alarm: UrngHealthAlarm,
+    },
+    /// An explicit reset-and-retest (`ResetHealth`) was performed.
+    HealthReset {
+        /// Cycle stamp.
+        cycle: u64,
+        /// Whether the startup retest passed (`false` latches a new alarm).
+        passed: bool,
+    },
 }
 
 impl TraceEvent {
@@ -79,7 +94,9 @@ impl TraceEvent {
             | TraceEvent::Resample { cycle }
             | TraceEvent::Output { cycle, .. }
             | TraceEvent::BudgetCharge { cycle, .. }
-            | TraceEvent::Replenish { cycle } => *cycle,
+            | TraceEvent::Replenish { cycle }
+            | TraceEvent::HealthAlarm { cycle, .. }
+            | TraceEvent::HealthReset { cycle, .. } => *cycle,
         }
     }
 }

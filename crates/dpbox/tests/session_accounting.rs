@@ -75,5 +75,9 @@ fn two_sessions_same_seed_are_identical() {
     assert_eq!(a.stats(), b.stats());
     assert_eq!(a.export_vcd(), b.export_vcd());
     let c = run_session(8, 25);
-    assert_ne!(a.export_vcd(), c.export_vcd(), "different seeds must differ");
+    assert_ne!(
+        a.export_vcd(),
+        c.export_vcd(),
+        "different seeds must differ"
+    );
 }

@@ -1,0 +1,126 @@
+//! The structural leg of the ε-LDP guarantee: in thresholding mode the
+//! released value can never leave `[min_k − n_th, max_k + n_th]`, no matter
+//! what the bit source does. This property must hold with the health
+//! monitor *disabled* and the URNG replaced by every fault wrapper the
+//! crate ships — stuck-at, biased, lag-correlated, mid-mission onset, and
+//! even fully adversarial scripted words — because the window clamp is
+//! combinational hardware downstream of the noise datapath.
+//!
+//! (Resampling mode is excluded by design: under a stuck sign bit it can
+//! redraw forever, which is exactly why the fail-safe pipeline exists. The
+//! structural claim the paper makes is about the thresholding clamp.)
+
+use proptest::prelude::*;
+use ulp_rng::{
+    BiasedBits, CorrelatedBits, OnsetBits, RandomBits, ScriptedBits, StuckAtBits, Taus88,
+};
+
+use dp_box::{Command, DpBox, DpBoxConfig, DpBoxError, Phase};
+
+/// Every fault wrapper in `ulp-rng`, boxed behind the object-safe trait so
+/// one strategy covers them all.
+fn arb_bit_source() -> impl Strategy<Value = Box<dyn RandomBits>> {
+    (0u8..=5, any::<u64>(), 0u8..=31, any::<bool>(), 1u8..=8).prop_map(
+        |(kind, seed, bit, value, lag)| -> Box<dyn RandomBits> {
+            match kind {
+                0 => Box::new(Taus88::from_seed(seed)),
+                1 => Box::new(StuckAtBits::new(Taus88::from_seed(seed), bit, value)),
+                2 => Box::new(BiasedBits::new(
+                    Taus88::from_seed(seed),
+                    bit.wrapping_mul(8),
+                )),
+                3 => Box::new(CorrelatedBits::new(
+                    Taus88::from_seed(seed),
+                    lag,
+                    bit.wrapping_mul(8),
+                )),
+                4 => Box::new(OnsetBits::new(
+                    Taus88::from_seed(seed),
+                    StuckAtBits::new(Taus88::from_seed(!seed), bit, value),
+                    u64::from(lag) * 16,
+                    None,
+                )),
+                // Adversarial: arbitrary repeating words, including the
+                // all-ones/all-zeros extremes that force the deepest tails.
+                _ => Box::new(ScriptedBits::new(vec![
+                    seed as u32,
+                    (seed >> 32) as u32,
+                    if value { u32::MAX } else { 0 },
+                ])),
+            }
+        },
+    )
+}
+
+proptest! {
+    // Each case pays an exact PMF + segment-table solve, so the case count
+    // and λ = span·Δ·2^n_m are kept modest to bound suite runtime.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn thresholded_outputs_never_leave_the_window(
+        source in arb_bit_source(),
+        n_m in 0i64..=2,
+        span in 64i64..=256,
+        x_frac in 0u8..=16,
+    ) {
+        let mut dev = DpBox::with_urng(DpBoxConfig::default(), source)
+            .expect("valid default configuration");
+        // The claim under test is structural, so the distributional guard
+        // is deliberately removed: outputs must stay in the window even
+        // when the device keeps noising on a degraded source.
+        dev.disable_health();
+        dev.issue(Command::StartNoising, 0).expect("leave init");
+        dev.issue(Command::SetEpsilon, n_m).expect("ε");
+        dev.issue(Command::SetSensorRangeLower, 0).expect("lower");
+        dev.issue(Command::SetSensorRangeUpper, span).expect("upper");
+        dev.issue(Command::SetThreshold, 0).expect("thresholding");
+        let x = span * i64::from(x_frac) / 16;
+        for _ in 0..64 {
+            let (y, cycles) = match dev.noise_value(x) {
+                Ok(out) => out,
+                Err(DpBoxError::Privacy(_)) => return Ok(()), // unsolvable config
+                Err(e) => panic!("unexpected error: {e}"),
+            };
+            let n_th = dev.threshold_k().expect("threshold built");
+            prop_assert!(cycles == 2, "thresholding is always 2 cycles");
+            prop_assert!(
+                y >= -n_th && y <= span + n_th,
+                "y = {y} escaped [{}, {}]", -n_th, span + n_th
+            );
+            prop_assert_eq!(dev.phase(), Phase::Waiting);
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn health_disabled_device_matches_seeded_taus88_stream(seed in any::<u64>()) {
+        // Monitoring is observation-only: enabling or disabling it must not
+        // change a single released value on the same URNG stream.
+        let build = |monitor: bool| {
+            let cfg = DpBoxConfig { seed, ..DpBoxConfig::default() };
+            let mut dev = DpBox::new(cfg).expect("valid");
+            if !monitor {
+                dev.disable_health();
+            }
+            dev.issue(Command::StartNoising, 0).expect("leave init");
+            dev.issue(Command::SetEpsilon, 1).expect("ε");
+            dev.issue(Command::SetSensorRangeLower, 0).expect("lower");
+            dev.issue(Command::SetSensorRangeUpper, 320).expect("upper");
+            dev.issue(Command::SetThreshold, 0).expect("thresholding");
+            dev
+        };
+        let mut with = build(true);
+        let mut without = build(false);
+        for _ in 0..32 {
+            prop_assert_eq!(
+                with.noise_value(160).expect("healthy"),
+                without.noise_value(160).expect("healthy")
+            );
+        }
+    }
+}

@@ -147,7 +147,8 @@ fn replenish_event_is_stamped() {
     let mut dev = DpBox::new(cfg).expect("valid config");
     dev.enable_trace(64);
     dev.issue(Command::SetEpsilon, 32).expect("budget");
-    dev.issue(Command::SetSensorRangeUpper, 100).expect("period");
+    dev.issue(Command::SetSensorRangeUpper, 100)
+        .expect("period");
     dev.issue(Command::StartNoising, 0).expect("leave init");
     for _ in 0..250 {
         dev.tick();

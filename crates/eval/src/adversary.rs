@@ -93,8 +93,7 @@ mod tests {
     #[test]
     fn unbounded_adversary_converges() {
         let s = setup();
-        let pts =
-            averaging_attack(&s, 131.0, None, &[1.5, 2.0, 3.0], &CHECKPOINTS, 1).unwrap();
+        let pts = averaging_attack(&s, 131.0, None, &[1.5, 2.0, 3.0], &CHECKPOINTS, 1).unwrap();
         let first = pts.first().unwrap().relative_error;
         let last = pts.last().unwrap().relative_error;
         assert!(
@@ -107,15 +106,8 @@ mod tests {
     #[test]
     fn budget_caps_the_adversary() {
         let s = setup();
-        let pts = averaging_attack(
-            &s,
-            131.0,
-            Some(20.0),
-            &[1.5, 2.0, 3.0],
-            &CHECKPOINTS,
-            2,
-        )
-        .unwrap();
+        let pts =
+            averaging_attack(&s, 131.0, Some(20.0), &[1.5, 2.0, 3.0], &CHECKPOINTS, 2).unwrap();
         // After exhaustion the cached value dominates the average, so the
         // error stops shrinking; compare with the unbounded run.
         let unbounded =

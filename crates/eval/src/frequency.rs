@@ -82,7 +82,8 @@ impl FrequencyOracle {
 
     /// One device's private report: its bin, passed through k-RR.
     pub fn report<R: RandomBits + ?Sized>(self, x: f64, rng: &mut R) -> usize {
-        self.rr.privatize(self.bin_of(x.clamp(self.min, self.max)), rng)
+        self.rr
+            .privatize(self.bin_of(x.clamp(self.min, self.max)), rng)
     }
 
     /// Collects reports from an entire population and returns the debiased
@@ -158,7 +159,10 @@ mod tests {
         // Both modes visible: the near-wall bins and the far bins outweigh
         // the trough between them.
         let trough = est[5];
-        assert!(est[1] > trough && est[8] > trough, "bimodality lost: {est:?}");
+        assert!(
+            est[1] > trough && est[8] > trough,
+            "bimodality lost: {est:?}"
+        );
     }
 
     #[test]

@@ -104,7 +104,7 @@ pub fn tail_mass_outside(pmf: &FxpNoisePmf, w_k: i64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ldp_datasets::{statlog_heart, auto_mpg};
+    use ldp_datasets::{auto_mpg, statlog_heart};
 
     #[test]
     fn resampling_latency_is_small_but_above_base() {
@@ -136,6 +136,9 @@ mod tests {
         let near = tail_mass_outside(&setup.pmf, 100);
         let far = tail_mass_outside(&setup.pmf, 2000);
         assert!(near > far);
-        assert_eq!(tail_mass_outside(&setup.pmf, setup.pmf.support_max_k()), 0.0);
+        assert_eq!(
+            tail_mass_outside(&setup.pmf, setup.pmf.support_max_k()),
+            0.0
+        );
     }
 }

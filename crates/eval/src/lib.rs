@@ -10,6 +10,7 @@
 //! | Fig. 14 (randomized-response accuracy vs n) | [`rr_curve`] |
 //! | Fig. 15 (MAE vs dataset size and RNG resolution) | [`scaling_curve`] |
 //! | Table VI (privacy-preserving SVM) | [`svm_accuracy`] |
+//! | URNG fault-injection campaign (robustness extension) | [`inject_fault`], [`pre_detection_loss`], [`healthy_alarm_count`] |
 //!
 //! The shared experiment plumbing lives in [`ExperimentSetup`] (one dataset
 //! plus privacy level, giving the ADC mapping, noise configuration, and all
@@ -21,6 +22,7 @@
 
 mod adc;
 mod adversary;
+mod fault_campaign;
 mod frequency;
 mod histogram;
 mod latency;
@@ -34,6 +36,10 @@ mod utility;
 
 pub use adc::Adc;
 pub use adversary::{averaging_attack, AdversaryPoint};
+pub use fault_campaign::{
+    campaign_row, default_fault_suite, healthy_alarm_count, inject_fault, pre_detection_loss,
+    CampaignConfig, CampaignRow, FaultInjection, FaultKind, PreDetectionLoss,
+};
 pub use frequency::{total_variation, FrequencyOracle};
 pub use histogram::{certified_distinguishing_outputs, distinguishing_bins, Histogram};
 pub use latency::{latency_row, tail_mass_outside, LatencyRow, BASE_CYCLES};

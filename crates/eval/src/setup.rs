@@ -144,7 +144,13 @@ impl ExperimentSetup {
     ///
     /// Threshold-solver errors propagate.
     pub fn resampling(&self, multiple: f64) -> Result<ResamplingMechanism, LdpError> {
-        let spec = exact_threshold(self.cfg, &self.pmf, self.range, multiple, LimitMode::Resampling)?;
+        let spec = exact_threshold(
+            self.cfg,
+            &self.pmf,
+            self.range,
+            multiple,
+            LimitMode::Resampling,
+        )?;
         ResamplingMechanism::new(FxpLaplace::analytic(self.cfg), self.range, spec)
     }
 
@@ -154,8 +160,13 @@ impl ExperimentSetup {
     ///
     /// Threshold-solver errors propagate.
     pub fn thresholding(&self, multiple: f64) -> Result<ThresholdingMechanism, LdpError> {
-        let spec =
-            exact_threshold(self.cfg, &self.pmf, self.range, multiple, LimitMode::Thresholding)?;
+        let spec = exact_threshold(
+            self.cfg,
+            &self.pmf,
+            self.range,
+            multiple,
+            LimitMode::Thresholding,
+        )?;
         ThresholdingMechanism::new(FxpLaplace::analytic(self.cfg), self.range, spec)
     }
 }

@@ -253,7 +253,10 @@ mod tests {
             acc_05 <= acc_2 + 0.03,
             "ε=0.5 ({acc_05}) should not beat ε=2 ({acc_2})"
         );
-        assert!(acc_2 <= acc_clean + 0.02, "ε=2 {acc_2} vs clean {acc_clean}");
+        assert!(
+            acc_2 <= acc_clean + 0.02,
+            "ε=2 {acc_2} vs clean {acc_clean}"
+        );
     }
 
     #[test]

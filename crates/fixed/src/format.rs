@@ -75,7 +75,9 @@ impl QFormat {
     /// The quantization step `Δ = 2^-frac_bits`: the value of one LSB.
     #[inline]
     pub fn delta(self) -> f64 {
-        (self.frac_bits as i32).checked_neg().map_or(1.0, |e| 2f64.powi(e))
+        (self.frac_bits as i32)
+            .checked_neg()
+            .map_or(1.0, |e| 2f64.powi(e))
     }
 
     /// Smallest representable raw word, `-2^(total_bits-1)`.

@@ -101,8 +101,7 @@ impl Fx {
                         }
                     }
                 };
-                let raw =
-                    i64::try_from(raw).map_err(|_| FixedError::Overflow { format: fmt })?;
+                let raw = i64::try_from(raw).map_err(|_| FixedError::Overflow { format: fmt })?;
                 return Fx::from_raw(raw, fmt);
             }
         }
@@ -145,7 +144,9 @@ mod tests {
         assert_eq!(Fx::parse("0.1", fmt, Rounding::Floor).unwrap().raw(), 1);
         assert_eq!(Fx::parse("0.1", fmt, Rounding::Ceil).unwrap().raw(), 2);
         assert_eq!(
-            Fx::parse("0.1", fmt, Rounding::NearestTiesAway).unwrap().raw(),
+            Fx::parse("0.1", fmt, Rounding::NearestTiesAway)
+                .unwrap()
+                .raw(),
             2
         );
         // Negative: -0.1·16 = -1.6 → floor -2, toward-zero -1.

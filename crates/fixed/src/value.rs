@@ -592,7 +592,7 @@ mod tests {
     fn mul_of_small_values_rounds_to_grid() {
         let fmt = q(16, 8);
         let eps = Fx::from_raw(1, fmt).unwrap(); // 2^-8
-        // eps * eps = 2^-16, rounds to 0 at 8 fractional bits (ties-even).
+                                                 // eps * eps = 2^-16, rounds to 0 at 8 fractional bits (ties-even).
         let p = eps.checked_mul(eps, Rounding::NearestTiesEven).unwrap();
         assert!(p.is_zero());
     }

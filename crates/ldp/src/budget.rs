@@ -127,7 +127,10 @@ impl SegmentTable {
     ///
     /// Never panics: `build` guarantees at least one segment.
     pub fn outermost(&self) -> (i64, f64) {
-        *self.segments.last().expect("table has at least one segment")
+        *self
+            .segments
+            .last()
+            .expect("table has at least one segment")
     }
 
     /// Which limiting mode the table was built for.
@@ -261,11 +264,7 @@ impl BudgetController {
     /// # Errors
     ///
     /// [`LdpError::InvalidEpsilon`] if the budget is not finite and positive.
-    pub fn new(
-        table: SegmentTable,
-        range: QuantizedRange,
-        budget: f64,
-    ) -> Result<Self, LdpError> {
+    pub fn new(table: SegmentTable, range: QuantizedRange, budget: f64) -> Result<Self, LdpError> {
         if !(budget.is_finite() && budget > 0.0) {
             return Err(LdpError::InvalidEpsilon(budget));
         }
@@ -388,7 +387,11 @@ mod tests {
         // Inside the sensor range the FxP loss is ~ε = 0.5 (plus grid
         // raggedness).
         let (t, _, _) = table(LimitMode::Thresholding);
-        assert!(t.base_loss() >= 0.4 && t.base_loss() <= 0.8, "{}", t.base_loss());
+        assert!(
+            t.base_loss() >= 0.4 && t.base_loss() <= 0.8,
+            "{}",
+            t.base_loss()
+        );
     }
 
     #[test]

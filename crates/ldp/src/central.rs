@@ -85,8 +85,8 @@ impl CentralLaplaceMean {
             .map(|x| x.clamp(self.min, self.max))
             .sum::<f64>()
             / data.len() as f64;
-        let lap = IdealLaplace::new(self.noise_scale(data.len()))
-            .expect("scale > 0 by construction");
+        let lap =
+            IdealLaplace::new(self.noise_scale(data.len())).expect("scale > 0 by construction");
         mean + lap.sample(rng)
     }
 
@@ -150,8 +150,7 @@ mod tests {
         let central = mech.expected_error(n);
         // Local: each report carries Lap(d/ε) noise, σ = √2·d/ε, and the
         // mean of n such reports has E|err| = √(2/π)·σ/√n.
-        let local = (2.0 / std::f64::consts::PI).sqrt()
-            * (std::f64::consts::SQRT_2 * 100.0 / 0.5)
+        let local = (2.0 / std::f64::consts::PI).sqrt() * (std::f64::consts::SQRT_2 * 100.0 / 0.5)
             / (n as f64).sqrt();
         let gap = local / central;
         let sqrt_n = (n as f64).sqrt();

@@ -76,9 +76,10 @@ impl CompositionLedger {
 
     /// The largest single recorded loss.
     pub fn max_single(&self) -> Option<f64> {
-        self.losses.iter().cloned().fold(None, |acc, x| {
-            Some(acc.map_or(x, |a: f64| a.max(x)))
-        })
+        self.losses
+            .iter()
+            .cloned()
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
     }
 
     /// The **advanced composition** bound (Dwork–Rothblum–Vadhan): the
@@ -95,7 +96,10 @@ impl CompositionLedger {
     ///
     /// Panics if `delta` is not in `(0, 1)`.
     pub fn advanced_total(&self, delta: f64) -> Option<f64> {
-        assert!(delta > 0.0 && delta < 1.0, "δ must be in (0,1), got {delta}");
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "δ must be in (0,1), got {delta}"
+        );
         let eps = self.max_single()?;
         let k = self.losses.len() as f64;
         Some((2.0 * k * (1.0 / delta).ln()).sqrt() * eps + k * eps * (eps.exp() - 1.0))

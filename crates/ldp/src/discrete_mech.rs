@@ -199,8 +199,10 @@ mod tests {
             .bound()
             .unwrap();
         // Very tight windows distort the conditional distributions more.
-        assert!(tight <= loose + 1e-9 || tight < 0.5,
-            "tight {tight} vs loose {loose}");
+        assert!(
+            tight <= loose + 1e-9 || tight < 0.5,
+            "tight {tight} vs loose {loose}"
+        );
     }
 
     #[test]

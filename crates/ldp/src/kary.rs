@@ -86,7 +86,11 @@ impl KaryRandomizedResponse {
     ///
     /// Panics if `truth >= k`.
     pub fn privatize<R: RandomBits + ?Sized>(self, truth: usize, rng: &mut R) -> usize {
-        assert!(truth < self.k, "category {truth} out of range 0..{}", self.k);
+        assert!(
+            truth < self.k,
+            "category {truth} out of range 0..{}",
+            self.k
+        );
         let u = (rng.bits(53) as f64 + 0.5) * 2f64.powi(-53);
         if u < self.keep_prob {
             truth

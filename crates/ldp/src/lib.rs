@@ -75,7 +75,6 @@ pub use composition::CompositionLedger;
 pub use discrete_mech::DiscreteLaplaceMechanism;
 pub use error::LdpError;
 pub use kary::KaryRandomizedResponse;
-pub use multi::{MultiSensorBudget, SensorId};
 pub use loss::{
     conditional, loss_profile, worst_case_loss_exhaustive, worst_case_loss_extremes,
     ConditionalDist, LimitMode, PrivacyLoss,
@@ -84,11 +83,12 @@ pub use mechanism::{
     FxpBaseline, Guarantee, IdealLaplaceMechanism, Mechanism, NoisedOutput, ResamplingMechanism,
     ThresholdingMechanism,
 };
+pub use multi::{MultiSensorBudget, SensorId};
 pub use range::QuantizedRange;
 pub use renyi::{renyi_divergence, worst_case_renyi, RdpAccountant};
 pub use rr::RandomizedResponse;
-pub use timing::ConstantTimeResampling;
 pub use threshold::{
     closed_form_threshold, exact_threshold, exact_threshold_for_bound, resampling_threshold,
     thresholding_threshold, ThresholdSpec,
 };
+pub use timing::ConstantTimeResampling;

@@ -98,12 +98,7 @@ impl ConditionalDist {
     /// # Panics
     ///
     /// Panics if `n_th_k < 0`.
-    pub fn thresholded(
-        pmf: &FxpNoisePmf,
-        range: QuantizedRange,
-        n_th_k: i64,
-        x_k: i64,
-    ) -> Self {
+    pub fn thresholded(pmf: &FxpNoisePmf, range: QuantizedRange, n_th_k: i64, x_k: i64) -> Self {
         assert!(n_th_k >= 0, "threshold must be non-negative");
         let lo = range.min_k() - n_th_k;
         let hi = range.max_k() + n_th_k;
@@ -129,12 +124,7 @@ impl ConditionalDist {
     ///
     /// Panics if `n_th_k < 0` or if no noise value lands in the window
     /// (the resampler would loop forever).
-    pub fn resampled(
-        pmf: &FxpNoisePmf,
-        range: QuantizedRange,
-        n_th_k: i64,
-        x_k: i64,
-    ) -> Self {
+    pub fn resampled(pmf: &FxpNoisePmf, range: QuantizedRange, n_th_k: i64, x_k: i64) -> Self {
         assert!(n_th_k >= 0, "threshold must be non-negative");
         let lo = range.min_k() - n_th_k;
         let hi = range.max_k() + n_th_k;
@@ -152,6 +142,34 @@ impl ConditionalDist {
             "resampling window [{lo}, {hi}] has zero acceptance probability for x={x_k}"
         );
         ConditionalDist { weights, norm }
+    }
+
+    /// Builds a distribution from raw `(output index, weight)` pairs —
+    /// typically empirical outcome counts collected by a fault-injection
+    /// campaign — so observed output histograms become comparable with the
+    /// exact constructors above through [`ConditionalDist::loss_at`] and
+    /// [`ConditionalDist::worst_common_support_loss`]. Duplicate indices
+    /// accumulate; zero weights are dropped.
+    ///
+    /// Returns `None` when no pair carries positive weight: an empty
+    /// histogram defines no distribution.
+    pub fn from_weights<I>(pairs: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = (i64, u128)>,
+    {
+        let mut weights: BTreeMap<i64, u128> = BTreeMap::new();
+        let mut norm: u128 = 0;
+        for (k, w) in pairs {
+            if w > 0 {
+                *weights.entry(k).or_insert(0) += w;
+                norm += w;
+            }
+        }
+        if norm == 0 {
+            None
+        } else {
+            Some(ConditionalDist { weights, norm })
+        }
     }
 
     /// Exact probability of output index `y`.
@@ -238,6 +256,43 @@ impl ConditionalDist {
             }
         }
         PrivacyLoss::Finite(worst)
+    }
+
+    /// Worst absolute loss restricted to outputs possible under **both**
+    /// distributions. For sparse *empirical* histograms [`Self::worst_loss`]
+    /// is almost surely [`PrivacyLoss::Infinite`] — an output merely not yet
+    /// observed under one input reads as a distinguishing event — so
+    /// campaigns compare on the common support and report the disjoint mass
+    /// (see [`Self::disjoint_mass`]) separately.
+    ///
+    /// Returns `None` when the supports are disjoint.
+    pub fn worst_common_support_loss(&self, other: &ConditionalDist) -> Option<f64> {
+        let mut worst: Option<f64> = None;
+        for &y in self.weights.keys() {
+            if other.weights.contains_key(&y) {
+                if let Some(PrivacyLoss::Finite(l)) = self.loss_at(other, y) {
+                    let l = l.abs();
+                    worst = Some(worst.map_or(l, |w| w.max(l)));
+                }
+            }
+        }
+        worst
+    }
+
+    /// Probability mass this distribution places on outputs with zero
+    /// weight under `other` — the complement of the common support that
+    /// [`Self::worst_common_support_loss`] compares over. For exact
+    /// distributions a positive value certifies infinite loss; for
+    /// empirical histograms it bounds how much evidence the common-support
+    /// comparison ignores.
+    pub fn disjoint_mass(&self, other: &ConditionalDist) -> f64 {
+        let mut disjoint: u128 = 0;
+        for (&y, &w) in &self.weights {
+            if !other.weights.contains_key(&y) {
+                disjoint += w;
+            }
+        }
+        disjoint as f64 / self.norm as f64
     }
 }
 
@@ -371,8 +426,7 @@ mod tests {
         let (pmf, range) = paper_pmf();
         // Very conservative threshold: well inside the healthy tail.
         let n_th = 300;
-        let loss =
-            worst_case_loss_extremes(&pmf, range, LimitMode::Thresholding, Some(n_th));
+        let loss = worst_case_loss_extremes(&pmf, range, LimitMode::Thresholding, Some(n_th));
         assert!(
             loss.finite().is_some(),
             "thresholding must yield finite loss"
@@ -517,6 +571,62 @@ mod tests {
                 .fold(0.0f64, f64::max)
         };
         assert!(max_in(200, 300) > max_in(0, 100));
+    }
+
+    #[test]
+    fn from_weights_accumulates_and_normalizes() {
+        let d = ConditionalDist::from_weights([(3, 2u128), (5, 1), (3, 4), (7, 0)])
+            .expect("positive mass");
+        assert_eq!(d.weight(3), 6);
+        assert_eq!(d.weight(5), 1);
+        assert_eq!(d.weight(7), 0); // zero weights dropped
+        assert_eq!(d.norm(), 7);
+        assert_eq!(d.support_bounds(), (3, 5));
+        assert!((d.prob(3) - 6.0 / 7.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_weights_rejects_empty_histograms() {
+        assert_eq!(ConditionalDist::from_weights([]), None);
+        assert_eq!(ConditionalDist::from_weights([(1, 0u128), (2, 0)]), None);
+    }
+
+    #[test]
+    fn from_weights_reproduces_an_exact_distribution() {
+        // Round-tripping an exact conditional through its (y, weight) pairs
+        // must preserve every loss computation bit-for-bit.
+        let (pmf, range) = paper_pmf();
+        let d1 = ConditionalDist::thresholded(&pmf, range, 100, range.min_k());
+        let d2 = ConditionalDist::from_weights(d1.iter()).expect("nonempty");
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn common_support_loss_matches_worst_loss_on_shared_support() {
+        let (pmf, range) = paper_pmf();
+        let t = 150;
+        let d1 = ConditionalDist::thresholded(&pmf, range, t, range.min_k());
+        let d2 = ConditionalDist::thresholded(&pmf, range, t, range.max_k());
+        // Thresholded extremes share their full support, so the restricted
+        // loss equals the unrestricted worst case.
+        let full = d1.worst_loss(&d2).finite().expect("finite");
+        let common = d1.worst_common_support_loss(&d2).expect("overlap");
+        assert!((full - common).abs() < 1e-12);
+        assert_eq!(d1.disjoint_mass(&d2), 0.0);
+    }
+
+    #[test]
+    fn disjoint_empirical_supports_are_reported_not_infinite() {
+        let a = ConditionalDist::from_weights([(0, 3u128), (1, 1)]).unwrap();
+        let b = ConditionalDist::from_weights([(1, 2u128), (2, 2)]).unwrap();
+        // Only y = 1 is shared: loss |ln((1/4)/(2/4))| = ln 2.
+        let l = a.worst_common_support_loss(&b).expect("y = 1 shared");
+        assert!((l - (2.0f64).ln()).abs() < 1e-12);
+        assert!((a.disjoint_mass(&b) - 0.75).abs() < 1e-12);
+        assert!((b.disjoint_mass(&a) - 0.5).abs() < 1e-12);
+        let c = ConditionalDist::from_weights([(9, 1u128)]).unwrap();
+        assert_eq!(a.worst_common_support_loss(&c), None);
+        assert_eq!(a.disjoint_mass(&c), 1.0);
     }
 
     #[test]

@@ -105,9 +105,7 @@ impl IdealLaplaceMechanism {
 
 impl Mechanism for IdealLaplaceMechanism {
     fn privatize(&self, x: f64, rng: &mut dyn RandomBits) -> NoisedOutput {
-        let x = self
-            .range
-            .to_value(self.range.quantize(x));
+        let x = self.range.to_value(self.range.quantize(x));
         NoisedOutput {
             value: x + self.lap.sample(rng),
             resamples: 0,

@@ -147,7 +147,10 @@ impl RdpAccountant {
     ///
     /// Panics unless `δ ∈ (0, 1)`.
     pub fn to_approx_dp(&self, delta: f64) -> f64 {
-        assert!(delta > 0.0 && delta < 1.0, "δ must be in (0,1), got {delta}");
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "δ must be in (0,1), got {delta}"
+        );
         self.total + (1.0 / delta).ln() / (self.alpha - 1.0)
     }
 }
@@ -196,7 +199,10 @@ mod tests {
             .finite()
             .unwrap();
         assert!(d <= worst + 1e-9, "D_∞ bound violated: {d} > {worst}");
-        assert!(d > 0.6 * worst, "α=512 should approach the sup-loss: {d} vs {worst}");
+        assert!(
+            d > 0.6 * worst,
+            "α=512 should approach the sup-loss: {d} vs {worst}"
+        );
     }
 
     #[test]
@@ -211,14 +217,10 @@ mod tests {
     fn rdp_accounting_beats_pure_composition() {
         // 500 queries: best RDP order vs pure-ε composition.
         let (pmf, range) = setup();
-        let worst = crate::loss::worst_case_loss_extremes(
-            &pmf,
-            range,
-            LimitMode::Thresholding,
-            Some(300),
-        )
-        .finite()
-        .unwrap();
+        let worst =
+            crate::loss::worst_case_loss_extremes(&pmf, range, LimitMode::Thresholding, Some(300))
+                .finite()
+                .unwrap();
         let eps_pure = 500.0 * worst;
         let eps_rdp = [2.0, 4.0, 8.0, 16.0]
             .iter()

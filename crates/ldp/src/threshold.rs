@@ -286,7 +286,10 @@ mod tests {
             let spec = thresholding_threshold(cfg, range, multiple).unwrap();
             let near = pmf.tail_weight_ge(spec.n_th_k);
             let far = pmf.tail_weight_ge(spec.n_th_k + range.span_k());
-            assert!(far > 0, "n={multiple}: boundary atom unreachable from far input");
+            assert!(
+                far > 0,
+                "n={multiple}: boundary atom unreachable from far input"
+            );
             let ratio = (near as f64 / far as f64).ln();
             assert!(
                 ratio <= spec.guaranteed_loss + 1e-9,
@@ -312,29 +315,20 @@ mod tests {
             eq15.n_th_k,
             exact.n_th_k
         );
-        let at_eq15 = worst_case_loss_extremes(
-            &pmf,
-            range,
-            LimitMode::Thresholding,
-            Some(eq15.n_th_k),
-        );
+        let at_eq15 =
+            worst_case_loss_extremes(&pmf, range, LimitMode::Thresholding, Some(eq15.n_th_k));
         assert_eq!(at_eq15, crate::loss::PrivacyLoss::Infinite);
     }
 
     #[test]
     fn exact_threshold_is_maximal() {
         let (cfg, pmf, range) = paper_setup();
-        let spec =
-            exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Thresholding).unwrap();
+        let spec = exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Thresholding).unwrap();
         let at = worst_case_loss_extremes(&pmf, range, LimitMode::Thresholding, Some(spec.n_th_k));
         assert!(at.is_bounded_by(spec.guaranteed_loss));
         // One step further must break the bound (maximality).
-        let beyond = worst_case_loss_extremes(
-            &pmf,
-            range,
-            LimitMode::Thresholding,
-            Some(spec.n_th_k + 1),
-        );
+        let beyond =
+            worst_case_loss_extremes(&pmf, range, LimitMode::Thresholding, Some(spec.n_th_k + 1));
         assert!(!beyond.is_bounded_by(spec.guaranteed_loss));
     }
 

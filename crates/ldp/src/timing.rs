@@ -91,10 +91,7 @@ impl ConstantTimeResampling {
             let mut chosen = None;
             for _ in 0..self.batch {
                 // Draw unconditionally: constant randomness consumption.
-                let y = x_k
-                    + self
-                        .inner
-                        .privatize_index_raw_draw(rng);
+                let y = x_k + self.inner.privatize_index_raw_draw(rng);
                 if chosen.is_none() && y >= lo && y <= hi {
                     chosen = Some(y);
                 }
@@ -181,7 +178,9 @@ mod tests {
         let n = 300_000usize;
         let mut hist = std::collections::HashMap::new();
         for _ in 0..n {
-            *hist.entry(ct.privatize_index(x_k, &mut rng).0).or_insert(0u64) += 1;
+            *hist
+                .entry(ct.privatize_index(x_k, &mut rng).0)
+                .or_insert(0u64) += 1;
         }
         for (y, w) in dist.iter() {
             let p = w as f64 / dist.norm() as f64;

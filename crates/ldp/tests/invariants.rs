@@ -1,19 +1,14 @@
 //! Property-based invariants for the LDP core: budget accounting,
 //! randomized response, and segment tables under arbitrary inputs.
 
-use proptest::prelude::*;
 use ldp_core::{
     BudgetController, CompositionLedger, KaryRandomizedResponse, LimitMode, QuantizedRange,
     RandomizedResponse, SegmentTable,
 };
+use proptest::prelude::*;
 use ulp_rng::{FxpLaplace, FxpLaplaceConfig, FxpNoisePmf, Taus88};
 
-fn small_setup() -> (
-    FxpLaplaceConfig,
-    FxpNoisePmf,
-    QuantizedRange,
-    SegmentTable,
-) {
+fn small_setup() -> (FxpLaplaceConfig, FxpNoisePmf, QuantizedRange, SegmentTable) {
     let cfg = FxpLaplaceConfig::new(12, 14, 1.0, 32.0).expect("valid config");
     let pmf = FxpNoisePmf::closed_form(cfg);
     let range = QuantizedRange::new(0, 16, 1.0).expect("valid range");

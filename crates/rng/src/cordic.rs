@@ -104,7 +104,8 @@ impl CordicLn {
         let total = ln_w + e as i64 * self.ln2;
         let guard = QFormat::new(63, GUARD_FRAC).expect("guard format is valid");
         let wide = Fx::from_raw(total, guard).map_err(RngError::Fixed)?;
-        wide.resize(out, Rounding::NearestTiesAway).map_err(RngError::Fixed)
+        wide.resize(out, Rounding::NearestTiesAway)
+            .map_err(RngError::Fixed)
     }
 
     /// Hyperbolic vectoring CORDIC: returns `ln w` at `GUARD_FRAC` fraction
@@ -176,14 +177,12 @@ mod tests {
         let unit = CordicLn::new(36);
         let in_fmt = q(48, 30);
         let out_fmt = q(48, 30);
-        for &x in &[0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.999, 1.0, 1.5, 2.0, 7.3, 100.0, 65535.0]
-        {
+        for &x in &[
+            0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.999, 1.0, 1.5, 2.0, 7.3, 100.0, 65535.0,
+        ] {
             let got = unit.ln_f64(x, in_fmt, out_fmt).unwrap();
             let want = x.ln();
-            assert!(
-                (got - want).abs() < 1e-6,
-                "ln({x}): got {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-6, "ln({x}): got {got}, want {want}");
         }
     }
 

@@ -95,14 +95,15 @@ impl CordicExp {
         let q = z_wide.raw().div_euclid(self.ln2);
         let r = z_wide.raw().rem_euclid(self.ln2); // r ∈ [0, ln2)
         let er = self.exp_small(r); // e^r ∈ [1, 2), GUARD_FRAC bits
-        // Result = e^r · 2^q: shift with rounding.
+                                    // Result = e^r · 2^q: shift with rounding.
         let raw = if q >= 0 {
-            let q = u32::try_from(q).map_err(|_| RngError::Fixed(
-                ulp_fixed::FixedError::Overflow { format: out },
-            ))?;
+            let q = u32::try_from(q)
+                .map_err(|_| RngError::Fixed(ulp_fixed::FixedError::Overflow { format: out }))?;
             er.checked_shl(q)
                 .filter(|v| (v >> q) == er)
-                .ok_or(RngError::Fixed(ulp_fixed::FixedError::Overflow { format: out }))?
+                .ok_or(RngError::Fixed(ulp_fixed::FixedError::Overflow {
+                    format: out,
+                }))?
         } else {
             let s = (-q) as u32;
             if s >= 63 {

@@ -174,7 +174,10 @@ mod tests {
         let dl = DiscreteLaplace::new(10.0, 1000).unwrap();
         let mut rng = Taus88::from_seed(33);
         let n = 200_000;
-        let mean: f64 = (0..n).map(|_| dl.sample_index(&mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| dl.sample_index(&mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!(mean.abs() < 0.2, "mean {mean}");
     }
 }

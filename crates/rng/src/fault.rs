@@ -6,8 +6,8 @@
 //! stuck-at bits, bias, correlated stages — and a privacy module that
 //! silently keeps "working" under a degraded URNG is a real deployment
 //! hazard. These wrappers inject such faults so tests can check both that
-//! the structural leg survives and that health monitoring would catch the
-//! distributional failure.
+//! the structural leg survives and that the continuous health tests in
+//! [`crate::health`] catch the distributional failure.
 
 use crate::source::RandomBits;
 
@@ -98,60 +98,181 @@ impl<R: RandomBits> RandomBits for BiasedBits<R> {
     }
 }
 
-/// A simple URNG health monitor: counts ones per bit position over a
-/// window and flags positions whose frequency leaves `[0.5 − tol, 0.5 +
-/// tol]` — the kind of online test (cf. NIST SP 800-90B continuous health
-/// tests) a privacy module should gate its guarantee on.
+/// A bit source whose output is lag-`k` correlated: each output bit equals
+/// the corresponding bit of the word emitted `lag` draws earlier with
+/// probability `1/2 + rho_256/512`, and is fresh otherwise.
+///
+/// The marginal distribution of every bit stays exactly uniform (the
+/// lagged bit and the fresh bit are both fair coins), so per-position
+/// frequency tests and the adaptive proportion test cannot see this fault
+/// — only a lag-correlation test can. This models a real failure mode of
+/// multi-stage hardware generators whose stages couple.
+///
+/// # Examples
+///
+/// ```
+/// use ulp_rng::{CorrelatedBits, RandomBits, Taus88};
+///
+/// // Lag-1 correlation with ρ = 128/256 = 0.5: successive words agree on
+/// // roughly 75% of their bits instead of 50%.
+/// let mut src = CorrelatedBits::new(Taus88::from_seed(1), 1, 128);
+/// let mut agree = 0u32;
+/// let mut prev = src.next_u32();
+/// for _ in 0..1_000 {
+///     let w = src.next_u32();
+///     agree += (!(w ^ prev)).count_ones();
+///     prev = w;
+/// }
+/// assert!(agree > 22_000, "expected ~24k/32k agreements, got {agree}");
+/// ```
 #[derive(Debug, Clone)]
-pub struct BitHealthMonitor {
-    ones: [u64; 32],
-    samples: u64,
+pub struct CorrelatedBits<R> {
+    inner: R,
+    lag: u8,
+    rho_256: u8,
+    /// Last `lag` emitted words, indexed by `emitted % lag`.
+    ring: [u32; 8],
+    emitted: u64,
 }
 
-impl BitHealthMonitor {
-    /// Creates an empty monitor.
-    pub fn new() -> Self {
-        BitHealthMonitor {
-            ones: [0; 32],
-            samples: 0,
+impl<R: RandomBits> CorrelatedBits<R> {
+    /// Wraps `inner`, correlating each output word with the output `lag`
+    /// draws earlier: every bit independently copies the lagged bit with
+    /// probability `rho_256 / 256` and takes a fresh uniform bit otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lag` is zero or greater than 8.
+    pub fn new(inner: R, lag: u8, rho_256: u8) -> Self {
+        assert!((1..=8).contains(&lag), "lag must be in 1..=8, got {lag}");
+        CorrelatedBits {
+            inner,
+            lag,
+            rho_256,
+            ring: [0; 8],
+            emitted: 0,
         }
     }
 
-    /// Feeds one 32-bit word.
-    pub fn observe(&mut self, word: u32) {
-        self.samples += 1;
-        for (i, count) in self.ones.iter_mut().enumerate() {
-            *count += u64::from((word >> i) & 1);
+    /// The correlation lag, in words.
+    pub fn lag(&self) -> u8 {
+        self.lag
+    }
+
+    /// The copy probability numerator (`ρ = rho_256 / 256`).
+    pub fn rho_256(&self) -> u8 {
+        self.rho_256
+    }
+
+    /// A mask whose bits are independently 1 with probability exactly
+    /// `rho_256 / 256`, built by a bit-sliced `byte < rho_256` comparison
+    /// across eight auxiliary words (MSB-first).
+    fn copy_mask(&mut self) -> u32 {
+        let mut lt = 0u32;
+        let mut eq = u32::MAX;
+        for j in (0..8).rev() {
+            let a = self.inner.next_u32();
+            let r = if (self.rho_256 >> j) & 1 == 1 {
+                u32::MAX
+            } else {
+                0
+            };
+            lt |= eq & !a & r;
+            eq &= !(a ^ r);
         }
-    }
-
-    /// Number of observed words.
-    pub fn samples(&self) -> u64 {
-        self.samples
-    }
-
-    /// Bit positions whose ones-frequency is outside `0.5 ± tol`.
-    pub fn unhealthy_bits(&self, tol: f64) -> Vec<u8> {
-        if self.samples == 0 {
-            return Vec::new();
-        }
-        (0..32u8)
-            .filter(|&i| {
-                let f = self.ones[i as usize] as f64 / self.samples as f64;
-                (f - 0.5).abs() > tol
-            })
-            .collect()
-    }
-
-    /// Whether every bit position looks fair at tolerance `tol`.
-    pub fn healthy(&self, tol: f64) -> bool {
-        self.unhealthy_bits(tol).is_empty()
+        lt
     }
 }
 
-impl Default for BitHealthMonitor {
-    fn default() -> Self {
-        Self::new()
+impl<R: RandomBits> RandomBits for CorrelatedBits<R> {
+    fn next_u32(&mut self) -> u32 {
+        let fresh = self.inner.next_u32();
+        let out = if self.emitted < u64::from(self.lag) || self.rho_256 == 0 {
+            fresh
+        } else {
+            let lagged =
+                self.ring[((self.emitted - u64::from(self.lag)) % u64::from(self.lag)) as usize];
+            let copy = self.copy_mask();
+            (lagged & copy) | (fresh & !copy)
+        };
+        self.ring[(self.emitted % u64::from(self.lag)) as usize] = out;
+        self.emitted += 1;
+        out
+    }
+}
+
+/// A bit source that switches from one source to another after a set number
+/// of draws — modelling a URNG that degrades mid-mission (and optionally
+/// recovers), for measuring detection latency from fault onset.
+///
+/// # Examples
+///
+/// ```
+/// use ulp_rng::{OnsetBits, RandomBits, ScriptedBits, Taus88};
+///
+/// // Healthy for 10 words, then a constant stream.
+/// let mut src = OnsetBits::new(
+///     Taus88::from_seed(1),
+///     ScriptedBits::new(vec![0xFFFF_FFFF]),
+///     10,
+///     None,
+/// );
+/// for _ in 0..10 {
+///     src.next_u32();
+/// }
+/// assert_eq!(src.next_u32(), 0xFFFF_FFFF);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnsetBits<A, B> {
+    healthy: A,
+    faulty: B,
+    onset: u64,
+    recovery: Option<u64>,
+    drawn: u64,
+}
+
+impl<A: RandomBits, B: RandomBits> OnsetBits<A, B> {
+    /// Wraps two sources: draws `0..onset` come from `healthy`, draws
+    /// `onset..` from `faulty`. If `recovery` is `Some(r)` (with `r >
+    /// onset`), draws from `r` onward come from `healthy` again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recovery` is not after `onset`.
+    pub fn new(healthy: A, faulty: B, onset: u64, recovery: Option<u64>) -> Self {
+        if let Some(r) = recovery {
+            assert!(r > onset, "recovery must come after onset");
+        }
+        OnsetBits {
+            healthy,
+            faulty,
+            onset,
+            recovery,
+            drawn: 0,
+        }
+    }
+
+    /// Words drawn so far.
+    pub fn drawn(&self) -> u64 {
+        self.drawn
+    }
+
+    /// The draw index at which the fault switches on.
+    pub fn onset(&self) -> u64 {
+        self.onset
+    }
+}
+
+impl<A: RandomBits, B: RandomBits> RandomBits for OnsetBits<A, B> {
+    fn next_u32(&mut self) -> u32 {
+        let i = self.drawn;
+        self.drawn += 1;
+        let faulted = i >= self.onset && self.recovery.is_none_or(|r| i < r);
+        if faulted {
+            self.faulty.next_u32()
+        } else {
+            self.healthy.next_u32()
+        }
     }
 }
 
@@ -173,41 +294,78 @@ mod tests {
     }
 
     #[test]
-    fn health_monitor_passes_a_good_urng() {
-        let mut rng = Taus88::from_seed(2);
-        let mut mon = BitHealthMonitor::new();
-        for _ in 0..50_000 {
-            mon.observe(rng.next_u32());
+    fn correlated_bits_marginal_frequency_stays_fair() {
+        // Copying a fair lagged bit keeps every position marginally uniform.
+        // Note the tolerance: lag-1 correlation at ρ inflates the variance of
+        // the empirical frequency by (1+ρ)/(1−ρ), so the band must be wider
+        // than for an i.i.d. source.
+        let mut src = CorrelatedBits::new(Taus88::from_seed(21), 1, 128);
+        let mut ones = [0u64; 32];
+        let n = 50_000u64;
+        for _ in 0..n {
+            let w = src.next_u32();
+            for (i, count) in ones.iter_mut().enumerate() {
+                *count += u64::from((w >> i) & 1);
+            }
         }
-        assert!(mon.healthy(0.02), "bad bits: {:?}", mon.unhealthy_bits(0.02));
+        for (i, &count) in ones.iter().enumerate() {
+            let f = count as f64 / n as f64;
+            assert!((f - 0.5).abs() < 0.025, "bit {i} frequency {f}");
+        }
     }
 
     #[test]
-    fn health_monitor_catches_a_stuck_bit() {
-        let mut rng = StuckAtBits::new(Taus88::from_seed(3), 13, true);
-        let mut mon = BitHealthMonitor::new();
-        for _ in 0..50_000 {
-            mon.observe(rng.next_u32());
+    fn correlated_bits_agreement_matches_rho() {
+        // Agreement probability at the configured lag is (1 + ρ)/2.
+        for rho in [64u8, 128, 255] {
+            let mut src = CorrelatedBits::new(Taus88::from_seed(22), 3, rho);
+            let mut prev = [0u32; 3];
+            let mut agree = 0u64;
+            let mut pairs = 0u64;
+            for i in 0..30_000u64 {
+                let w = src.next_u32();
+                if i >= 3 {
+                    agree += u64::from((!(w ^ prev[(i % 3) as usize])).count_ones());
+                    pairs += 32;
+                }
+                prev[(i % 3) as usize] = w;
+            }
+            let expected = 0.5 + f64::from(rho) / 512.0;
+            let observed = agree as f64 / pairs as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rho {rho}: expected {expected}, observed {observed}"
+            );
         }
-        assert_eq!(mon.unhealthy_bits(0.02), vec![13]);
     }
 
     #[test]
-    fn health_monitor_catches_broad_bias() {
-        let mut rng = BiasedBits::new(Taus88::from_seed(4), 64);
-        let mut mon = BitHealthMonitor::new();
-        for _ in 0..50_000 {
-            mon.observe(rng.next_u32());
+    fn correlated_bits_rho_zero_is_transparent() {
+        let mut plain = Taus88::from_seed(23);
+        let mut wrapped = CorrelatedBits::new(Taus88::from_seed(23), 2, 0);
+        for _ in 0..1_000 {
+            assert_eq!(plain.next_u32(), wrapped.next_u32());
         }
-        assert!(
-            mon.unhealthy_bits(0.02).len() > 16,
-            "bias should show on most bits: {:?}",
-            mon.unhealthy_bits(0.02)
+    }
+
+    #[test]
+    fn onset_bits_switches_and_recovers() {
+        let healthy = crate::source::ScriptedBits::new(vec![0x1111_1111]);
+        let faulty = crate::source::ScriptedBits::new(vec![0xFFFF_FFFF]);
+        let mut src = OnsetBits::new(healthy, faulty, 3, Some(5));
+        let words: Vec<u32> = (0..7).map(|_| src.next_u32()).collect();
+        assert_eq!(
+            words,
+            vec![
+                0x1111_1111,
+                0x1111_1111,
+                0x1111_1111,
+                0xFFFF_FFFF,
+                0xFFFF_FFFF,
+                0x1111_1111,
+                0x1111_1111,
+            ]
         );
-    }
-
-    #[test]
-    fn empty_monitor_is_vacuously_healthy() {
-        assert!(BitHealthMonitor::new().healthy(0.01));
+        assert_eq!(src.drawn(), 7);
     }
 }

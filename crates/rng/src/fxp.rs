@@ -218,10 +218,7 @@ impl FxpLaplace {
                 let u = Fx::from_raw(m as i64, in_fmt).expect("m fits Bu+2 bits");
                 // -ln u ≤ Bu·ln2 < 37: 24 fraction bits with 7+ integer bits.
                 let out_fmt = QFormat::new(32, 24).expect("valid format");
-                let ln_u = unit
-                    .ln(u, out_fmt)
-                    .expect("u > 0 by construction")
-                    .to_f64();
+                let ln_u = unit.ln(u, out_fmt).expect("u > 0 by construction").to_f64();
                 let k = (self.cfg.lambda * (-ln_u) / self.cfg.delta).round() as i64;
                 k.clamp(0, self.cfg.max_output_k())
             }

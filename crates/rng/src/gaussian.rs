@@ -20,7 +20,8 @@ pub fn normal_cdf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * z.abs());
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erf_abs = 1.0 - poly * (-z * z).exp();
     let erf = if z >= 0.0 { erf_abs } else { -erf_abs };
     0.5 * (1.0 + erf)
@@ -351,8 +352,8 @@ mod tests {
         let g = FxpGaussian::new(cfg);
         for k in [0i64, 8, 16, 32, 64] {
             let x = k as f64 * 0.25;
-            let ideal = 0.25 * (-x * x / (2.0 * 64.0)).exp()
-                / (8.0 * (2.0 * std::f64::consts::PI).sqrt());
+            let ideal =
+                0.25 * (-x * x / (2.0 * 64.0)).exp() / (8.0 * (2.0 * std::f64::consts::PI).sqrt());
             let got = g.pmf().prob(k);
             assert!(
                 (got - ideal).abs() / ideal < 0.03,

@@ -53,6 +53,7 @@ mod error;
 mod fault;
 mod fxp;
 mod gaussian;
+mod health;
 mod laplace;
 mod pmf;
 mod source;
@@ -64,10 +65,11 @@ pub use cordic::CordicLn;
 pub use cordic_exp::CordicExp;
 pub use discrete::DiscreteLaplace;
 pub use eq17::Eq17Laplace;
-pub use fault::{BiasedBits, BitHealthMonitor, StuckAtBits};
 pub use error::RngError;
+pub use fault::{BiasedBits, CorrelatedBits, OnsetBits, StuckAtBits};
 pub use fxp::{FxpLaplace, FxpLaplaceConfig, LogPath};
 pub use gaussian::{normal_cdf, normal_icdf, FxpGaussian, FxpGaussianConfig, IdealGaussian};
+pub use health::{BitHealthMonitor, HealthAlarm, HealthConfig, HealthTest, UrngHealth};
 pub use laplace::{IdealExponential, IdealLaplace};
 pub use pmf::FxpNoisePmf;
 pub use source::{RandomBits, ScriptedBits, SplitMix64};

@@ -233,7 +233,10 @@ mod tests {
             let cfg = FxpLaplaceConfig::new(bu, by, delta, lambda).unwrap();
             let cf = FxpNoisePmf::closed_form(cfg);
             let en = FxpNoisePmf::by_enumeration(cfg).unwrap();
-            assert_eq!(cf, en, "closed form diverged for Bu={bu} By={by} Δ={delta} λ={lambda}");
+            assert_eq!(
+                cf, en,
+                "closed form diverged for Bu={bu} By={by} Δ={delta} λ={lambda}"
+            );
         }
     }
 
@@ -296,7 +299,9 @@ mod tests {
     fn tail_weight_matches_direct_sum() {
         let pmf = FxpNoisePmf::closed_form(paper_cfg());
         for k in [1i64, 10, 100, 500, 754, 755, 10_000] {
-            let direct: u128 = (k..=pmf.support_max_k().max(k)).map(|j| pmf.weight(j)).sum();
+            let direct: u128 = (k..=pmf.support_max_k().max(k))
+                .map(|j| pmf.weight(j))
+                .sum();
             assert_eq!(pmf.tail_weight_ge(k), direct, "k={k}");
         }
     }

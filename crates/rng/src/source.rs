@@ -55,6 +55,26 @@ pub trait RandomBits {
     }
 }
 
+impl<R: RandomBits + ?Sized> RandomBits for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+impl<R: RandomBits + ?Sized> RandomBits for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
 /// A scripted bit source replaying a fixed sequence of 32-bit words.
 ///
 /// Intended for tests that need to force a sampler down a specific path

@@ -268,8 +268,7 @@ impl FxpStaircase {
                 let lo = (two_bu * s((k as f64 + 0.5) * cfg.delta())).floor() as u64;
                 counts[k as usize] = hi.saturating_sub(lo);
             }
-            counts[top as usize] =
-                (two_bu * s((top as f64 - 0.5) * cfg.delta())).floor() as u64;
+            counts[top as usize] = (two_bu * s((top as f64 - 0.5) * cfg.delta())).floor() as u64;
             // Repair any floor-rounding drift so the counts partition 2^Bu
             // exactly (drift can only be ±1 on the top bin).
             let sum: u64 = counts.iter().sum();
@@ -361,7 +360,10 @@ mod tests {
         // The truncated tail holds exactly S(hi) mass — a consistency check
         // between the density and the survival function.
         let want = 1.0 - st.survival(hi);
-        assert!((integral - want).abs() < 1e-6, "integral {integral} vs {want}");
+        assert!(
+            (integral - want).abs() < 1e-6,
+            "integral {integral} vs {want}"
+        );
     }
 
     #[test]

@@ -27,7 +27,11 @@ impl Xorshift64Star {
     /// point) is replaced by a fixed non-zero constant.
     pub fn from_seed(seed: u64) -> Self {
         Xorshift64Star {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 }

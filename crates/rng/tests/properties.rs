@@ -3,8 +3,9 @@
 use proptest::prelude::*;
 use ulp_fixed::{Fx, QFormat, Rounding};
 use ulp_rng::{
-    CordicLn, DiscreteLaplace, FxpGaussian, FxpGaussianConfig, FxpLaplace, FxpLaplaceConfig,
-    FxpNoisePmf, IdealLaplace, RandomBits, ScriptedBits, Taus88, Xorshift64Star,
+    CordicLn, CorrelatedBits, DiscreteLaplace, FxpGaussian, FxpGaussianConfig, FxpLaplace,
+    FxpLaplaceConfig, FxpNoisePmf, HealthConfig, IdealLaplace, OnsetBits, RandomBits, ScriptedBits,
+    StuckAtBits, Taus88, UrngHealth, Xorshift64Star,
 };
 
 fn arb_laplace_cfg() -> impl Strategy<Value = FxpLaplaceConfig> {
@@ -136,6 +137,90 @@ proptest! {
         if n < 64 {
             prop_assert!(v < (1u64 << n));
         }
+    }
+
+    #[test]
+    fn correlated_bits_lag_agreement_tracks_rho(
+        seed in any::<u64>(),
+        lag in 1u8..=8,
+        rho in 32u8..=224,
+    ) {
+        // Agreement at the configured lag is (1 + ρ)/2 for any lag and ρ.
+        let mut src = CorrelatedBits::new(Taus88::from_seed(seed), lag, rho);
+        let mut ring = [0u32; 8];
+        let mut agree = 0u64;
+        let mut pairs = 0u64;
+        for i in 0..20_000u64 {
+            let w = src.next_u32();
+            if i >= u64::from(lag) {
+                let prev = ring[((i - u64::from(lag)) % u64::from(lag)) as usize];
+                agree += u64::from((!(w ^ prev)).count_ones());
+                pairs += 32;
+            }
+            ring[(i % u64::from(lag)) as usize] = w;
+        }
+        let expected = 0.5 + f64::from(rho) / 512.0;
+        let observed = agree as f64 / pairs as f64;
+        prop_assert!(
+            (observed - expected).abs() < 0.02,
+            "lag {lag} rho {rho}: expected {expected}, observed {observed}"
+        );
+    }
+
+    #[test]
+    fn correlated_bits_identity_at_rho_zero(seed in any::<u64>(), lag in 1u8..=8) {
+        let mut plain = Taus88::from_seed(seed);
+        let mut wrapped = CorrelatedBits::new(Taus88::from_seed(seed), lag, 0);
+        for _ in 0..64 {
+            prop_assert_eq!(plain.next_u32(), wrapped.next_u32());
+        }
+    }
+
+    #[test]
+    fn onset_bits_is_healthy_before_onset(seed in any::<u64>(), onset in 1u64..=256) {
+        let mut plain = Taus88::from_seed(seed);
+        let mut staged = OnsetBits::new(
+            Taus88::from_seed(seed),
+            ScriptedBits::new(vec![0]),
+            onset,
+            None,
+        );
+        for _ in 0..onset {
+            prop_assert_eq!(plain.next_u32(), staged.next_u32());
+        }
+        prop_assert_eq!(staged.next_u32(), 0);
+    }
+
+    #[test]
+    fn health_tests_pass_healthy_sources_at_modest_alpha(seed in any::<u64>()) {
+        // Even at a loose α = 2^-32 (trippier than the 2^-40 default — the
+        // expected number of chance RCT runs over 16k words × 32 lanes is
+        // ~1e-4 per case), a healthy Taus88 must not alarm.
+        let cfg = HealthConfig::new(32, 1024, 4).expect("valid");
+        let mut health = UrngHealth::new(cfg);
+        let mut rng = Taus88::from_seed(seed);
+        for _ in 0..16_384 {
+            let word = rng.next_u32();
+            prop_assert!(health.observe(word).is_ok(), "false alarm: {:?}", health.alarm());
+        }
+    }
+
+    #[test]
+    fn health_detects_any_stuck_bit(seed in any::<u64>(), bit in 0u8..=31, value in any::<bool>()) {
+        let mut health = UrngHealth::default();
+        let mut src = StuckAtBits::new(Taus88::from_seed(seed), bit, value);
+        let mut tripped = None;
+        for _ in 0..4_096 {
+            if let Err(alarm) = health.observe(src.next_u32()) {
+                tripped = Some(alarm);
+                break;
+            }
+        }
+        let alarm = tripped.expect("stuck bit must trip within a few cutoffs");
+        prop_assert!(
+            alarm.word_index < 2 * u64::from(health.config().rct_cutoff()),
+            "latency {} words", alarm.word_index
+        );
     }
 
     #[test]

@@ -53,9 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let (fresh, cached) = pool.counters();
-    println!(
-        "…pool exhausted after {round} rounds ({fresh} fresh responses, {cached} cached)\n"
-    );
+    println!("…pool exhausted after {round} rounds ({fresh} fresh responses, {cached} cached)\n");
 
     // The motion sensor also runs a constant-time resampler so its noising
     // latency cannot leak the reading.

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     dev.issue(Command::SetSensorRangeUpper, adc.max_code())?;
     dev.issue(Command::SetThreshold, 0)?;
 
-    println!("streaming {} patient readings through DP-Box…", patients.len());
+    println!(
+        "streaming {} patient readings through DP-Box…",
+        patients.len()
+    );
     let mut released = Vec::new();
     let mut total_cycles = 0u64;
     for &bp in &patients {

@@ -58,6 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{mode:?}: exact worst-case loss = {loss:?}");
         assert!(loss.is_bounded_by(2.0 * eps));
     }
-    println!("both mechanisms guarantee {:.1}-LDP on this hardware.", 2.0 * eps);
+    println!(
+        "both mechanisms guarantee {:.1}-LDP on this hardware.",
+        2.0 * eps
+    );
     Ok(())
 }

@@ -24,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One household: the true answer is hidden behind the coin flip.
     let mut rng = Taus88::from_seed(11);
     let has_charger = true;
-    let reports: Vec<bool> = (0..6).map(|_| rr.privatize(has_charger, &mut rng)).collect();
+    let reports: Vec<bool> = (0..6)
+        .map(|_| rr.privatize(has_charger, &mut rng))
+        .collect();
     println!("one household's repeated reports (true answer hidden): {reports:?}");
 
     // City scale: adoption estimation accuracy vs number of meters.

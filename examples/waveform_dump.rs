@@ -27,13 +27,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let trace = dev.trace().expect("tracing enabled");
-    println!("captured {} events over {} cycles:", trace.len(), dev.cycles());
+    println!(
+        "captured {} events over {} cycles:",
+        trace.len(),
+        dev.cycles()
+    );
     for e in trace.events().take(12) {
         println!("  cycle {:>4}: {e:?}", e.cycle());
     }
     let cached = trace
         .events()
-        .filter(|e| matches!(e, TraceEvent::Output { from_cache: true, .. }))
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::Output {
+                    from_cache: true,
+                    ..
+                }
+            )
+        })
         .count();
     println!("  … ({cached} cache replays after budget exhaustion)");
 

@@ -1,0 +1,167 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! tiny benchmark harness with the same surface: [`Criterion`] with
+//! `bench_function`/`benchmark_group`, [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. It measures median
+//! wall-clock time over a fixed number of timed iterations and prints one
+//! line per benchmark — no statistics engine, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work (re-export of [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    result_ns: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-sample calibration: batch until one sample takes
+        // at least ~50µs so Instant overhead stays negligible.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            if t.elapsed() >= Duration::from_micros(50) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t.elapsed().as_secs_f64() * 1e9 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = samples[samples.len() / 2];
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        result_ns: f64::NAN,
+        sample_size: sample_size.max(3),
+    };
+    f(&mut b);
+    if b.result_ns.is_nan() {
+        println!("{id:<40} (no iter() call)");
+    } else if b.result_ns >= 1e6 {
+        println!("{id:<40} {:>12.3} ms/iter", b.result_ns / 1e6);
+    } else if b.result_ns >= 1e3 {
+        println!("{id:<40} {:>12.3} µs/iter", b.result_ns / 1e3);
+    } else {
+        println!("{id:<40} {:>12.1} ns/iter", b.result_ns);
+    }
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 11 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+    }
+
+    #[test]
+    fn groups_prefix_names_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_function("inner", |b| b.iter(|| black_box(3u32).wrapping_mul(7)));
+        g.finish();
+    }
+}

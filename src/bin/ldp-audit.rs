@@ -18,8 +18,7 @@
 use std::process::ExitCode;
 
 use ulp_ldp::ldp::{
-    exact_threshold, worst_case_loss_extremes, LimitMode, PrivacyLoss, QuantizedRange,
-    SegmentTable,
+    exact_threshold, worst_case_loss_extremes, LimitMode, PrivacyLoss, QuantizedRange, SegmentTable,
 };
 use ulp_ldp::rng::{FxpLaplaceConfig, FxpNoisePmf};
 
@@ -59,9 +58,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--multiple: {e}"))?
             }
             "--help" | "-h" => {
-                return Err("usage: ldp-audit [--bu N] [--by N] [--adc-bits N] [--eps X] \
+                return Err(
+                    "usage: ldp-audit [--bu N] [--by N] [--adc-bits N] [--eps X] \
                             [--multiple X]"
-                    .into())
+                        .into(),
+                )
             }
             other => return Err(format!("unknown flag {other}; try --help")),
         }

@@ -26,7 +26,11 @@ fn mixed_numeric_and_categorical_collection() {
     let mut ledger = CompositionLedger::new();
     for (i, &bp) in cohort.iter().enumerate() {
         let code = setup.adc.encode(bp) as f64;
-        released_bp.push(setup.adc.decode(mech.privatize(code, &mut rng).value.round() as i64));
+        released_bp.push(
+            setup
+                .adc
+                .decode(mech.privatize(code, &mut rng).value.round() as i64),
+        );
         let smoker = i % 3 == 0; // ground truth: 1/3 of the cohort
         if rr.privatize(smoker, &mut rng) {
             smoker_reports += 1;
@@ -45,7 +49,10 @@ fn mixed_numeric_and_categorical_collection() {
         "mean {released_mean} vs truth {true_mean}"
     );
     let smoker_est = rr.estimate_proportion(smoker_reports as f64 / cohort.len() as f64);
-    assert!((smoker_est - 1.0 / 3.0).abs() < 0.2, "smoker estimate {smoker_est}");
+    assert!(
+        (smoker_est - 1.0 / 3.0).abs() < 0.2,
+        "smoker estimate {smoker_est}"
+    );
 
     // …and the ledger reflects per-participant loss (2 queries each).
     assert_eq!(ledger.queries(), 2 * cohort.len());
@@ -114,8 +121,5 @@ fn rdp_accounting_for_a_streaming_sensor() {
     }
     let eps_day = acc.to_approx_dp(1e-9);
     let pure_day = reports_per_day as f64 * spec.guaranteed_loss;
-    assert!(
-        eps_day < pure_day,
-        "RDP day-ε {eps_day} vs pure {pure_day}"
-    );
+    assert!(eps_day < pure_day, "RDP day-ε {eps_day} vs pure {pure_day}");
 }

@@ -69,7 +69,9 @@ fn seeded_privatization_is_reproducible() {
     let mech = setup.thresholding(2.0).expect("thresholding");
     let run = || -> Vec<f64> {
         let mut rng = Taus88::from_seed(7);
-        (0..32).map(|_| mech.privatize(131.0, &mut rng).value).collect()
+        (0..32)
+            .map(|_| mech.privatize(131.0, &mut rng).value)
+            .collect()
     };
     assert_eq!(run(), run());
 }

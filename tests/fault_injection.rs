@@ -13,8 +13,8 @@ fn mechanism() -> (ThresholdingMechanism, QuantizedRange, i64) {
     let pmf = FxpNoisePmf::closed_form(cfg);
     let range = QuantizedRange::new(0, 32, cfg.delta()).expect("valid range");
     let spec = exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Thresholding).expect("solvable");
-    let mech = ThresholdingMechanism::new(FxpLaplace::analytic(cfg), range, spec)
-        .expect("constructible");
+    let mech =
+        ThresholdingMechanism::new(FxpLaplace::analytic(cfg), range, spec).expect("constructible");
     (mech, range, spec.n_th_k)
 }
 
@@ -34,7 +34,7 @@ fn window_bound_survives_any_bit_source() {
 fn stuck_sign_bit_skews_the_output_distribution() {
     // The distributional guarantee, by contrast, is destroyed: a stuck
     // sign bit makes every noise draw one-sided.
-    let (mech, range, _) = mechanism();
+    let (mech, _range, _) = mechanism();
     let mut healthy = Taus88::from_seed(2);
     let mut broken = StuckAtBits::new(Taus88::from_seed(2), 31, true);
     let n = 20_000;

@@ -48,8 +48,8 @@ fn gaussian_loss_grows_quadratically_not_linearly() {
     let cfg = FxpGaussianConfig::new(18, 16, 1.0, 64.0).expect("valid config");
     let g = FxpGaussian::new(cfg);
     let range = QuantizedRange::new(0, 16, 1.0).expect("valid range");
-    let spec = exact_threshold_for_bound(g.pmf(), range, 1.0, LimitMode::Thresholding)
-        .expect("solvable");
+    let spec =
+        exact_threshold_for_bound(g.pmf(), range, 1.0, LimitMode::Thresholding).expect("solvable");
     // For Lap with same "reach", the window would stretch much further;
     // here it is limited by the quadratically-growing boundary ratio:
     // ln ratio at boundary ≈ s·(n_th + s/2)/σ² = 1 ⇒ n_th ≈ σ²/s − s/2.
@@ -77,12 +77,8 @@ fn fixed_point_staircase_breaks_and_repairs_identically() {
     // …and repair at a 2ε = 1.0 nat target.
     let spec = exact_threshold_for_bound(fxp.pmf(), range, 1.0, LimitMode::Thresholding)
         .expect("solvable");
-    let fixed = worst_case_loss_extremes(
-        fxp.pmf(),
-        range,
-        LimitMode::Thresholding,
-        Some(spec.n_th_k),
-    );
+    let fixed =
+        worst_case_loss_extremes(fxp.pmf(), range, LimitMode::Thresholding, Some(spec.n_th_k));
     assert!(fixed.is_bounded_by(1.0 + 1e-12), "{fixed:?}");
 }
 

@@ -7,8 +7,8 @@
 use std::collections::HashMap;
 
 use ulp_ldp::ldp::{
-    conditional, exact_threshold, worst_case_loss_extremes, LimitMode, PrivacyLoss,
-    QuantizedRange, ResamplingMechanism, ThresholdingMechanism,
+    conditional, exact_threshold, worst_case_loss_extremes, LimitMode, PrivacyLoss, QuantizedRange,
+    ResamplingMechanism, ThresholdingMechanism,
 };
 use ulp_ldp::rng::{FxpLaplace, FxpLaplaceConfig, FxpNoisePmf, Taus88};
 
@@ -74,8 +74,8 @@ fn empirical_output_frequencies_match_certified_distribution() {
     let range = QuantizedRange::new(0, 16, 0.5).expect("valid range");
     let pmf = FxpNoisePmf::closed_form(cfg);
     let spec = exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Thresholding).expect("solvable");
-    let mech = ThresholdingMechanism::new(FxpLaplace::analytic(cfg), range, spec)
-        .expect("constructible");
+    let mech =
+        ThresholdingMechanism::new(FxpLaplace::analytic(cfg), range, spec).expect("constructible");
     let x_k = range.max_k();
     let dist = conditional(&pmf, range, LimitMode::Thresholding, Some(spec.n_th_k), x_k);
 
@@ -138,8 +138,8 @@ fn guarantee_survives_any_uniform_source() {
     let range = QuantizedRange::new(0, 32, cfg.delta()).expect("valid range");
     let pmf = FxpNoisePmf::closed_form(cfg);
     let spec = exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Thresholding).expect("solvable");
-    let mech = ThresholdingMechanism::new(FxpLaplace::analytic(cfg), range, spec)
-        .expect("constructible");
+    let mech =
+        ThresholdingMechanism::new(FxpLaplace::analytic(cfg), range, spec).expect("constructible");
     let mut rng = Xorshift64Star::from_seed(99);
     for _ in 0..20_000 {
         let y = mech.privatize_index(range.max_k(), &mut rng);
@@ -157,8 +157,8 @@ fn post_processing_preserves_the_guarantee() {
     let range = QuantizedRange::new(0, 32, cfg.delta()).expect("valid range");
     let pmf = FxpNoisePmf::closed_form(cfg);
     let spec = exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Thresholding).expect("solvable");
-    let mech = ThresholdingMechanism::new(FxpLaplace::analytic(cfg), range, spec)
-        .expect("constructible");
+    let mech =
+        ThresholdingMechanism::new(FxpLaplace::analytic(cfg), range, spec).expect("constructible");
     let mut rng = Taus88::from_seed(7);
     let rounded_mean = |x_k: i64, rng: &mut Taus88| -> i64 {
         let s: i64 = (0..64).map(|_| mech.privatize_index(x_k, rng)).sum();
