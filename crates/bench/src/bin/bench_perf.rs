@@ -1,0 +1,161 @@
+//! bench_perf — the evaluation-engine performance baseline.
+//!
+//! Times the regeneration of each paper artifact through the shared
+//! renderers in `ldp_bench` and writes a machine-readable JSON report
+//! (default `BENCH_eval.json`): wall-clock seconds, evaluation cells,
+//! cells/sec, and an FNV-1a digest of the rendered text per artifact.
+//!
+//! The digest is the determinism witness: rerunning with a different
+//! `ULP_PAR_THREADS` must reproduce every digest bit-for-bit, because all
+//! sweeps seed their RNG streams per cell rather than per thread.
+//!
+//! Flags:
+//!
+//! * `--smoke` — tiny repetition counts (CI-friendly, seconds not minutes);
+//! * `--out <path>` — where to write the JSON report.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ldp_bench::Artifact;
+
+/// FNV-1a over the rendered artifact text — a stable, dependency-free
+/// fingerprint for cross-thread-count comparison.
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Timed {
+    name: &'static str,
+    seconds: f64,
+    cells: u64,
+    digest: u64,
+}
+
+fn time_artifact(name: &'static str, f: impl FnOnce() -> Artifact) -> Timed {
+    let start = Instant::now();
+    let artifact = f();
+    let seconds = start.elapsed().as_secs_f64();
+    eprintln!(
+        "  {name:<16} {seconds:>8.3}s  {:>6} cells  digest {:016x}",
+        artifact.cells,
+        fnv1a(&artifact.text)
+    );
+    Timed {
+        name,
+        seconds,
+        cells: artifact.cells,
+        digest: fnv1a(&artifact.text),
+    }
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Artifact names are ASCII identifiers; assert rather than escape.
+    assert!(
+        name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+        "artifact name {name:?} needs no escaping by construction"
+    );
+    name
+}
+
+fn render_json(threads: usize, smoke: bool, results: &[Timed]) -> String {
+    let total: f64 = results.iter().map(|r| r.seconds).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    writeln!(out, "  \"schema\": \"ulp-ldp/bench_eval/v1\",").unwrap();
+    writeln!(out, "  \"threads\": {threads},").unwrap();
+    writeln!(out, "  \"smoke\": {smoke},").unwrap();
+    writeln!(out, "  \"total_seconds\": {total:.3},").unwrap();
+    out.push_str("  \"artifacts\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"seconds\": {:.3}, \"cells\": {}, \
+             \"cells_per_sec\": {:.1}, \"digest\": \"{:016x}\"}}{sep}",
+            json_escape_free(r.name),
+            r.seconds,
+            r.cells,
+            r.cells as f64 / r.seconds.max(1e-9),
+            r.digest,
+        )
+        .unwrap();
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_eval.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown flag {other:?} (expected --smoke or --out <path>)"),
+        }
+    }
+
+    let threads = ulp_par::threads();
+    eprintln!(
+        "bench_perf: {} mode, {threads} worker thread(s) (ULP_PAR_THREADS to override)",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    // Smoke counts keep CI in seconds; full counts match the regeneration
+    // binaries (except the fault campaign's healthy-run length, trimmed so
+    // one artifact doesn't dominate the baseline).
+    let (trials, rr_reps, scaling_trials, svm_reps) = if smoke {
+        (5, 3, 3, 1)
+    } else {
+        (ldp_bench::TRIALS, 50, 40, 12)
+    };
+    let adversary_cp: &[u64] = if smoke {
+        &[1, 10, 100, 1_000]
+    } else {
+        &[1, 10, 100, 1_000, 10_000, 50_000]
+    };
+    let scaling_sizes: &[usize] = if smoke {
+        &[100, 300, 1_000]
+    } else {
+        &[100, 300, 1_000, 3_000, 10_000]
+    };
+    let (det_trials, loss_trials, healthy_words) = if smoke {
+        (3, 3, 200_000)
+    } else {
+        (20, 40, 2_000_000)
+    };
+
+    let results = vec![
+        time_artifact("utility_mean", || {
+            ldp_bench::render_utility_table(
+                "Table II — MAE for mean query",
+                ldp_datasets::Query::Mean,
+                trials,
+            )
+        }),
+        time_artifact("counting", || ldp_bench::render_counting_table(trials)),
+        time_artifact("latency", || ldp_bench::render_latency(trials)),
+        time_artifact("adversary", || ldp_bench::render_adversary(adversary_cp)),
+        time_artifact("rr", || ldp_bench::render_rr(rr_reps)),
+        time_artifact("scaling", || {
+            ldp_bench::render_scaling(scaling_sizes, scaling_trials)
+        }),
+        time_artifact("svm", || ldp_bench::render_svm(svm_reps)),
+        time_artifact("fault_campaign", || {
+            ldp_bench::render_fault_campaign(det_trials, loss_trials, healthy_words)
+        }),
+    ];
+
+    let json = render_json(threads, smoke, &results);
+    std::fs::write(&out_path, &json).expect("write JSON report");
+    let total: f64 = results.iter().map(|r| r.seconds).sum();
+    eprintln!("total {total:.3}s -> {out_path}");
+    print!("{json}");
+}

@@ -10,100 +10,13 @@
 //!   the exact PMF machinery — and whether the structural threshold bound
 //!   held throughout (it must, for every fault).
 
-use dp_box::HealthConfig;
-use ldp_eval::{
-    campaign_row, default_fault_suite, healthy_alarm_count, pre_detection_loss, CampaignConfig,
-    TextTable,
-};
-
 const DETECTION_TRIALS: u64 = 20;
 const LOSS_TRIALS: u64 = 40;
 const HEALTHY_WORDS: u64 = 10_000_000;
 
-fn fmt_opt(v: Option<f64>) -> String {
-    v.map_or_else(|| "—".into(), |v| format!("{v:.3}"))
-}
-
 fn main() {
-    let cc = CampaignConfig::default();
-    let cfg = HealthConfig::default();
-    println!(
-        "URNG fault-injection campaign — range [0, {}], ε = 2^-{}, thresholding, \
-         fault onset at word {}",
-        cc.span, cc.n_m, cc.onset_word
-    );
-    println!(
-        "health cutoffs: α = 2^-{}, RCT cutoff {}, APT window {} words",
-        cfg.alpha_exp(),
-        cfg.rct_cutoff(),
-        cfg.apt_window()
-    );
-    println!();
-
-    println!("Detection latency ({DETECTION_TRIALS} trials per fault)");
-    let mut t = TextTable::new(vec![
-        "fault",
-        "detected",
-        "mean lat (words)",
-        "max lat (words)",
-        "max lat (cycles)",
-        "pre-det outputs",
-        "contained",
-    ]);
-    for fault in default_fault_suite() {
-        let row =
-            campaign_row(fault, &cc, DETECTION_TRIALS, ldp_bench::SEED).expect("campaign run");
-        t.row(vec![
-            fault.label(),
-            format!("{}/{}", row.detected, row.trials),
-            fmt_opt(row.mean_latency_words),
-            row.max_latency_words
-                .map_or_else(|| "—".into(), |v| v.to_string()),
-            row.max_latency_cycles
-                .map_or_else(|| "—".into(), |v| v.to_string()),
-            format!("{:.1}", row.mean_pre_detection_outputs),
-            if row.contained { "yes" } else { "NO" }.into(),
-        ]);
-    }
-    println!("{t}");
-
-    println!("False positives on a healthy URNG ({HEALTHY_WORDS} words)");
-    let alarms = healthy_alarm_count(HEALTHY_WORDS, HealthConfig::default(), ldp_bench::SEED);
-    println!(
-        "  alarms: {alarms} (expected ≈{:.1e} by the cutoff design; acceptance bar: 0)",
-        HEALTHY_WORDS as f64 * 33.0 * 2f64.powi(-i32::from(cfg.alpha_exp()))
-    );
-    assert_eq!(
-        alarms, 0,
-        "healthy Taus88 must not trip the default cutoffs"
-    );
-    println!();
-
-    println!("Pre-detection privacy exposure ({LOSS_TRIALS} trials per extreme input)");
-    let mut t = TextTable::new(vec![
-        "fault",
-        "samples lo/hi",
-        "empirical loss",
-        "disjoint mass",
-        "certified (healthy)",
-        "contained",
-    ]);
-    for fault in default_fault_suite() {
-        let rep = pre_detection_loss(fault, &cc, LOSS_TRIALS, ldp_bench::SEED ^ 0xF001)
-            .expect("loss measurement");
-        t.row(vec![
-            fault.label(),
-            format!("{}/{}", rep.samples_lo, rep.samples_hi),
-            fmt_opt(rep.empirical_loss),
-            format!("{:.3}", rep.disjoint_mass),
-            fmt_opt(rep.certified_loss),
-            if rep.contained { "yes" } else { "NO" }.into(),
-        ]);
-    }
-    println!("{t}");
-    println!(
-        "=> every fault family trips the monitor within a bounded window; the\n\
-         \u{20}  structural threshold bound contains every pre-detection output, and\n\
-         \u{20}  the empirical loss quantifies the (bounded) exposure the alarm closes."
+    print!(
+        "{}",
+        ldp_bench::render_fault_campaign(DETECTION_TRIALS, LOSS_TRIALS, HEALTHY_WORDS).text
     );
 }

@@ -1,38 +1,6 @@
 //! Fig. 11 — average noising latency (cycles) per dataset, resampling vs
 //! thresholding, at ε = 0.5.
 
-use ldp_datasets::all_benchmarks;
-use ldp_eval::{latency_row, TextTable};
-
 fn main() {
-    println!(
-        "Fig. 11 — DP-Box noising latency in cycles (ε = {}, loss target {}ε)",
-        ldp_bench::EPS_UTILITY,
-        ldp_bench::LOSS_MULTIPLE
-    );
-    let mut t = TextTable::new(vec![
-        "dataset",
-        "resampling (measured)",
-        "resampling (analytic)",
-        "thresholding",
-    ]);
-    for spec in all_benchmarks() {
-        let row = latency_row(
-            &spec,
-            ldp_bench::EPS_UTILITY,
-            ldp_bench::LOSS_MULTIPLE,
-            ldp_bench::TRIALS,
-            ldp_bench::SEED,
-        )
-        .expect("latency evaluation");
-        t.row(vec![
-            row.dataset.to_string(),
-            format!("{:.3}", row.resampling_cycles),
-            format!("{:.3}", row.resampling_cycles_analytic),
-            format!("{:.1}", row.thresholding_cycles),
-        ]);
-    }
-    println!("{t}");
-    println!("base latency is 2 cycles (load + noise); resampling adds one per redraw.");
-    println!("=> resampling never adds more than a cycle on average (paper's finding).");
+    print!("{}", ldp_bench::render_latency(ldp_bench::TRIALS).text);
 }

@@ -5,8 +5,29 @@
 
 use ldp_core::Mechanism;
 use ldp_datasets::statlog_heart;
-use ldp_eval::{distinguishing_bins, ExperimentSetup, Histogram};
-use ulp_rng::Taus88;
+use ldp_eval::{distinguishing_bins, sample_histogram, ExperimentSetup, Histogram};
+
+/// Samples `reps` privatized outputs of `x` into a histogram on the code
+/// grid, sharded over the parallel engine (deterministic for any width).
+fn run<M: Mechanism + Sync>(
+    setup: &ExperimentSetup,
+    mech: &M,
+    x: f64,
+    seed: u64,
+    reps: usize,
+) -> Histogram {
+    let code = setup.adc.encode(x) as f64;
+    // Bin outputs on the code grid over the widest possible window.
+    let span = setup.pmf.support_max_k() + setup.range.span_k();
+    sample_histogram(
+        -(span as f64),
+        span as f64 + 1.0,
+        (2 * span + 1) as usize / 8,
+        reps,
+        seed,
+        |rng| mech.privatize(code, rng).value - setup.range.min_k() as f64,
+    )
+}
 
 fn main() {
     let spec = statlog_heart();
@@ -20,25 +41,9 @@ fn main() {
         .thresholding(ldp_bench::LOSS_MULTIPLE)
         .expect("thresholding");
 
-    let run = |mech: &dyn Mechanism, x: f64, seed: u64| -> Histogram {
-        let mut rng = Taus88::from_seed(seed);
-        let code = setup.adc.encode(x) as f64;
-        // Bin outputs on the code grid over the widest possible window.
-        let span = setup.pmf.support_max_k() + setup.range.span_k();
-        let mut h = Histogram::new(
-            -(span as f64),
-            span as f64 + 1.0,
-            (2 * span + 1) as usize / 8,
-        );
-        for _ in 0..reps {
-            h.add(mech.privatize(code, &mut rng).value - setup.range.min_k() as f64);
-        }
-        h
-    };
-
     println!("Fig. 12 — naive DP-Box output histograms, Statlog entries {x1} and {x2} mmHg, ε=1");
-    let h1 = run(&naive, x1, 41);
-    let h2 = run(&naive, x2, 42);
+    let h1 = run(&setup, &naive, x1, 41, reps);
+    let h2 = run(&setup, &naive, x2, 42, reps);
     let d_naive = distinguishing_bins(&h1, &h2);
     println!(
         "(b) naive: {d_naive} histogram bins are populated by exactly one of the two \
@@ -46,8 +51,8 @@ fn main() {
         h1.bins()
     );
 
-    let h1t = run(&thresh, x1, 43);
-    let h2t = run(&thresh, x2, 44);
+    let h1t = run(&setup, &thresh, x1, 43, reps);
+    let h2t = run(&setup, &thresh, x2, 44, reps);
     let d_thresh = distinguishing_bins(&h1t, &h2t);
     println!("    thresholding: {d_thresh} distinguishing bins (sampling noise only).");
 

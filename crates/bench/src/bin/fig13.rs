@@ -2,46 +2,7 @@
 //! error of the adversary's estimate as a function of request count, with
 //! no budget and with two finite budgets.
 
-use ldp_datasets::statlog_heart;
-use ldp_eval::{averaging_attack, ExperimentSetup, TextTable};
-
 fn main() {
-    let setup = ExperimentSetup::paper_default(&statlog_heart(), 0.5).expect("setup");
-    let x = 131.0;
     let checkpoints = [1u64, 10, 100, 1_000, 10_000, 50_000];
-    let budgets: [(&str, Option<f64>); 3] = [
-        ("no budget", None),
-        ("B = 50", Some(50.0)),
-        ("B = 10", Some(10.0)),
-    ];
-
-    println!("Fig. 13 — adversary estimate error vs #requests (ε = 0.5, thresholding)");
-    let mut t = TextTable::new(vec!["requests", "no budget", "B = 50", "B = 10"]);
-    let mut curves = Vec::new();
-    for (_, b) in budgets {
-        curves.push(
-            averaging_attack(
-                &setup,
-                x,
-                b,
-                &ldp_bench::SEGMENT_MULTIPLES,
-                &checkpoints,
-                ldp_bench::SEED,
-            )
-            .expect("attack simulation"),
-        );
-    }
-    for (i, &n) in checkpoints.iter().enumerate() {
-        t.row(vec![
-            n.to_string(),
-            format!("{:.4}", curves[0][i].relative_error),
-            format!("{:.4}", curves[1][i].relative_error),
-            format!("{:.4}", curves[2][i].relative_error),
-        ]);
-    }
-    println!("{t}");
-    println!(
-        "=> without budget control the estimate converges to the true value; with a \
-         finite budget the cached replay caps the adversary's accuracy."
-    );
+    print!("{}", ldp_bench::render_adversary(&checkpoints).text);
 }

@@ -1,35 +1,6 @@
 //! Fig. 14 — randomized response (DP-Box with threshold 0) on a binary
 //! attribute: population-proportion MAE vs number of respondents.
 
-use ldp_core::RandomizedResponse;
-use ldp_eval::{rr_curve, TextTable};
-use ulp_rng::{FxpLaplaceConfig, FxpNoisePmf};
-
 fn main() {
-    // Binary grid: Δ = d, ε = 1 → λ = d. The zero-threshold DP-Box induces
-    // the flip probability from the RNG's one-step tail.
-    let cfg = FxpLaplaceConfig::new(17, 12, 1.0, 1.0).expect("binary-grid configuration");
-    let pmf = FxpNoisePmf::closed_form(cfg);
-    let rr = RandomizedResponse::from_zero_threshold_pmf(&pmf).expect("valid flip probability");
-
-    println!("Fig. 14 — randomized response via zero-threshold DP-Box");
-    println!(
-        "flip probability p = {:.4}, effective ε_RR = {:.3}\n",
-        rr.flip_prob(),
-        rr.epsilon()
-    );
-    // Statlog gender split ≈ 68% male.
-    let truth = 0.68;
-    let sizes = [100usize, 300, 1_000, 3_000, 10_000, 30_000, 100_000];
-    let pts = rr_curve(rr, truth, &sizes, 50, ldp_bench::SEED);
-    let mut t = TextTable::new(vec!["respondents", "proportion MAE", "theory stderr"]);
-    for p in pts {
-        t.row(vec![
-            p.n.to_string(),
-            format!("{:.4}", p.mae),
-            format!("{:.4}", p.stderr),
-        ]);
-    }
-    println!("{t}");
-    println!("=> accuracy improves as 1/√n while each individual bit stays private.");
+    print!("{}", ldp_bench::render_rr(50).text);
 }

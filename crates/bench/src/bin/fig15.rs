@@ -2,60 +2,7 @@
 //! word and (b) a narrow one where the limited mechanisms hit a utility
 //! floor.
 
-use ldp_eval::{scaling_curve, MechKind, TextTable};
-
-fn print_panel(title: &str, by: u8, sizes: &[usize]) {
-    println!("{title} (By = {by})");
-    let pts = scaling_curve(
-        sizes,
-        by,
-        ldp_bench::EPS_UTILITY,
-        ldp_bench::LOSS_MULTIPLE,
-        40,
-        ldp_bench::SEED,
-    )
-    .expect("scaling sweep");
-    let mut t = TextTable::new(vec![
-        "entries",
-        "ideal",
-        "baseline",
-        "resampling",
-        "thresholding",
-    ]);
-    for p in pts {
-        let get = |kind: MechKind| {
-            p.mae
-                .iter()
-                .find(|(k, _)| *k == kind)
-                .map(|(_, v)| format!("{v:.4}"))
-                .unwrap_or_default()
-        };
-        t.row(vec![
-            p.n.to_string(),
-            get(MechKind::Ideal),
-            get(MechKind::Baseline),
-            get(MechKind::Resampling),
-            get(MechKind::Thresholding),
-        ]);
-    }
-    println!("{t}");
-}
-
 fn main() {
-    println!("Fig. 15 — mean-query relative MAE vs dataset size (ε = 0.5)\n");
     let sizes = [100usize, 300, 1_000, 3_000, 10_000];
-    print_panel(
-        "(a) wide output word: error → 0 for every setting",
-        20,
-        &sizes,
-    );
-    print_panel(
-        "(b) narrow output word: resampling/thresholding hit a floor",
-        10,
-        &sizes,
-    );
-    println!(
-        "=> with a narrow output word the feasible window is capped and the limited \
-         mechanisms' clipped noise leaves a bias no amount of data removes."
-    );
+    print!("{}", ldp_bench::render_scaling(&sizes, 40).text);
 }

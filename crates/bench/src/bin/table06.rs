@@ -1,44 +1,8 @@
 //! Table VI — SVM classification accuracy vs training-set size and privacy
-//! parameter, on halfspace-separable synthetic data.
-
-use ldp_eval::{fmt_pct, halfspace_dataset, svm_accuracy, SvmPrivacy, TextTable};
+//! parameter, on halfspace-separable synthetic data. Each cell is averaged
+//! over several data/noising seeds: a single draw of heavy LDP noise has
+//! high variance at these training sizes.
 
 fn main() {
-    println!("Table VI — SVM accuracy on noised training data (clean test set)");
-    let sizes = [1_000usize, 2_000, 3_000, 4_000, 5_000];
-    let rows: [(&str, SvmPrivacy); 4] = [
-        ("ε = 0.5", SvmPrivacy::Eps(0.5)),
-        ("ε = 1", SvmPrivacy::Eps(1.0)),
-        ("ε = 2", SvmPrivacy::Eps(2.0)),
-        ("No DP", SvmPrivacy::NoDp),
-    ];
-    let test = halfspace_dataset(4_000, 2, 0.05, ldp_bench::SEED ^ 0xFF);
-    let mut t = TextTable::new(vec![
-        "privacy", "n=1000", "n=2000", "n=3000", "n=4000", "n=5000",
-    ]);
-    // Average each cell over several data/noising seeds: a single draw of
-    // heavy LDP noise has high variance at these training sizes.
-    let seeds = 12u64;
-    for (label, privacy) in rows {
-        let mut cells = vec![label.to_string()];
-        for (i, &n) in sizes.iter().enumerate() {
-            let mut acc = 0.0;
-            for s in 0..seeds {
-                acc += svm_accuracy(
-                    n,
-                    privacy,
-                    &test,
-                    ldp_bench::SEED + i as u64 + 1000 * s + 77 * i as u64,
-                )
-                .expect("svm evaluation");
-            }
-            cells.push(fmt_pct(acc / seeds as f64));
-        }
-        t.row(cells);
-    }
-    println!("{t}");
-    println!(
-        "=> noised training still learns; smaller ε needs more data for the same \
-         accuracy — the cost of privacy."
-    );
+    print!("{}", ldp_bench::render_svm(12).text);
 }

@@ -9,6 +9,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod render;
+
+pub use render::{
+    render_adversary, render_counting_table, render_fault_campaign, render_latency, render_rr,
+    render_scaling, render_svm, render_utility_table, Artifact,
+};
+
 /// The privacy parameter used by the utility tables (Section VI-B:
 /// "All of the utility results are for the privacy setting ε = 0.5").
 pub const EPS_UTILITY: f64 = 0.5;
@@ -44,44 +51,7 @@ pub fn ldp_flag(ldp: bool) -> String {
 /// Panics if the evaluation fails — regeneration binaries surface errors by
 /// aborting with the message.
 pub fn run_utility_table(title: &str, query: ldp_datasets::Query) {
-    use ldp_eval::{fmt_mae, fmt_pct, TextTable};
-
-    println!("{title} (ε = {EPS_UTILITY}, {TRIALS} trials, loss target {LOSS_MULTIPLE}ε)");
-    let specs = ldp_datasets::all_benchmarks();
-    let rows = ldp_eval::utility_table(&specs, query, EPS_UTILITY, LOSS_MULTIPLE, TRIALS, SEED)
-        .expect("utility evaluation");
-    let mut t = TextTable::new(vec![
-        "dataset",
-        "Ideal MAE",
-        "LDP?",
-        "FxP baseline MAE",
-        "LDP?",
-        "Resampling MAE",
-        "LDP?",
-        "Thresholding MAE",
-        "LDP?",
-        "rel. (ideal)",
-    ]);
-    for row in &rows {
-        let c = &row.cells;
-        t.row(vec![
-            row.dataset.to_string(),
-            fmt_mae(c[0].result.mae, c[0].result.std),
-            ldp_flag(c[0].ldp),
-            fmt_mae(c[1].result.mae, c[1].result.std),
-            ldp_flag(c[1].ldp),
-            fmt_mae(c[2].result.mae, c[2].result.std),
-            ldp_flag(c[2].ldp),
-            fmt_mae(c[3].result.mae, c[3].result.std),
-            ldp_flag(c[3].ldp),
-            fmt_pct(c[0].result.relative),
-        ]);
-    }
-    println!("{t}");
-    println!(
-        "=> the FxP baseline matches ideal utility but carries no guarantee; \
-         resampling/thresholding keep comparable utility AND guarantee LDP."
-    );
+    print!("{}", render_utility_table(title, query, TRIALS).text);
 }
 
 /// Runs and prints Table V: the counting query with a per-dataset threshold
@@ -91,48 +61,7 @@ pub fn run_utility_table(title: &str, query: ldp_datasets::Query) {
 ///
 /// Panics if the evaluation fails.
 pub fn run_counting_table() {
-    use ldp_eval::{fmt_mae, TextTable};
-
-    println!(
-        "Table V — MAE for counting query (x ≥ range midpoint; ε = {EPS_UTILITY}, \
-         {TRIALS} trials)"
-    );
-    let mut t = TextTable::new(vec![
-        "dataset",
-        "Ideal MAE",
-        "LDP?",
-        "FxP baseline MAE",
-        "LDP?",
-        "Resampling MAE",
-        "LDP?",
-        "Thresholding MAE",
-        "LDP?",
-    ]);
-    for spec in ldp_datasets::all_benchmarks() {
-        let threshold = (spec.min + spec.max) / 2.0;
-        let row = ldp_eval::utility_row(
-            &spec,
-            ldp_datasets::Query::Count { threshold },
-            EPS_UTILITY,
-            LOSS_MULTIPLE,
-            TRIALS,
-            SEED,
-        )
-        .expect("counting evaluation");
-        let c = &row.cells;
-        t.row(vec![
-            row.dataset.to_string(),
-            fmt_mae(c[0].result.mae, c[0].result.std),
-            ldp_flag(c[0].ldp),
-            fmt_mae(c[1].result.mae, c[1].result.std),
-            ldp_flag(c[1].ldp),
-            fmt_mae(c[2].result.mae, c[2].result.std),
-            ldp_flag(c[2].ldp),
-            fmt_mae(c[3].result.mae, c[3].result.std),
-            ldp_flag(c[3].ldp),
-        ]);
-    }
-    println!("{t}");
+    print!("{}", render_counting_table(TRIALS).text);
 }
 
 #[cfg(test)]

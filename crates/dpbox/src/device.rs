@@ -26,8 +26,7 @@
 use ldp_core::{LimitMode, QuantizedRange, SegmentTable};
 use ulp_fixed::QFormat;
 use ulp_rng::{
-    CordicLn, FxpLaplaceConfig, FxpNoisePmf, HealthAlarm, HealthConfig, RandomBits, Taus88,
-    UrngHealth,
+    CordicLn, FxpLaplaceConfig, HealthAlarm, HealthConfig, RandomBits, Taus88, UrngHealth,
 };
 
 use crate::command::Command;
@@ -606,9 +605,11 @@ impl<R: RandomBits> DpBox<R> {
         let lap_cfg = FxpLaplaceConfig::new(self.cfg.bu - 1, self.cfg.word_bits, delta, lambda)
             .map_err(DpBoxError::Rng)?;
         let range = QuantizedRange::new(r_l, r_u, delta).map_err(DpBoxError::Privacy)?;
-        let pmf = FxpNoisePmf::closed_form(lap_cfg);
+        // The table is a pure function of (config, range, multiples, mode);
+        // the memoized build makes repeated device construction — e.g. one
+        // DP-Box per fault-campaign trial — O(1) after the first solve.
         let table =
-            SegmentTable::build(lap_cfg, &pmf, range, &self.cfg.segment_multiples, self.mode)
+            ldp_core::segment_table_cached(lap_cfg, range, &self.cfg.segment_multiples, self.mode)
                 .map_err(DpBoxError::Privacy)?;
         let n_th_k = table.outermost().0;
         self.ctx = Some(NoisingCtx {

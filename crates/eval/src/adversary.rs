@@ -79,6 +79,33 @@ pub fn averaging_attack(
     Ok(points)
 }
 
+/// Runs [`averaging_attack`] for several budget settings concurrently
+/// (Fig. 13's three curves). Each run re-seeds its own RNG stream from
+/// `seed`, so the result equals mapping [`averaging_attack`] serially over
+/// `budgets`.
+///
+/// # Errors
+///
+/// Propagates [`averaging_attack`] errors.
+///
+/// # Panics
+///
+/// Panics if `checkpoints` is empty or unsorted.
+pub fn adversary_curves(
+    setup: &ExperimentSetup,
+    x: f64,
+    budgets: &[Option<f64>],
+    multiples: &[f64],
+    checkpoints: &[u64],
+    seed: u64,
+) -> Result<Vec<Vec<AdversaryPoint>>, LdpError> {
+    ulp_par::par_map(budgets, |&b| {
+        averaging_attack(setup, x, b, multiples, checkpoints, seed)
+    })
+    .into_iter()
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

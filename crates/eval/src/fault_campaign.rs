@@ -291,18 +291,26 @@ pub fn campaign_row(
     trials: u64,
     seed: u64,
 ) -> Result<CampaignRow, DpBoxError> {
+    // Every trial seeds its own device and fault wrapper from `(seed, t)`,
+    // so trials fan out over `ulp_par` and aggregate in trial order —
+    // byte-identical to the serial loop.
+    let trial_ids: Vec<u64> = (0..trials).collect();
+    let runs: Vec<FaultInjection> = ulp_par::par_map(&trial_ids, |&t| {
+        let s = seed
+            .wrapping_add(t)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1);
+        inject_fault(fault, cc, cc.span / 2, s)
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
     let mut detected = 0u64;
     let mut sum_words = 0u64;
     let mut max_words: Option<u64> = None;
     let mut max_cycles: Option<u64> = None;
     let mut sum_outputs = 0u64;
     let mut contained = true;
-    for t in 0..trials {
-        let s = seed
-            .wrapping_add(t)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(1);
-        let run = inject_fault(fault, cc, cc.span / 2, s)?;
+    for run in runs {
         contained &= run.contained;
         sum_outputs += run.pre_detection_outputs.len() as u64;
         if run.detected {
@@ -384,20 +392,37 @@ pub fn pre_detection_loss(
     trials: u64,
     seed: u64,
 ) -> Result<PreDetectionLoss, DpBoxError> {
-    let mut lo_counts: BTreeMap<i64, u128> = BTreeMap::new();
-    let mut hi_counts: BTreeMap<i64, u128> = BTreeMap::new();
-    let mut contained = true;
-    for t in 0..trials {
+    // Each trial's pair of runs (x = 0 and x = span) is seeded from
+    // `(seed, t, x)` only, so trials fan out over `ulp_par` and the
+    // histograms merge in trial order — identical to the serial loop.
+    let trial_ids: Vec<u64> = (0..trials).collect();
+    let per_trial: Vec<(Vec<i64>, Vec<i64>, bool)> = ulp_par::par_map(&trial_ids, |&t| {
         let s = seed
             .wrapping_add(t)
             .wrapping_mul(0xD134_2543_DE82_EF95)
             .wrapping_add(1);
-        for (x, counts) in [(0, &mut lo_counts), (cc.span, &mut hi_counts)] {
+        let mut outputs = [Vec::new(), Vec::new()];
+        let mut contained = true;
+        for (slot, x) in [(0usize, 0i64), (1, cc.span)] {
             let run = inject_fault(fault, cc, x, s ^ (x as u64) << 32)?;
             contained &= run.contained;
-            for y in run.pre_detection_outputs {
-                *counts.entry(y).or_insert(0) += 1;
-            }
+            outputs[slot] = run.pre_detection_outputs;
+        }
+        let [lo, hi] = outputs;
+        Ok::<_, DpBoxError>((lo, hi, contained))
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+    let mut lo_counts: BTreeMap<i64, u128> = BTreeMap::new();
+    let mut hi_counts: BTreeMap<i64, u128> = BTreeMap::new();
+    let mut contained = true;
+    for (lo, hi, trial_contained) in per_trial {
+        contained &= trial_contained;
+        for y in lo {
+            *lo_counts.entry(y).or_insert(0) += 1;
+        }
+        for y in hi {
+            *hi_counts.entry(y).or_insert(0) += 1;
         }
     }
     let samples_lo: u64 = lo_counts.values().map(|&w| w as u64).sum();

@@ -1,5 +1,7 @@
 //! Histogram tooling for the distribution figures (Figs. 4 and 12).
 
+use ulp_rng::{stream_seed, Taus88};
+
 /// A fixed-bin histogram over a closed interval.
 ///
 /// # Examples
@@ -109,6 +111,63 @@ impl Histogram {
     pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
         (0..self.counts.len()).map(move |i| (self.bin_center(i), self.counts[i]))
     }
+
+    /// Adds every count of `other` (same binning) into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms have different binning.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bins(), other.bins(), "histograms must share binning");
+        assert_eq!(self.lo, other.lo, "histograms must share range");
+        assert_eq!(self.hi, other.hi, "histograms must share range");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+}
+
+/// Samples per histogram shard in [`sample_histogram`]; fixed (independent
+/// of the thread count) so the shard partition — and with it the output —
+/// is deterministic.
+const SHARD_SAMPLES: usize = 4096;
+
+/// Fills a histogram over `[lo, hi)` with `n` samples drawn by `sample`,
+/// fanning fixed-size shards out over [`ulp_par`].
+///
+/// Shard `s` draws from its own [`Taus88`] stream seeded by
+/// `stream_seed(seed, &[s])`, and the shard partition depends only on `n`,
+/// so the merged histogram is byte-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or `bins == 0`.
+pub fn sample_histogram(
+    lo: f64,
+    hi: f64,
+    bins: usize,
+    n: usize,
+    seed: u64,
+    sample: impl Fn(&mut Taus88) -> f64 + Sync,
+) -> Histogram {
+    let shards: Vec<(u64, usize)> = (0..n.div_ceil(SHARD_SAMPLES))
+        .map(|s| (s as u64, SHARD_SAMPLES.min(n - s * SHARD_SAMPLES)))
+        .collect();
+    let parts = ulp_par::par_map(&shards, |&(s, count)| {
+        let mut rng = Taus88::from_seed(stream_seed(seed, &[s]));
+        let mut h = Histogram::new(lo, hi, bins);
+        for _ in 0..count {
+            h.add(sample(&mut rng));
+        }
+        h
+    });
+    let mut out = Histogram::new(lo, hi, bins);
+    for part in &parts {
+        out.merge(part);
+    }
+    out
 }
 
 /// Number of bins where exactly one of two histograms has samples — the
@@ -212,5 +271,34 @@ mod tests {
         let a = Histogram::new(0.0, 1.0, 4);
         let b = Histogram::new(0.0, 1.0, 8);
         distinguishing_bins(&a, &b);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_outliers() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let mut b = Histogram::new(0.0, 1.0, 2);
+        a.add(0.1);
+        b.add(0.1);
+        b.add(0.9);
+        b.add(-1.0);
+        a.merge(&b);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.count(1), 1);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn parallel_sampling_is_deterministic_and_complete() {
+        use ulp_rng::RandomBits;
+        // Uses more samples than one shard, so the merge path is exercised.
+        let n = 3 * super::SHARD_SAMPLES + 17;
+        let draw = |rng: &mut Taus88| f64::from(rng.next_u32()) / f64::from(u32::MAX);
+        let h1 = sample_histogram(0.0, 1.0, 16, n, 9, draw);
+        let h2 = sample_histogram(0.0, 1.0, 16, n, 9, draw);
+        assert_eq!(h1, h2);
+        assert_eq!(h1.total(), n as u64);
+        // Roughly uniform: every bin populated at this sample count.
+        assert!((0..h1.bins()).all(|i| h1.count(i) > 0));
     }
 }

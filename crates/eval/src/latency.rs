@@ -92,6 +92,25 @@ pub fn latency_row(
     })
 }
 
+/// [`latency_row`] over a list of datasets, fanned out over [`ulp_par`] —
+/// each row's RNG stream depends only on `(seed, spec)`, so the parallel
+/// table is byte-identical to mapping [`latency_row`] serially.
+///
+/// # Errors
+///
+/// Propagates [`latency_row`] errors.
+pub fn latency_table(
+    specs: &[DatasetSpec],
+    eps: f64,
+    multiple: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<Vec<LatencyRow>, LdpError> {
+    ulp_par::par_map(specs, |spec| latency_row(spec, eps, multiple, trials, seed))
+        .into_iter()
+        .collect()
+}
+
 /// The expected fraction of noise mass outside a centred window of
 /// half-width `w_k` — a quick bound on how often resampling triggers.
 pub fn tail_mass_outside(pmf: &FxpNoisePmf, w_k: i64) -> f64 {

@@ -13,7 +13,7 @@ use ulp_rng::Taus88;
 use crate::setup::{ExperimentSetup, MechKind};
 
 /// MAE of the mean query at one dataset size, all four settings.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalingPoint {
     /// Number of data entries.
     pub n: usize,
@@ -35,8 +35,9 @@ pub fn scaling_curve(
     trials: usize,
     seed: u64,
 ) -> Result<Vec<ScalingPoint>, LdpError> {
-    let mut out = Vec::with_capacity(sizes.len());
-    for &n in sizes {
+    // Every size's RNG streams are seeded from `(seed, kind, n)` only, so
+    // the parallel sweep is byte-identical to the serial one.
+    ulp_par::par_map(sizes, |&n| -> Result<ScalingPoint, LdpError> {
         let spec = DatasetSpec::new(
             "scaling-synthetic",
             n,
@@ -70,9 +71,10 @@ pub fn scaling_curve(
             );
             mae.push((kind, result.relative));
         }
-        out.push(ScalingPoint { n, mae });
-    }
-    Ok(out)
+        Ok(ScalingPoint { n, mae })
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

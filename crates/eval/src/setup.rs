@@ -7,11 +7,11 @@
 //! configuration.
 
 use ldp_core::{
-    exact_threshold, FxpBaseline, IdealLaplaceMechanism, LdpError, LimitMode, QuantizedRange,
-    ResamplingMechanism, ThresholdingMechanism,
+    exact_threshold_cached, FxpBaseline, IdealLaplaceMechanism, LdpError, LimitMode,
+    QuantizedRange, ResamplingMechanism, ThresholdingMechanism,
 };
 use ldp_datasets::DatasetSpec;
-use ulp_rng::{FxpLaplace, FxpLaplaceConfig, FxpNoisePmf};
+use ulp_rng::{cached_pmf, FxpLaplace, FxpLaplaceConfig, FxpNoisePmf};
 
 use crate::adc::Adc;
 
@@ -100,7 +100,9 @@ impl ExperimentSetup {
         let range = QuantizedRange::new(0, adc.max_code(), 1.0)?;
         let lambda = adc.max_code() as f64 / eps;
         let cfg = FxpLaplaceConfig::new(bu, by, 1.0, lambda)?;
-        let pmf = FxpNoisePmf::closed_form(cfg);
+        // Memoized: structurally identical to `FxpNoisePmf::closed_form(cfg)`
+        // but shared across the thousands of setups a sweep constructs.
+        let pmf = (*cached_pmf(cfg)).clone();
         Ok(ExperimentSetup {
             spec: spec.clone(),
             adc,
@@ -144,13 +146,7 @@ impl ExperimentSetup {
     ///
     /// Threshold-solver errors propagate.
     pub fn resampling(&self, multiple: f64) -> Result<ResamplingMechanism, LdpError> {
-        let spec = exact_threshold(
-            self.cfg,
-            &self.pmf,
-            self.range,
-            multiple,
-            LimitMode::Resampling,
-        )?;
+        let spec = exact_threshold_cached(self.cfg, self.range, multiple, LimitMode::Resampling)?;
         ResamplingMechanism::new(FxpLaplace::analytic(self.cfg), self.range, spec)
     }
 
@@ -160,13 +156,7 @@ impl ExperimentSetup {
     ///
     /// Threshold-solver errors propagate.
     pub fn thresholding(&self, multiple: f64) -> Result<ThresholdingMechanism, LdpError> {
-        let spec = exact_threshold(
-            self.cfg,
-            &self.pmf,
-            self.range,
-            multiple,
-            LimitMode::Thresholding,
-        )?;
+        let spec = exact_threshold_cached(self.cfg, self.range, multiple, LimitMode::Thresholding)?;
         ThresholdingMechanism::new(FxpLaplace::analytic(self.cfg), self.range, spec)
     }
 }

@@ -9,7 +9,7 @@
 
 use ldp_core::{LdpError, Mechanism};
 use ldp_datasets::{DatasetSpec, Shape};
-use ulp_rng::{RandomBits, Taus88};
+use ulp_rng::{stream_seed, RandomBits, Taus88};
 
 use crate::setup::ExperimentSetup;
 
@@ -215,6 +215,46 @@ pub fn svm_accuracy(
     Ok(acc_sum / runs as f64)
 }
 
+/// The full Table VI grid: accuracy for every `(privacy, size)` cell,
+/// averaged over `reps` independent data/noising seeds per cell.
+///
+/// Every cell is an independent unit of work whose seeds derive only from
+/// `(seed, privacy index, size index, rep)` via [`stream_seed`], so the
+/// cells fan out over [`ulp_par`] and the grid is byte-identical at any
+/// thread count. Returns one row per entry of `privacies`, one column per
+/// entry of `sizes`.
+///
+/// # Errors
+///
+/// Propagates [`svm_accuracy`] errors.
+pub fn svm_grid(
+    privacies: &[SvmPrivacy],
+    sizes: &[usize],
+    test: &[Sample],
+    reps: u64,
+    seed: u64,
+) -> Result<Vec<Vec<f64>>, LdpError> {
+    assert!(reps > 0, "need at least one repetition per cell");
+    let cells: Vec<(usize, usize)> = (0..privacies.len())
+        .flat_map(|p| (0..sizes.len()).map(move |s| (p, s)))
+        .collect();
+    let accs: Vec<f64> = ulp_par::par_map(&cells, |&(p, s)| -> Result<f64, LdpError> {
+        let mut acc = 0.0;
+        for r in 0..reps {
+            acc += svm_accuracy(
+                sizes[s],
+                privacies[p],
+                test,
+                stream_seed(seed, &[p as u64, s as u64, r]),
+            )?;
+        }
+        Ok(acc / reps as f64)
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+    Ok(accs.chunks(sizes.len()).map(<[f64]>::to_vec).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +297,22 @@ mod tests {
             acc_2 <= acc_clean + 0.02,
             "ε=2 {acc_2} vs clean {acc_clean}"
         );
+    }
+
+    #[test]
+    fn grid_shape_matches_inputs() {
+        let test = halfspace_dataset(500, 2, 0.05, 103);
+        let grid = svm_grid(
+            &[SvmPrivacy::NoDp, SvmPrivacy::Eps(2.0)],
+            &[300, 600],
+            &test,
+            1,
+            7,
+        )
+        .unwrap();
+        assert_eq!(grid.len(), 2);
+        assert!(grid.iter().all(|r| r.len() == 2));
+        assert!(grid[0][1] > 0.9, "clean 600-sample cell: {}", grid[0][1]);
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! Utility evaluation (Tables II–V): MAE of aggregate queries over noised
 //! data, for each dataset × mechanism.
+//!
+//! Cells are mutually independent — each derives its own seeded RNG stream
+//! from `(seed, kind)` — so rows fan out over [`ulp_par`] and the table is
+//! byte-identical for any thread count.
 
 use ldp_core::{LdpError, Mechanism};
 use ldp_datasets::{evaluate_query_debiased, generate, DatasetSpec, MaeResult, Query};
@@ -20,7 +24,7 @@ pub struct UtilityCell {
 }
 
 /// One row of a utility table: a dataset evaluated under all four settings.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UtilityRow {
     /// Dataset name.
     pub dataset: &'static str,
@@ -47,43 +51,49 @@ pub fn utility_row(
     let setup = ExperimentSetup::paper_default(spec, eps)?;
     let data = generate(spec, seed);
     let scale = query.error_scale(spec.range_length(), spec.entries);
-    let mut cells = Vec::with_capacity(4);
-    for kind in MechKind::all() {
-        let mech: Box<dyn Mechanism> = match kind {
-            MechKind::Ideal => Box::new(setup.ideal()?),
-            MechKind::Baseline => Box::new(setup.baseline()?),
-            MechKind::Resampling => Box::new(setup.resampling(multiple)?),
-            MechKind::Thresholding => Box::new(setup.thresholding(multiple)?),
-        };
-        let mut rng = Taus88::from_seed(seed ^ (kind as u64) << 32 ^ 0xCE11);
-        let adc = setup.adc;
-        let privatize = |x: f64| {
-            let code = adc.encode(x) as f64;
-            let out = mech.privatize(code, &mut rng);
-            adc.decode(out.value.round() as i64)
-        };
-        // The noise distribution is public, so the variance aggregator
-        // subtracts the advertised noise variance 2λ² (in physical units).
-        // The residual error of the window-limited mechanisms — whose true
-        // noise variance is slightly below 2λ² because of clipping — is
-        // exactly the distribution-shape effect Section VI-B discusses.
-        let debias = match query {
-            Query::Variance => {
-                let lambda_phys = setup.cfg.lambda() * adc.lsb();
-                2.0 * lambda_phys * lambda_phys
-            }
-            _ => 0.0,
-        };
-        let result = evaluate_query_debiased(&data, privatize, query, trials, scale, debias);
-        cells.push(UtilityCell {
-            kind,
-            result,
-            ldp: mech.guarantee().bound().is_some(),
-        });
-    }
+    // Each cell owns its RNG stream (seeded from `(seed, kind)` only), so
+    // evaluating the four settings concurrently reproduces the serial bytes.
+    let kinds = MechKind::all();
+    let cells: Result<Vec<UtilityCell>, LdpError> =
+        ulp_par::par_map(&kinds, |&kind| -> Result<UtilityCell, LdpError> {
+            let mech: Box<dyn Mechanism> = match kind {
+                MechKind::Ideal => Box::new(setup.ideal()?),
+                MechKind::Baseline => Box::new(setup.baseline()?),
+                MechKind::Resampling => Box::new(setup.resampling(multiple)?),
+                MechKind::Thresholding => Box::new(setup.thresholding(multiple)?),
+            };
+            let mut rng = Taus88::from_seed(seed ^ (kind as u64) << 32 ^ 0xCE11);
+            let adc = setup.adc;
+            let privatize = |x: f64| {
+                let code = adc.encode(x) as f64;
+                let out = mech.privatize(code, &mut rng);
+                adc.decode(out.value.round() as i64)
+            };
+            // The noise distribution is public, so the variance aggregator
+            // subtracts the advertised noise variance 2λ² (in physical
+            // units). The residual error of the window-limited mechanisms —
+            // whose true noise variance is slightly below 2λ² because of
+            // clipping — is exactly the distribution-shape effect Section
+            // VI-B discusses.
+            let debias = match query {
+                Query::Variance => {
+                    let lambda_phys = setup.cfg.lambda() * adc.lsb();
+                    2.0 * lambda_phys * lambda_phys
+                }
+                _ => 0.0,
+            };
+            let result = evaluate_query_debiased(&data, privatize, query, trials, scale, debias);
+            Ok(UtilityCell {
+                kind,
+                result,
+                ldp: mech.guarantee().bound().is_some(),
+            })
+        })
+        .into_iter()
+        .collect();
     Ok(UtilityRow {
         dataset: spec.name,
-        cells,
+        cells: cells?,
     })
 }
 
@@ -100,10 +110,11 @@ pub fn utility_table(
     trials: usize,
     seed: u64,
 ) -> Result<Vec<UtilityRow>, LdpError> {
-    specs
-        .iter()
-        .map(|s| utility_row(s, query, eps, multiple, trials, seed))
-        .collect()
+    ulp_par::par_map(specs, |s| {
+        utility_row(s, query, eps, multiple, trials, seed)
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod budget;
+mod cache;
 mod central;
 mod composition;
 mod discrete_mech;
@@ -70,6 +71,7 @@ pub mod threshold;
 mod timing;
 
 pub use budget::{BudgetController, BudgetStats, SegmentTable};
+pub use cache::{exact_threshold_cached, segment_table_cached};
 pub use central::{count_sensitivity, mean_sensitivity, CentralLaplaceMean};
 pub use composition::CompositionLedger;
 pub use discrete_mech::DiscreteLaplaceMechanism;

@@ -1,0 +1,157 @@
+//! Process-wide memoization of exact noise PMFs.
+//!
+//! The exact [`FxpNoisePmf`] is the trust anchor of every privacy-loss
+//! computation in this workspace: the evaluation sweeps re-derive it for the
+//! same [`FxpLaplaceConfig`] in every (dataset × mechanism × ε × rep) cell.
+//! Because the PMF is a *pure function* of its configuration, caching is
+//! semantically invisible — [`cached_pmf`] returns a value structurally
+//! equal to a fresh [`FxpNoisePmf::closed_form`] (asserted by the workspace
+//! cache-coherence tests) and never changes any downstream byte.
+//!
+//! # Key and invalidation
+//!
+//! The key is the full configuration — `(Bu, By, Δ, λ)` with the `f64`
+//! fields compared by **bit pattern** (`f64::to_bits`), so two
+//! configurations share an entry iff they are bit-identical. Entries are
+//! immutable (`Arc`-shared) and never invalidated: a PMF can only become
+//! stale if its config changes, and a changed config is a different key.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::error::RngError;
+use crate::fxp::FxpLaplaceConfig;
+use crate::pmf::FxpNoisePmf;
+
+/// Bit-exact cache key for a [`FxpLaplaceConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PmfKey {
+    bu: u8,
+    by: u8,
+    delta_bits: u64,
+    lambda_bits: u64,
+    enumerated: bool,
+}
+
+impl PmfKey {
+    fn new(cfg: FxpLaplaceConfig, enumerated: bool) -> Self {
+        PmfKey {
+            bu: cfg.bu(),
+            by: cfg.by(),
+            delta_bits: cfg.delta().to_bits(),
+            lambda_bits: cfg.lambda().to_bits(),
+            enumerated,
+        }
+    }
+}
+
+type PmfMap = Mutex<HashMap<PmfKey, Arc<FxpNoisePmf>>>;
+
+fn cache() -> &'static PmfMap {
+    static CACHE: OnceLock<PmfMap> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The closed-form (Eq. 11) PMF for `cfg`, memoized process-wide.
+///
+/// Structurally equal to `FxpNoisePmf::closed_form(cfg)`; the `Arc` lets
+/// concurrent evaluation cells share one copy.
+pub fn cached_pmf(cfg: FxpLaplaceConfig) -> Arc<FxpNoisePmf> {
+    let key = PmfKey::new(cfg, false);
+    if let Some(hit) = cache().lock().expect("pmf cache poisoned").get(&key) {
+        return Arc::clone(hit);
+    }
+    // Build outside the lock: closed_form is O(support) exp() calls and
+    // concurrent workers frequently miss on the same key at startup.
+    let pmf = Arc::new(FxpNoisePmf::closed_form(cfg));
+    Arc::clone(
+        cache()
+            .lock()
+            .expect("pmf cache poisoned")
+            .entry(key)
+            .or_insert(pmf),
+    )
+}
+
+/// The exhaustively enumerated PMF for `cfg`, memoized process-wide — one
+/// `O(2^Bu)` enumeration is shared by every subsequent solve at any ε.
+///
+/// # Errors
+///
+/// [`RngError::InvalidConfig`] if `Bu > 26` (see
+/// [`FxpNoisePmf::by_enumeration`]).
+pub fn cached_enumerated_pmf(cfg: FxpLaplaceConfig) -> Result<Arc<FxpNoisePmf>, RngError> {
+    let key = PmfKey::new(cfg, true);
+    if let Some(hit) = cache().lock().expect("pmf cache poisoned").get(&key) {
+        return Ok(Arc::clone(hit));
+    }
+    let pmf = Arc::new(FxpNoisePmf::by_enumeration(cfg)?);
+    Ok(Arc::clone(
+        cache()
+            .lock()
+            .expect("pmf cache poisoned")
+            .entry(key)
+            .or_insert(pmf),
+    ))
+}
+
+/// Number of distinct PMFs currently memoized (diagnostics/tests).
+pub fn pmf_cache_len() -> usize {
+    cache().lock().expect("pmf cache poisoned").len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(lambda: f64) -> FxpLaplaceConfig {
+        FxpLaplaceConfig::new(12, 12, 0.3125, lambda).unwrap()
+    }
+
+    #[test]
+    fn cached_pmf_equals_fresh_closed_form() {
+        let c = cfg(20.0);
+        let cached = cached_pmf(c);
+        assert_eq!(*cached, FxpNoisePmf::closed_form(c));
+    }
+
+    #[test]
+    fn repeated_lookups_share_one_allocation() {
+        let c = cfg(21.0);
+        let a = cached_pmf(c);
+        let b = cached_pmf(c);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn distinct_configs_get_distinct_entries() {
+        let a = cached_pmf(cfg(22.0));
+        let b = cached_pmf(cfg(23.0));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(*a, *b);
+    }
+
+    #[test]
+    fn enumerated_cache_matches_fresh_enumeration() {
+        let c = cfg(24.0);
+        let cached = cached_enumerated_pmf(c).unwrap();
+        assert_eq!(*cached, FxpNoisePmf::by_enumeration(c).unwrap());
+        // Closed-form and enumerated entries do not collide.
+        assert_eq!(*cached, *cached_pmf(c));
+        let again = cached_enumerated_pmf(c).unwrap();
+        assert!(Arc::ptr_eq(&cached, &again));
+    }
+
+    #[test]
+    fn enumeration_width_limit_is_preserved() {
+        let wide = FxpLaplaceConfig::new(30, 12, 0.25, 50.0).unwrap();
+        assert!(cached_enumerated_pmf(wide).is_err());
+    }
+
+    #[test]
+    fn cache_len_grows_monotonically() {
+        let before = pmf_cache_len();
+        let _ = cached_pmf(cfg(123.456));
+        assert!(pmf_cache_len() >= before);
+    }
+}

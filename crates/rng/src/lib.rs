@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod cordic;
 mod cordic_exp;
 mod discrete;
@@ -61,6 +62,7 @@ mod staircase;
 mod tausworthe;
 mod xorshift;
 
+pub use cache::{cached_enumerated_pmf, cached_pmf, pmf_cache_len};
 pub use cordic::CordicLn;
 pub use cordic_exp::CordicExp;
 pub use discrete::DiscreteLaplace;
@@ -72,7 +74,7 @@ pub use gaussian::{normal_cdf, normal_icdf, FxpGaussian, FxpGaussianConfig, Idea
 pub use health::{BitHealthMonitor, HealthAlarm, HealthConfig, HealthTest, UrngHealth};
 pub use laplace::{IdealExponential, IdealLaplace};
 pub use pmf::FxpNoisePmf;
-pub use source::{RandomBits, ScriptedBits, SplitMix64};
+pub use source::{stream_seed, RandomBits, ScriptedBits, SplitMix64};
 pub use staircase::{FxpStaircase, FxpStaircaseConfig, IdealStaircase};
 pub use tausworthe::Taus88;
 pub use xorshift::Xorshift64Star;

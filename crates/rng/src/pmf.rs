@@ -37,6 +37,8 @@ pub struct FxpNoisePmf {
     counts: Vec<u64>,
     /// Suffix sums of `counts` for O(1) tail queries.
     suffix: Vec<u64>,
+    /// `Σ k·counts[k]`, precomputed so `mean_magnitude_k` is O(1).
+    weighted_magnitude_sum: u128,
 }
 
 impl FxpNoisePmf {
@@ -115,14 +117,17 @@ impl FxpNoisePmf {
             "counts must partition the URNG range"
         );
         let mut suffix = vec![0u64; counts.len() + 1];
+        let mut weighted_magnitude_sum: u128 = 0;
         for k in (0..counts.len()).rev() {
             suffix[k] = suffix[k + 1] + counts[k];
+            weighted_magnitude_sum += k as u128 * counts[k] as u128;
         }
         FxpNoisePmf {
             bu,
             support_max_k: counts.len() as i64 - 1,
             counts,
             suffix,
+            weighted_magnitude_sum,
         }
     }
 
@@ -199,15 +204,11 @@ impl FxpNoisePmf {
     }
 
     /// Mean of the |n| magnitude distribution, in grid units (for energy /
-    /// resampling-rate analysis).
+    /// resampling-rate analysis). O(1): the weighted sum is precomputed when
+    /// the PMF is built.
     pub fn mean_magnitude_k(&self) -> f64 {
         let total = 1u64 << self.bu;
-        self.counts
-            .iter()
-            .enumerate()
-            .map(|(k, &c)| k as f64 * c as f64)
-            .sum::<f64>()
-            / total as f64
+        self.weighted_magnitude_sum as f64 / total as f64
     }
 }
 

@@ -20,7 +20,10 @@
 //! * [`datasets`] ([`ldp_datasets`]) — the seven Table-I benchmarks
 //!   (synthetic regenerations) and the evaluation queries;
 //! * [`eval`] ([`ldp_eval`]) — the harness that regenerates every table and
-//!   figure.
+//!   figure;
+//! * [`par`] ([`ulp_par`]) — the vendored scoped thread pool the evaluation
+//!   sweeps fan out on (`ULP_PAR_THREADS` overrides the width; results are
+//!   byte-identical at any thread count).
 //!
 //! # Quickstart
 //!
@@ -63,4 +66,5 @@ pub use ldp_core as ldp;
 pub use ldp_datasets as datasets;
 pub use ldp_eval as eval;
 pub use ulp_fixed as fixed;
+pub use ulp_par as par;
 pub use ulp_rng as rng;
