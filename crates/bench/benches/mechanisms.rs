@@ -58,7 +58,7 @@ fn bench_full_dataset_pass(c: &mut Criterion) {
                 .iter()
                 .map(|&x| {
                     let code = setup.adc.encode(x) as f64;
-                    mech.privatize(code, &mut rng).value
+                    mech.privatize(code, &mut rng).expect("mechanism").value
                 })
                 .sum();
             black_box(sum)

@@ -13,7 +13,7 @@ use ulp_rng::{FxpLaplace, FxpLaplaceConfig, FxpNoisePmf, Taus88};
 fn mae_of(mech: &dyn Mechanism, x: f64, truth: f64, reps: usize, seed: u64, delta: f64) -> f64 {
     let mut rng = Taus88::from_seed(seed);
     let err: f64 = (0..reps)
-        .map(|_| (mech.privatize(x, &mut rng).value - truth).abs())
+        .map(|_| (mech.privatize(x, &mut rng).expect("mechanism").value - truth).abs())
         .sum();
     let _ = delta;
     err / reps as f64

@@ -12,12 +12,19 @@
 //! Flags:
 //!
 //! * `--smoke` — tiny repetition counts (CI-friendly, seconds not minutes);
-//! * `--out <path>` — where to write the JSON report.
+//! * `--out <path>` — where to write the JSON report;
+//! * `--reference` — pin the cycle-faithful reference samplers (equivalent
+//!   to `ULP_SAMPLER_PATH=reference`); without it the alias fast path is
+//!   used for batch privatization;
+//! * `--compare <baseline.json>` — print per-artifact cells/sec deltas
+//!   against a previous report and exit non-zero if any shared artifact
+//!   regressed by more than 25%.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use ldp_bench::Artifact;
+use ldp_core::SamplerPath;
 
 /// FNV-1a over the rendered artifact text — a stable, dependency-free
 /// fingerprint for cross-thread-count comparison.
@@ -35,6 +42,12 @@ struct Timed {
     seconds: f64,
     cells: u64,
     digest: u64,
+}
+
+impl Timed {
+    fn cells_per_sec(&self) -> f64 {
+        self.cells as f64 / self.seconds.max(1e-9)
+    }
 }
 
 fn time_artifact(name: &'static str, f: impl FnOnce() -> Artifact) -> Timed {
@@ -63,13 +76,14 @@ fn json_escape_free(name: &str) -> &str {
     name
 }
 
-fn render_json(threads: usize, smoke: bool, results: &[Timed]) -> String {
+fn render_json(threads: usize, smoke: bool, sampler_path: &str, results: &[Timed]) -> String {
     let total: f64 = results.iter().map(|r| r.seconds).sum();
     let mut out = String::new();
     out.push_str("{\n");
     writeln!(out, "  \"schema\": \"ulp-ldp/bench_eval/v1\",").unwrap();
     writeln!(out, "  \"threads\": {threads},").unwrap();
     writeln!(out, "  \"smoke\": {smoke},").unwrap();
+    writeln!(out, "  \"sampler_path\": \"{sampler_path}\",").unwrap();
     writeln!(out, "  \"total_seconds\": {total:.3},").unwrap();
     out.push_str("  \"artifacts\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -81,7 +95,7 @@ fn render_json(threads: usize, smoke: bool, results: &[Timed]) -> String {
             json_escape_free(r.name),
             r.seconds,
             r.cells,
-            r.cells as f64 / r.seconds.max(1e-9),
+            r.cells_per_sec(),
             r.digest,
         )
         .unwrap();
@@ -90,21 +104,106 @@ fn render_json(threads: usize, smoke: bool, results: &[Timed]) -> String {
     out
 }
 
+/// Extracts `(name, cells_per_sec, seconds)` triples from a previous
+/// report. The format is the one `render_json` writes (one artifact object
+/// per line), so a line-oriented scan is a faithful parser for our own
+/// output; fields from newer schema revisions are simply ignored.
+fn parse_baseline(text: &str) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name) = extract_str(line, "\"name\": \"") else {
+            continue;
+        };
+        let Some(cps) = extract_num(line, "\"cells_per_sec\": ") else {
+            continue;
+        };
+        let Some(secs) = extract_num(line, "\"seconds\": ") else {
+            continue;
+        };
+        out.push((name, cps, secs));
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(key)? + key.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Prints the per-artifact throughput deltas and returns `true` if any
+/// artifact present in both reports lost more than 25% of its cells/sec.
+fn compare_against(baseline_path: &str, results: &[Timed]) -> bool {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path:?}: {e}"));
+    let baseline = parse_baseline(&text);
+    assert!(
+        !baseline.is_empty(),
+        "baseline {baseline_path:?} contains no artifacts"
+    );
+    eprintln!("compare vs {baseline_path}:");
+    // Sub-50ms artifacts are timer/jitter noise, not throughput signal;
+    // report them but keep them out of the pass/fail decision.
+    const GATE_FLOOR_SECS: f64 = 0.05;
+    let mut regressed = false;
+    for r in results {
+        let Some((_, old, old_secs)) = baseline.iter().find(|(n, _, _)| n == r.name) else {
+            eprintln!("  {:<16} (not in baseline)", r.name);
+            continue;
+        };
+        let new = r.cells_per_sec();
+        let ratio = new / old.max(1e-9);
+        let gated = r.seconds >= GATE_FLOOR_SECS && *old_secs >= GATE_FLOOR_SECS;
+        let flag = if !gated {
+            "  (below timing floor, not gated)"
+        } else if ratio < 0.75 {
+            regressed = true;
+            "  REGRESSION (>25%)"
+        } else {
+            ""
+        };
+        eprintln!(
+            "  {:<16} {old:>9.1} -> {new:>9.1} cells/s  ({:+.1}%){flag}",
+            r.name,
+            (ratio - 1.0) * 100.0,
+        );
+    }
+    regressed
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_path = String::from("BENCH_eval.json");
+    let mut compare_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--out" => out_path = args.next().expect("--out needs a path"),
-            other => panic!("unknown flag {other:?} (expected --smoke or --out <path>)"),
+            "--reference" => std::env::set_var("ULP_SAMPLER_PATH", "reference"),
+            "--compare" => compare_path = Some(args.next().expect("--compare needs a path")),
+            other => panic!(
+                "unknown flag {other:?} (expected --smoke, --out <path>, \
+                 --reference, or --compare <baseline.json>)"
+            ),
         }
     }
 
     let threads = ulp_par::threads();
+    let sampler_path = match SamplerPath::from_env() {
+        SamplerPath::Reference => "reference",
+        SamplerPath::Fast => "fast",
+    };
     eprintln!(
-        "bench_perf: {} mode, {threads} worker thread(s) (ULP_PAR_THREADS to override)",
+        "bench_perf: {} mode, {threads} worker thread(s) (ULP_PAR_THREADS to override), \
+         {sampler_path} sampler path",
         if smoke { "smoke" } else { "full" }
     );
 
@@ -153,9 +252,16 @@ fn main() {
         }),
     ];
 
-    let json = render_json(threads, smoke, &results);
+    let json = render_json(threads, smoke, sampler_path, &results);
     std::fs::write(&out_path, &json).expect("write JSON report");
     let total: f64 = results.iter().map(|r| r.seconds).sum();
     eprintln!("total {total:.3}s -> {out_path}");
     print!("{json}");
+
+    if let Some(path) = compare_path {
+        if compare_against(&path, &results) {
+            eprintln!("bench_perf: throughput regression detected");
+            std::process::exit(1);
+        }
+    }
 }

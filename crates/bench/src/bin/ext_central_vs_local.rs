@@ -52,9 +52,12 @@ fn main() {
                 .iter()
                 .map(|&x| {
                     let code = setup.adc.encode(x) as f64;
-                    setup
-                        .adc
-                        .decode(mech.privatize(code, &mut rng).value.round() as i64)
+                    setup.adc.decode(
+                        mech.privatize(code, &mut rng)
+                            .expect("mechanism")
+                            .value
+                            .round() as i64,
+                    )
                 })
                 .collect();
             local_mae += (Query::Mean.exec(&noised) - truth).abs();

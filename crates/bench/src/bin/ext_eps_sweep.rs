@@ -54,7 +54,12 @@ fn main() {
                 &data,
                 |x| {
                     let code = adc.encode(x) as f64;
-                    adc.decode(mech.privatize(code, &mut rng).value.round() as i64)
+                    adc.decode(
+                        mech.privatize(code, &mut rng)
+                            .expect("mechanism")
+                            .value
+                            .round() as i64,
+                    )
                 },
                 Query::Mean,
                 60,

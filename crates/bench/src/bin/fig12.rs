@@ -25,7 +25,7 @@ fn run<M: Mechanism + Sync>(
         (2 * span + 1) as usize / 8,
         reps,
         seed,
-        |rng| mech.privatize(code, rng).value - setup.range.min_k() as f64,
+        |rng| mech.privatize(code, rng).expect("mechanism").value - setup.range.min_k() as f64,
     )
 }
 

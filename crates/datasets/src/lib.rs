@@ -46,7 +46,7 @@ mod synth;
 mod uci;
 
 pub use csv::{from_csv, to_csv, ParseCsvError};
-pub use mae::{evaluate_query, evaluate_query_debiased, MaeResult};
+pub use mae::{evaluate_query, evaluate_query_batched, evaluate_query_debiased, MaeResult};
 pub use query::Query;
 pub use spec::{DatasetSpec, Shape};
 pub use synth::{generate, summarize, Summary};

@@ -98,6 +98,52 @@ where
     }
 }
 
+/// [`evaluate_query_debiased`] for *batched* privatizers: `fill` receives
+/// the output buffer for one whole trial (same length as `raw`) and may
+/// fail, e.g. with a mechanism error.
+///
+/// With a `fill` that privatizes entries in order with the same RNG, this
+/// scores exactly the same trials as the per-entry evaluator; batching
+/// exists so table-driven mechanisms can amortize their per-draw overhead
+/// (see `ldp_core::Mechanism::privatize_batch`).
+///
+/// # Panics
+///
+/// Panics if `raw` is empty or `trials` is zero.
+///
+/// # Errors
+///
+/// Propagates the first error `fill` returns.
+pub fn evaluate_query_batched<F, E>(
+    raw: &[f64],
+    mut fill: F,
+    query: Query,
+    trials: usize,
+    error_scale: f64,
+    debias: f64,
+) -> Result<MaeResult, E>
+where
+    F: FnMut(&mut [f64]) -> Result<(), E>,
+{
+    assert!(!raw.is_empty(), "empty dataset");
+    assert!(trials > 0, "at least one trial required");
+    let truth = query.exec(raw);
+    let mut errors = Vec::with_capacity(trials);
+    let mut noised = vec![0.0f64; raw.len()];
+    for _ in 0..trials {
+        fill(&mut noised)?;
+        errors.push((query.exec(&noised) - debias - truth).abs());
+    }
+    let mae = errors.iter().sum::<f64>() / trials as f64;
+    let var = errors.iter().map(|e| (e - mae) * (e - mae)).sum::<f64>() / trials as f64;
+    Ok(MaeResult {
+        mae,
+        std: var.sqrt(),
+        relative: mae / error_scale,
+        trials,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +190,42 @@ mod tests {
         assert!((biased.mae - 3.0).abs() < 1e-12);
         let debiased = evaluate_query_debiased(&raw, |x| x + 3.0, Query::Mean, 4, 10.0, 3.0);
         assert_eq!(debiased.mae, 0.0);
+    }
+
+    #[test]
+    fn batched_evaluator_matches_per_entry_for_equivalent_fill() {
+        let raw = vec![1.0, 4.0, 7.0, 9.0];
+        let per_entry = evaluate_query_debiased(&raw, |x| x + 3.0, Query::Mean, 5, 10.0, 1.0);
+        let raw2 = raw.clone();
+        let batched = evaluate_query_batched::<_, std::convert::Infallible>(
+            &raw,
+            move |out| {
+                for (slot, &x) in out.iter_mut().zip(&raw2) {
+                    *slot = x + 3.0;
+                }
+                Ok(())
+            },
+            Query::Mean,
+            5,
+            10.0,
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(per_entry, batched);
+    }
+
+    #[test]
+    fn batched_evaluator_propagates_fill_errors() {
+        let raw = vec![1.0, 2.0];
+        let r = evaluate_query_batched::<_, &'static str>(
+            &raw,
+            |_| Err("mechanism broke"),
+            Query::Mean,
+            3,
+            1.0,
+            0.0,
+        );
+        assert_eq!(r.unwrap_err(), "mechanism broke");
     }
 
     #[test]

@@ -77,7 +77,9 @@ pub fn latency_row(
     for _ in 0..trials {
         for &x in &data {
             let code = setup.adc.encode(x) as f64;
-            total_resamples += resampling.privatize(code, &mut rng).resamples as u64;
+            // Single `privatize` is always cycle-faithful regardless of the
+            // sampler path: latency models the hardware redraw loop.
+            total_resamples += resampling.privatize(code, &mut rng)?.resamples as u64;
             count += 1;
         }
     }

@@ -103,7 +103,7 @@ mod tests {
             &data,
             |x| {
                 let code = adc.encode(x) as f64;
-                adc.decode(mech.privatize(code, &mut rng).value.round() as i64)
+                adc.decode(mech.privatize(code, &mut rng).unwrap().value.round() as i64)
             },
             Query::Mean,
             60,

@@ -7,7 +7,7 @@
 //! and the MAE hits a floor that no amount of data removes (Fig. 15(b)).
 
 use ldp_core::{LdpError, Mechanism};
-use ldp_datasets::{evaluate_query, DatasetSpec, Query, Shape};
+use ldp_datasets::{evaluate_query_batched, DatasetSpec, Query, Shape};
 use ulp_rng::Taus88;
 
 use crate::setup::{ExperimentSetup, MechKind};
@@ -59,16 +59,24 @@ pub fn scaling_curve(
             };
             let mut rng = Taus88::from_seed(seed ^ ((kind as u64) << 24) ^ n as u64);
             let adc = setup.adc;
-            let result = evaluate_query(
+            // Hoisted encode + one batched pass per trial (reference-path
+            // draw order matches the old per-entry loop exactly).
+            let codes: Vec<f64> = data.iter().map(|&x| adc.encode(x) as f64).collect();
+            let mut noised = vec![0.0f64; codes.len()];
+            let result = evaluate_query_batched(
                 &data,
-                |x| {
-                    let code = adc.encode(x) as f64;
-                    adc.decode(mech.privatize(code, &mut rng).value.round() as i64)
+                |out: &mut [f64]| -> Result<(), LdpError> {
+                    mech.privatize_batch(&codes, &mut rng, &mut noised)?;
+                    for (slot, &v) in out.iter_mut().zip(noised.iter()) {
+                        *slot = adc.decode(v.round() as i64);
+                    }
+                    Ok(())
                 },
                 Query::Mean,
                 trials,
                 spec.range_length(),
-            );
+                0.0,
+            )?;
             mae.push((kind, result.relative));
         }
         Ok(ScalingPoint { n, mae })
@@ -104,7 +112,10 @@ mod tests {
         // Fig. 15(b): with a small output word the feasible windows are
         // capped and the limited mechanisms' noise is so clipped that MAE
         // stops improving, while the (non-private) baseline keeps decaying.
-        let pts = scaling_curve(&[100, 1_000, 20_000], 10, 0.5, 2.0, 25, 2).unwrap();
+        // 80k entries push the baseline's 1/√n decay well below the
+        // clipping floor, so the 3× separation holds with margin for any
+        // sampler-path realization of the noise stream.
+        let pts = scaling_curve(&[100, 1_000, 80_000], 10, 0.5, 2.0, 25, 2).unwrap();
         let last = &pts[2];
         let baseline = rel(last, MechKind::Baseline);
         let thresholding = rel(last, MechKind::Thresholding);

@@ -8,7 +8,7 @@
 
 use ldp_core::{
     exact_threshold_cached, FxpBaseline, IdealLaplaceMechanism, LdpError, LimitMode,
-    QuantizedRange, ResamplingMechanism, ThresholdingMechanism,
+    QuantizedRange, ResamplingMechanism, SamplerPath, ThresholdingMechanism,
 };
 use ldp_datasets::DatasetSpec;
 use ulp_rng::{cached_pmf, FxpLaplace, FxpLaplaceConfig, FxpNoisePmf};
@@ -65,6 +65,11 @@ pub struct ExperimentSetup {
     pub pmf: FxpNoisePmf,
     /// The privacy parameter ε.
     pub eps: f64,
+    /// Which sampler datapath batched privatization uses (read from the
+    /// `ULP_SAMPLER_PATH` environment variable; see
+    /// [`SamplerPath::from_env`]). Single draws always stay on the
+    /// cycle-faithful reference path.
+    pub sampler_path: SamplerPath,
 }
 
 impl ExperimentSetup {
@@ -110,7 +115,14 @@ impl ExperimentSetup {
             cfg,
             pmf,
             eps,
+            sampler_path: SamplerPath::from_env(),
         })
+    }
+
+    /// Overrides the sampler path for every mechanism this setup builds.
+    pub fn with_sampler_path(mut self, path: SamplerPath) -> Self {
+        self.sampler_path = path;
+        self
     }
 
     /// The paper's default operating point: `Bu = 17`, 8-bit ADC.
@@ -128,7 +140,7 @@ impl ExperimentSetup {
     ///
     /// Propagates constructor validation.
     pub fn ideal(&self) -> Result<IdealLaplaceMechanism, LdpError> {
-        IdealLaplaceMechanism::new(self.range, self.eps)
+        Ok(IdealLaplaceMechanism::new(self.range, self.eps)?.with_sampler_path(self.sampler_path))
     }
 
     /// The naive fixed-point baseline.
@@ -137,7 +149,10 @@ impl ExperimentSetup {
     ///
     /// Propagates constructor validation.
     pub fn baseline(&self) -> Result<FxpBaseline, LdpError> {
-        FxpBaseline::new(FxpLaplace::analytic(self.cfg), self.range)
+        Ok(
+            FxpBaseline::new(FxpLaplace::analytic(self.cfg), self.range)?
+                .with_sampler_path(self.sampler_path),
+        )
     }
 
     /// The resampling mechanism at loss target `multiple · ε`.
@@ -147,7 +162,10 @@ impl ExperimentSetup {
     /// Threshold-solver errors propagate.
     pub fn resampling(&self, multiple: f64) -> Result<ResamplingMechanism, LdpError> {
         let spec = exact_threshold_cached(self.cfg, self.range, multiple, LimitMode::Resampling)?;
-        ResamplingMechanism::new(FxpLaplace::analytic(self.cfg), self.range, spec)
+        Ok(
+            ResamplingMechanism::new(FxpLaplace::analytic(self.cfg), self.range, spec)?
+                .with_sampler_path(self.sampler_path),
+        )
     }
 
     /// The thresholding mechanism at loss target `multiple · ε`.
@@ -157,7 +175,10 @@ impl ExperimentSetup {
     /// Threshold-solver errors propagate.
     pub fn thresholding(&self, multiple: f64) -> Result<ThresholdingMechanism, LdpError> {
         let spec = exact_threshold_cached(self.cfg, self.range, multiple, LimitMode::Thresholding)?;
-        ThresholdingMechanism::new(FxpLaplace::analytic(self.cfg), self.range, spec)
+        Ok(
+            ThresholdingMechanism::new(FxpLaplace::analytic(self.cfg), self.range, spec)?
+                .with_sampler_path(self.sampler_path),
+        )
     }
 }
 
@@ -180,7 +201,7 @@ mod tests {
             Box::new(setup.resampling(2.0).unwrap()),
             Box::new(setup.thresholding(2.0).unwrap()),
         ] {
-            let out = mech.privatize(131.0_f64.round(), &mut rng);
+            let out = mech.privatize(131.0_f64.round(), &mut rng).unwrap();
             assert!(out.value.is_finite());
         }
     }

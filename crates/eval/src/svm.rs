@@ -196,7 +196,10 @@ pub fn svm_accuracy(
                         .iter()
                         .map(|&xi| {
                             let code = adc.encode(xi) as f64;
-                            adc.decode(mech.privatize(code, &mut rng).value.round() as i64)
+                            // Thresholding has no redraw loop, so privatize
+                            // cannot fail.
+                            let out = mech.privatize(code, &mut rng).expect("thresholding");
+                            adc.decode(out.value.round() as i64)
                         })
                         .collect(),
                     y: s.y,

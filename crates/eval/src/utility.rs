@@ -6,7 +6,7 @@
 //! byte-identical for any thread count.
 
 use ldp_core::{LdpError, Mechanism};
-use ldp_datasets::{evaluate_query_debiased, generate, DatasetSpec, MaeResult, Query};
+use ldp_datasets::{evaluate_query_batched, generate, DatasetSpec, MaeResult, Query};
 use ulp_rng::Taus88;
 
 use crate::setup::{ExperimentSetup, MechKind};
@@ -64,10 +64,46 @@ pub fn utility_row(
             };
             let mut rng = Taus88::from_seed(seed ^ (kind as u64) << 32 ^ 0xCE11);
             let adc = setup.adc;
-            let privatize = |x: f64| {
-                let code = adc.encode(x) as f64;
-                let out = mech.privatize(code, &mut rng);
-                adc.decode(out.value.round() as i64)
+            // Encoding is deterministic, so hoist it out of the trial loop;
+            // each trial is then one batched privatization pass (on the
+            // reference path this privatizes entries in the exact order the
+            // per-entry loop used, so the trial bytes are unchanged).
+            let codes: Vec<f64> = data.iter().map(|&x| adc.encode(x) as f64).collect();
+            // Quantization is also trial-invariant, so the grid fast path
+            // (`privatize_index_batch`) takes pre-quantized indices and
+            // skips the per-entry divide/round the f64 path repays every
+            // trial; `adc.decode`'s constants are hoisted for the same
+            // reason. On the reference path the index route declines
+            // (`Ok(None)`) and the f64 fallback below runs the exact
+            // pre-existing sequence, so reference digests are unchanged.
+            let range = setup.range;
+            let xs_k: Vec<i64> = codes.iter().map(|&c| range.quantize(c)).collect();
+            let mut y_k = vec![0i64; codes.len()];
+            let mut noised = vec![0.0f64; codes.len()];
+            let (dec_min, dec_lsb) = (adc.decode(0), adc.lsb());
+            let fill = |out: &mut [f64]| -> Result<(), LdpError> {
+                if mech
+                    .privatize_index_batch(&xs_k, &mut rng, &mut y_k)?
+                    .is_some()
+                {
+                    if range.delta() == 1.0 {
+                        // Unit grid (every `ExperimentSetup`): the index is
+                        // the ADC code, so decoding is one fused mul-add.
+                        for (slot, &y) in out.iter_mut().zip(y_k.iter()) {
+                            *slot = dec_min + y as f64 * dec_lsb;
+                        }
+                    } else {
+                        for (slot, &y) in out.iter_mut().zip(y_k.iter()) {
+                            *slot = dec_min + range.to_value(y).round() * dec_lsb;
+                        }
+                    }
+                    return Ok(());
+                }
+                mech.privatize_batch(&codes, &mut rng, &mut noised)?;
+                for (slot, &v) in out.iter_mut().zip(noised.iter()) {
+                    *slot = adc.decode(v.round() as i64);
+                }
+                Ok(())
             };
             // The noise distribution is public, so the variance aggregator
             // subtracts the advertised noise variance 2λ² (in physical
@@ -82,7 +118,7 @@ pub fn utility_row(
                 }
                 _ => 0.0,
             };
-            let result = evaluate_query_debiased(&data, privatize, query, trials, scale, debias);
+            let result = evaluate_query_batched(&data, fill, query, trials, scale, debias)?;
             Ok(UtilityCell {
                 kind,
                 result,

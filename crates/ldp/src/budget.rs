@@ -9,10 +9,11 @@
 //! cached last output is replayed — repeating an already-released value
 //! leaks nothing further.
 
-use ulp_rng::{FxpLaplace, FxpLaplaceConfig, FxpNoisePmf, RandomBits};
+use ulp_rng::{cached_alias_full, FxpLaplace, FxpLaplaceConfig, FxpNoisePmf, RandomBits};
 
 use crate::error::LdpError;
 use crate::loss::{loss_profile, LimitMode, PrivacyLoss};
+use crate::mechanism::RESAMPLE_LIMIT;
 use crate::range::QuantizedRange;
 use crate::threshold::exact_threshold;
 
@@ -305,18 +306,50 @@ impl BudgetController {
         self.stats.charged = 0.0;
     }
 
-    /// Serves one sensor-data request (Algorithm 1).
+    /// Serves one sensor-data request (Algorithm 1) through the
+    /// cycle-faithful sampler datapath.
     ///
     /// # Errors
     ///
     /// [`LdpError::BudgetExhausted`] if the budget is spent and no output
-    /// was ever cached ("Halt" in the paper's pseudocode).
+    /// was ever cached ("Halt" in the paper's pseudocode);
+    /// [`LdpError::ResampleBudgetExhausted`] if resampling mode rejects
+    /// 100 000 consecutive draws.
     pub fn respond<R: RandomBits + ?Sized>(
         &mut self,
         x: f64,
         sampler: &FxpLaplace,
         rng: &mut R,
     ) -> Result<f64, LdpError> {
+        let mut rng = rng;
+        self.respond_with(x, &mut move || sampler.sample_index(&mut *rng))
+    }
+
+    /// Serves one request drawing noise from the cached alias table instead
+    /// of the sampler datapath — the same output distribution (the table is
+    /// built from the exact PMF) at O(1) per draw. Falls back to
+    /// [`BudgetController::respond`] for CORDIC samplers, whose distribution
+    /// the analytic PMF does not describe.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BudgetController::respond`], plus alias-table
+    /// construction errors.
+    pub fn respond_alias(
+        &mut self,
+        x: f64,
+        sampler: &FxpLaplace,
+        rng: &mut dyn RandomBits,
+    ) -> Result<f64, LdpError> {
+        if !sampler.is_analytic() {
+            return self.respond(x, sampler, rng);
+        }
+        let table = cached_alias_full(sampler.config())?;
+        self.respond_with(x, &mut || table.draw(&mut *rng))
+    }
+
+    /// Algorithm 1's core, parameterized over the noise-index source.
+    fn respond_with(&mut self, x: f64, draw: &mut dyn FnMut() -> i64) -> Result<f64, LdpError> {
         if self.exhausted() {
             self.stats.cached += 1;
             return self.cached.ok_or(LdpError::BudgetExhausted);
@@ -325,8 +358,9 @@ impl BudgetController {
         let (outer_t, _) = self.table.outermost();
         let lo = self.range.min_k() - outer_t;
         let hi = self.range.max_k() + outer_t;
+        let mut rejections = 0u32;
         let (y_k, charge) = loop {
-            let tmp = x_k + sampler.sample_index(rng);
+            let tmp = x_k + draw();
             let overshoot = if tmp < self.range.min_k() {
                 self.range.min_k() - tmp
             } else if tmp > self.range.max_k() {
@@ -342,7 +376,13 @@ impl BudgetController {
                     let clamped = tmp.clamp(lo, hi);
                     break (clamped, self.table.outermost().1);
                 }
-                LimitMode::Resampling => continue,
+                LimitMode::Resampling => {
+                    rejections += 1;
+                    if rejections >= RESAMPLE_LIMIT {
+                        return Err(LdpError::ResampleBudgetExhausted);
+                    }
+                    continue;
+                }
             }
         };
         self.remaining -= charge;
@@ -527,6 +567,37 @@ mod tests {
             let y_k = (y / range.delta()).round() as i64;
             assert!(y_k >= range.min_k() - outer_t);
             assert!(y_k <= range.max_k() + outer_t);
+        }
+    }
+
+    #[test]
+    fn alias_respond_matches_reference_statistics() {
+        for mode in [LimitMode::Resampling, LimitMode::Thresholding] {
+            let (t, range, sampler) = table(mode);
+            let (outer_t, _) = t.outermost();
+            let mut ref_ctrl = BudgetController::new(t.clone(), range, 1e9).unwrap();
+            let mut fast_ctrl = BudgetController::new(t, range, 1e9).unwrap();
+            let mut rng_a = Taus88::from_seed(30);
+            let mut rng_b = Taus88::from_seed(31);
+            let n = 20_000;
+            let (mut sum_ref, mut sum_fast) = (0.0, 0.0);
+            for _ in 0..n {
+                sum_ref += ref_ctrl.respond(5.0, &sampler, &mut rng_a).unwrap();
+                let y = fast_ctrl.respond_alias(5.0, &sampler, &mut rng_b).unwrap();
+                let y_k = (y / range.delta()).round() as i64;
+                assert!(y_k >= range.min_k() - outer_t && y_k <= range.max_k() + outer_t);
+                sum_fast += y;
+            }
+            // Same distribution → matching means and near-matching charges.
+            assert!(
+                (sum_ref / n as f64 - sum_fast / n as f64).abs() < 0.5,
+                "{mode:?}: mean mismatch"
+            );
+            let (c_ref, c_fast) = (ref_ctrl.stats().charged, fast_ctrl.stats().charged);
+            assert!(
+                (c_ref - c_fast).abs() / c_ref < 0.05,
+                "{mode:?}: charged {c_ref} vs {c_fast}"
+            );
         }
     }
 

@@ -24,9 +24,11 @@
 //! changing a single output byte. Entries are immutable and never
 //! invalidated — a different configuration is a different key. Only `Ok`
 //! results are cached; errors re-run the (cheap, fail-fast) validation.
+//! Both maps live behind `RwLock`s so that after warm-up, parallel sweep
+//! cells take only read locks and never serialize on the cache.
 
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{OnceLock, RwLock};
 
 use ulp_rng::{cached_pmf, FxpLaplaceConfig};
 
@@ -72,14 +74,14 @@ impl SolveKey {
     }
 }
 
-fn threshold_cache() -> &'static Mutex<HashMap<SolveKey, ThresholdSpec>> {
-    static CACHE: OnceLock<Mutex<HashMap<SolveKey, ThresholdSpec>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn threshold_cache() -> &'static RwLock<HashMap<SolveKey, ThresholdSpec>> {
+    static CACHE: OnceLock<RwLock<HashMap<SolveKey, ThresholdSpec>>> = OnceLock::new();
+    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
-fn segment_cache() -> &'static Mutex<HashMap<SolveKey, SegmentTable>> {
-    static CACHE: OnceLock<Mutex<HashMap<SolveKey, SegmentTable>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn segment_cache() -> &'static RwLock<HashMap<SolveKey, SegmentTable>> {
+    static CACHE: OnceLock<RwLock<HashMap<SolveKey, SegmentTable>>> = OnceLock::new();
+    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
 /// [`exact_threshold`](crate::threshold::exact_threshold) against the
@@ -98,7 +100,7 @@ pub fn exact_threshold_cached(
 ) -> Result<ThresholdSpec, LdpError> {
     let key = SolveKey::new(cfg, range, &[multiple], mode);
     if let Some(hit) = threshold_cache()
-        .lock()
+        .read()
         .expect("threshold cache poisoned")
         .get(&key)
     {
@@ -109,7 +111,7 @@ pub fn exact_threshold_cached(
     let pmf = cached_pmf(cfg);
     let spec = exact_threshold(cfg, &pmf, range, multiple, mode)?;
     threshold_cache()
-        .lock()
+        .write()
         .expect("threshold cache poisoned")
         .insert(key, spec);
     Ok(spec)
@@ -131,7 +133,7 @@ pub fn segment_table_cached(
 ) -> Result<SegmentTable, LdpError> {
     let key = SolveKey::new(cfg, range, multiples, mode);
     if let Some(hit) = segment_cache()
-        .lock()
+        .read()
         .expect("segment cache poisoned")
         .get(&key)
     {
@@ -140,7 +142,7 @@ pub fn segment_table_cached(
     let pmf = cached_pmf(cfg);
     let table = SegmentTable::build(cfg, &pmf, range, multiples, mode)?;
     segment_cache()
-        .lock()
+        .write()
         .expect("segment cache poisoned")
         .insert(key, table.clone());
     Ok(table)

@@ -10,11 +10,15 @@
 //! what the paper's fixed-point-Laplace-plus-threshold approach gives up
 //! against it.
 
-use ulp_rng::{DiscreteLaplace, RandomBits};
+use std::collections::HashMap;
+
+use ulp_rng::{AliasTable, DiscreteLaplace, RandomBits};
 
 use crate::error::LdpError;
 use crate::loss::PrivacyLoss;
-use crate::mechanism::{Guarantee, Mechanism, NoisedOutput};
+use crate::mechanism::{
+    batch_via_single, Guarantee, Mechanism, NoisedOutput, SamplerPath, RESAMPLE_LIMIT,
+};
 use crate::range::QuantizedRange;
 
 /// A window-limited discrete-Laplace LDP mechanism on the sensor grid.
@@ -36,7 +40,7 @@ use crate::range::QuantizedRange;
 /// let bound = mech.guarantee().bound().expect("bounded");
 /// assert!(bound < 0.55);
 /// let mut rng = Taus88::from_seed(3);
-/// let out = mech.privatize(5.0, &mut rng);
+/// let out = mech.privatize(5.0, &mut rng)?;
 /// # let _ = out;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -46,6 +50,7 @@ pub struct DiscreteLaplaceMechanism {
     range: QuantizedRange,
     n_th_k: i64,
     exact_loss: f64,
+    path: SamplerPath,
 }
 
 impl DiscreteLaplaceMechanism {
@@ -75,7 +80,18 @@ impl DiscreteLaplaceMechanism {
             range,
             n_th_k,
             exact_loss,
+            path: SamplerPath::Reference,
         })
+    }
+
+    /// Selects the batched sampler path (see
+    /// [`SamplerPath`](crate::SamplerPath)). The discrete fast path draws
+    /// from a per-window alias table built from `f64` PMF weights quantized
+    /// at `2^52` — equal to the rejection sampler's conditional law up to
+    /// that quantization, which is why it is opt-in rather than the default.
+    pub fn with_sampler_path(mut self, path: SamplerPath) -> Self {
+        self.path = path;
+        self
     }
 
     /// The window extension in grid units.
@@ -112,7 +128,7 @@ impl DiscreteLaplaceMechanism {
 }
 
 impl Mechanism for DiscreteLaplaceMechanism {
-    fn privatize(&self, x: f64, rng: &mut dyn RandomBits) -> NoisedOutput {
+    fn privatize(&self, x: f64, rng: &mut dyn RandomBits) -> Result<NoisedOutput, LdpError> {
         let x_k = self.range.quantize(x);
         let (lo, hi) = (
             self.range.min_k() - self.n_th_k,
@@ -122,17 +138,49 @@ impl Mechanism for DiscreteLaplaceMechanism {
         loop {
             let y = x_k + self.dl.sample_index(rng);
             if y >= lo && y <= hi {
-                return NoisedOutput {
+                return Ok(NoisedOutput {
                     value: self.range.to_value(y),
                     resamples,
-                };
+                });
             }
             resamples += 1;
-            assert!(
-                resamples < 100_000,
-                "discrete mechanism acceptance probability pathologically low"
-            );
+            if resamples >= RESAMPLE_LIMIT {
+                return Err(LdpError::ResampleBudgetExhausted);
+            }
         }
+    }
+
+    fn privatize_batch(
+        &self,
+        xs: &[f64],
+        rng: &mut dyn RandomBits,
+        out: &mut [f64],
+    ) -> Result<u64, LdpError> {
+        if self.path == SamplerPath::Reference {
+            return batch_via_single(self, xs, rng, out);
+        }
+        assert_eq!(xs.len(), out.len(), "privatize_batch: length mismatch");
+        let (lo, hi) = (
+            self.range.min_k() - self.n_th_k,
+            self.range.max_k() + self.n_th_k,
+        );
+        // One conditional table per distinct input index, built lazily from
+        // the window-restricted geometric PMF. Datasets quantize onto a few
+        // dozen indices, so the map stays tiny.
+        let mut tables: HashMap<i64, AliasTable> = HashMap::new();
+        for (x, slot) in xs.iter().zip(out.iter_mut()) {
+            let x_k = self.range.quantize(*x);
+            let table = match tables.entry(x_k) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let weights: Vec<(i64, f64)> =
+                        (lo - x_k..=hi - x_k).map(|k| (k, self.dl.pmf(k))).collect();
+                    e.insert(AliasTable::from_f64_weights(&weights)?)
+                }
+            };
+            *slot = self.range.to_value(x_k + table.draw(rng));
+        }
+        Ok(0)
     }
 
     fn guarantee(&self) -> Guarantee {
@@ -179,7 +227,7 @@ mod tests {
         let m = DiscreteLaplaceMechanism::new(r, 0.5, 100).unwrap();
         let mut rng = Taus88::from_seed(4);
         for _ in 0..20_000 {
-            let out = m.privatize(10.0, &mut rng);
+            let out = m.privatize(10.0, &mut rng).unwrap();
             let y_k = (out.value / r.delta()).round() as i64;
             assert!(y_k >= r.min_k() - 100 && y_k <= r.max_k() + 100);
         }
@@ -206,13 +254,33 @@ mod tests {
     }
 
     #[test]
+    fn fast_batch_tracks_reference_distribution() {
+        use crate::mechanism::SamplerPath;
+        let r = paper_range();
+        let m = DiscreteLaplaceMechanism::new(r, 0.5, 300)
+            .unwrap()
+            .with_sampler_path(SamplerPath::Fast);
+        let mut rng = Taus88::from_seed(6);
+        let xs = vec![5.0; 20_000];
+        let mut out = vec![0.0; xs.len()];
+        m.privatize_batch(&xs, &mut rng, &mut out).unwrap();
+        let (lo, hi) = (r.to_value(r.min_k() - 300), r.to_value(r.max_k() + 300));
+        assert!(out.iter().all(|&y| y >= lo - 1e-9 && y <= hi + 1e-9));
+        let mean = out.iter().sum::<f64>() / out.len() as f64;
+        assert!((mean - 5.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
     fn utility_is_comparable_to_scale() {
         let r = paper_range();
         let m = DiscreteLaplaceMechanism::new(r, 0.5, 300).unwrap();
         let mut rng = Taus88::from_seed(5);
         let n = 50_000;
         let x = 5.0;
-        let mean: f64 = (0..n).map(|_| m.privatize(x, &mut rng).value).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| m.privatize(x, &mut rng).unwrap().value)
+            .sum::<f64>()
+            / n as f64;
         // Unbiased up to window asymmetry; λ = d/ε = 20.
         assert!((mean - x).abs() < 2.0, "mean {mean}");
     }

@@ -23,6 +23,10 @@ pub enum LdpError {
     Unsatisfiable(&'static str),
     /// The privacy budget is exhausted and no cached output is available.
     BudgetExhausted,
+    /// A resampling loop exceeded its redraw cap: the acceptance
+    /// probability is pathologically low, which indicates a broken
+    /// threshold/range configuration rather than bad luck.
+    ResampleBudgetExhausted,
     /// A noise sampler and a sensor range disagree on the quantization step.
     MismatchedDelta {
         /// The noise sampler's output grid step.
@@ -47,6 +51,10 @@ impl fmt::Display for LdpError {
             LdpError::BudgetExhausted => {
                 write!(f, "privacy budget exhausted and no cached output available")
             }
+            LdpError::ResampleBudgetExhausted => write!(
+                f,
+                "resampling budget exhausted: acceptance probability pathologically low"
+            ),
             LdpError::MismatchedDelta { noise, range } => write!(
                 f,
                 "noise grid step {noise} does not match sensor grid step {range}"

@@ -44,7 +44,7 @@
 //! let mech = ThresholdingMechanism::new(FxpLaplace::analytic(cfg), range, spec)?;
 //!
 //! let mut rng = Taus88::from_seed(2018);
-//! let report = mech.privatize(7.3, &mut rng);
+//! let report = mech.privatize(7.3, &mut rng)?;
 //! assert!(report.value >= -spec.n_th_k as f64 * cfg.delta());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -83,7 +83,7 @@ pub use loss::{
 };
 pub use mechanism::{
     FxpBaseline, Guarantee, IdealLaplaceMechanism, Mechanism, NoisedOutput, ResamplingMechanism,
-    ThresholdingMechanism,
+    SamplerPath, ThresholdingMechanism,
 };
 pub use multi::{MultiSensorBudget, SensorId};
 pub use range::QuantizedRange;

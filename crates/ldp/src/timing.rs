@@ -34,7 +34,7 @@ use crate::mechanism::{Guarantee, Mechanism, NoisedOutput, ResamplingMechanism};
 /// let ct = ConstantTimeResampling::new(inner, 8)?;
 ///
 /// let mut rng = Taus88::from_seed(1);
-/// let out = ct.privatize(5.0, &mut rng);
+/// let out = ct.privatize(5.0, &mut rng)?;
 /// // `resamples` counts *batches* beyond the first — almost always 0.
 /// assert_eq!(out.resamples, 0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -81,11 +81,19 @@ impl ConstantTimeResampling {
     /// Exactly `batch` noise indices are drawn per round; the first
     /// in-window one is used. Additional rounds happen only if all `batch`
     /// draws miss.
-    pub fn privatize_index(&self, x_k: i64, rng: &mut dyn RandomBits) -> (i64, u32) {
+    ///
+    /// # Errors
+    ///
+    /// [`LdpError::ResampleBudgetExhausted`] if 10 000 consecutive rounds
+    /// all miss the window (broken threshold/range configuration).
+    pub fn privatize_index(
+        &self,
+        x_k: i64,
+        rng: &mut dyn RandomBits,
+    ) -> Result<(i64, u32), LdpError> {
         let range = self.inner.range();
         let n_th = self.inner.threshold().n_th_k;
         let (lo, hi) = (range.min_k() - n_th, range.max_k() + n_th);
-        let sampler_range = range;
         let mut rounds = 0u32;
         loop {
             let mut chosen = None;
@@ -97,26 +105,24 @@ impl ConstantTimeResampling {
                 }
             }
             if let Some(y) = chosen {
-                return (y, rounds);
+                return Ok((y, rounds));
             }
             rounds += 1;
-            assert!(
-                rounds < 10_000,
-                "batch acceptance probability pathologically low for range {:?}",
-                sampler_range
-            );
+            if rounds >= 10_000 {
+                return Err(LdpError::ResampleBudgetExhausted);
+            }
         }
     }
 }
 
 impl Mechanism for ConstantTimeResampling {
-    fn privatize(&self, x: f64, rng: &mut dyn RandomBits) -> NoisedOutput {
+    fn privatize(&self, x: f64, rng: &mut dyn RandomBits) -> Result<NoisedOutput, LdpError> {
         let x_k = self.inner.range().quantize(x);
-        let (y, rounds) = self.privatize_index(x_k, rng);
-        NoisedOutput {
+        let (y, rounds) = self.privatize_index(x_k, rng)?;
+        Ok(NoisedOutput {
             value: self.inner.range().to_value(y),
             resamples: rounds,
-        }
+        })
     }
 
     fn guarantee(&self) -> Guarantee {
@@ -161,7 +167,7 @@ mod tests {
         let n_th = ct.inner().threshold().n_th_k;
         let mut rng = Taus88::from_seed(1);
         for _ in 0..10_000 {
-            let (y, _) = ct.privatize_index(range.min_k(), &mut rng);
+            let (y, _) = ct.privatize_index(range.min_k(), &mut rng).unwrap();
             assert!(y >= range.min_k() - n_th && y <= range.max_k() + n_th);
         }
     }
@@ -179,7 +185,7 @@ mod tests {
         let mut hist = std::collections::HashMap::new();
         for _ in 0..n {
             *hist
-                .entry(ct.privatize_index(x_k, &mut rng).0)
+                .entry(ct.privatize_index(x_k, &mut rng).unwrap().0)
                 .or_insert(0u64) += 1;
         }
         for (y, w) in dist.iter() {
@@ -199,7 +205,7 @@ mod tests {
         let (ct, _, range) = build(16);
         let mut rng = Taus88::from_seed(3);
         let rounds: u32 = (0..20_000)
-            .map(|_| ct.privatize_index(range.min_k(), &mut rng).1)
+            .map(|_| ct.privatize_index(range.min_k(), &mut rng).unwrap().1)
             .sum();
         assert_eq!(rounds, 0, "16-draw batches should never all miss here");
     }

@@ -1,4 +1,4 @@
-//! Process-wide memoization of exact noise PMFs.
+//! Process-wide memoization of exact noise PMFs and alias tables.
 //!
 //! The exact [`FxpNoisePmf`] is the trust anchor of every privacy-loss
 //! computation in this workspace: the evaluation sweeps re-derive it for the
@@ -6,7 +6,10 @@
 //! Because the PMF is a *pure function* of its configuration, caching is
 //! semantically invisible — [`cached_pmf`] returns a value structurally
 //! equal to a fresh [`FxpNoisePmf::closed_form`] (asserted by the workspace
-//! cache-coherence tests) and never changes any downstream byte.
+//! cache-coherence tests) and never changes any downstream byte. The same
+//! argument covers [`cached_alias_full`] / [`cached_alias_window`]: an
+//! [`AliasTable`] is a pure function of the PMF (itself pure in the config)
+//! and the window bounds.
 //!
 //! # Key and invalidation
 //!
@@ -15,10 +18,18 @@
 //! configurations share an entry iff they are bit-identical. Entries are
 //! immutable (`Arc`-shared) and never invalidated: a PMF can only become
 //! stale if its config changes, and a changed config is a different key.
+//!
+//! # Locking
+//!
+//! All maps live behind `RwLock`s: after warm-up every access is a read
+//! lock, so parallel sweep cells never serialize on the cache. Writers
+//! build outside the lock and insert with `entry().or_insert()` — a racing
+//! duplicate build is discarded, and both callers observe the same `Arc`.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
+use crate::alias::AliasTable;
 use crate::error::RngError;
 use crate::fxp::FxpLaplaceConfig;
 use crate::pmf::FxpNoisePmf;
@@ -45,11 +56,31 @@ impl PmfKey {
     }
 }
 
-type PmfMap = Mutex<HashMap<PmfKey, Arc<FxpNoisePmf>>>;
+/// Cache key for an alias table: the PMF key plus the (optional) window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct AliasKey {
+    pmf: PmfKey,
+    window: Option<(i64, i64)>,
+}
+
+type PmfMap = RwLock<HashMap<PmfKey, Arc<FxpNoisePmf>>>;
+type AliasMap = RwLock<HashMap<AliasKey, Arc<AliasTable>>>;
+/// Rounded-continuous-Laplace tables, keyed by the scale's bit pattern.
+type GridMap = RwLock<HashMap<u64, Arc<AliasTable>>>;
 
 fn cache() -> &'static PmfMap {
     static CACHE: OnceLock<PmfMap> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+fn alias_cache() -> &'static AliasMap {
+    static CACHE: OnceLock<AliasMap> = OnceLock::new();
+    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+fn grid_cache() -> &'static GridMap {
+    static CACHE: OnceLock<GridMap> = OnceLock::new();
+    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
 /// The closed-form (Eq. 11) PMF for `cfg`, memoized process-wide.
@@ -58,7 +89,7 @@ fn cache() -> &'static PmfMap {
 /// concurrent evaluation cells share one copy.
 pub fn cached_pmf(cfg: FxpLaplaceConfig) -> Arc<FxpNoisePmf> {
     let key = PmfKey::new(cfg, false);
-    if let Some(hit) = cache().lock().expect("pmf cache poisoned").get(&key) {
+    if let Some(hit) = cache().read().expect("pmf cache poisoned").get(&key) {
         return Arc::clone(hit);
     }
     // Build outside the lock: closed_form is O(support) exp() calls and
@@ -66,7 +97,7 @@ pub fn cached_pmf(cfg: FxpLaplaceConfig) -> Arc<FxpNoisePmf> {
     let pmf = Arc::new(FxpNoisePmf::closed_form(cfg));
     Arc::clone(
         cache()
-            .lock()
+            .write()
             .expect("pmf cache poisoned")
             .entry(key)
             .or_insert(pmf),
@@ -82,22 +113,107 @@ pub fn cached_pmf(cfg: FxpLaplaceConfig) -> Arc<FxpNoisePmf> {
 /// [`FxpNoisePmf::by_enumeration`]).
 pub fn cached_enumerated_pmf(cfg: FxpLaplaceConfig) -> Result<Arc<FxpNoisePmf>, RngError> {
     let key = PmfKey::new(cfg, true);
-    if let Some(hit) = cache().lock().expect("pmf cache poisoned").get(&key) {
+    if let Some(hit) = cache().read().expect("pmf cache poisoned").get(&key) {
         return Ok(Arc::clone(hit));
     }
     let pmf = Arc::new(FxpNoisePmf::by_enumeration(cfg)?);
     Ok(Arc::clone(
         cache()
-            .lock()
+            .write()
             .expect("pmf cache poisoned")
             .entry(key)
             .or_insert(pmf),
     ))
 }
 
+/// The alias table over the full signed support of `cfg`'s exact PMF,
+/// memoized process-wide.
+///
+/// Structurally equal to `AliasTable::from_pmf(&cached_pmf(cfg))`.
+///
+/// # Errors
+///
+/// Propagates [`AliasTable::from_pmf`] construction errors (only
+/// reachable for pathological widths). Errors are not cached.
+pub fn cached_alias_full(cfg: FxpLaplaceConfig) -> Result<Arc<AliasTable>, RngError> {
+    cached_alias(cfg, None)
+}
+
+/// The alias table for the conditional law of `cfg`'s exact PMF restricted
+/// to `lo ..= hi`, memoized process-wide.
+///
+/// # Errors
+///
+/// [`RngError::InvalidConfig`] if the window carries no probability mass.
+/// Errors are not cached.
+pub fn cached_alias_window(
+    cfg: FxpLaplaceConfig,
+    lo: i64,
+    hi: i64,
+) -> Result<Arc<AliasTable>, RngError> {
+    cached_alias(cfg, Some((lo, hi)))
+}
+
+fn cached_alias(
+    cfg: FxpLaplaceConfig,
+    window: Option<(i64, i64)>,
+) -> Result<Arc<AliasTable>, RngError> {
+    let key = AliasKey {
+        pmf: PmfKey::new(cfg, false),
+        window,
+    };
+    if let Some(hit) = alias_cache()
+        .read()
+        .expect("alias cache poisoned")
+        .get(&key)
+    {
+        return Ok(Arc::clone(hit));
+    }
+    let pmf = cached_pmf(cfg);
+    let table = Arc::new(match window {
+        None => AliasTable::from_pmf(&pmf)?,
+        Some((lo, hi)) => AliasTable::from_pmf_window(&pmf, lo, hi)?,
+    });
+    Ok(Arc::clone(
+        alias_cache()
+            .write()
+            .expect("alias cache poisoned")
+            .entry(key)
+            .or_insert(table),
+    ))
+}
+
+/// The rounded-continuous-Laplace grid table for scale `lambda`
+/// ([`AliasTable::laplace_grid`]), memoized process-wide by the scale's
+/// bit pattern.
+///
+/// # Errors
+///
+/// Propagates [`AliasTable::laplace_grid`] construction errors (scale not
+/// positive/finite, or too wide to tabulate). Errors are not cached.
+pub fn cached_alias_laplace_grid(lambda: f64) -> Result<Arc<AliasTable>, RngError> {
+    let key = lambda.to_bits();
+    if let Some(hit) = grid_cache().read().expect("grid cache poisoned").get(&key) {
+        return Ok(Arc::clone(hit));
+    }
+    let table = Arc::new(AliasTable::laplace_grid(lambda)?);
+    Ok(Arc::clone(
+        grid_cache()
+            .write()
+            .expect("grid cache poisoned")
+            .entry(key)
+            .or_insert(table),
+    ))
+}
+
 /// Number of distinct PMFs currently memoized (diagnostics/tests).
 pub fn pmf_cache_len() -> usize {
-    cache().lock().expect("pmf cache poisoned").len()
+    cache().read().expect("pmf cache poisoned").len()
+}
+
+/// Number of distinct alias tables currently memoized (diagnostics/tests).
+pub fn alias_cache_len() -> usize {
+    alias_cache().read().expect("alias cache poisoned").len()
 }
 
 #[cfg(test)]
@@ -153,5 +269,29 @@ mod tests {
         let before = pmf_cache_len();
         let _ = cached_pmf(cfg(123.456));
         assert!(pmf_cache_len() >= before);
+    }
+
+    #[test]
+    fn cached_alias_equals_fresh_build() {
+        let c = cfg(25.0);
+        let pmf = cached_pmf(c);
+        let full = cached_alias_full(c).unwrap();
+        assert_eq!(*full, AliasTable::from_pmf(&pmf).unwrap());
+        assert!(Arc::ptr_eq(&full, &cached_alias_full(c).unwrap()));
+
+        let win = cached_alias_window(c, -5, 40).unwrap();
+        assert_eq!(*win, AliasTable::from_pmf_window(&pmf, -5, 40).unwrap());
+        assert!(Arc::ptr_eq(&win, &cached_alias_window(c, -5, 40).unwrap()));
+        // Full and windowed entries do not collide.
+        assert!(!Arc::ptr_eq(&full, &win));
+    }
+
+    #[test]
+    fn alias_window_errors_are_not_cached() {
+        let c = cfg(26.0);
+        let before = alias_cache_len();
+        let far = cached_pmf(c).support_max_k() + 10;
+        assert!(cached_alias_window(c, far, far + 1).is_err());
+        assert_eq!(alias_cache_len(), before);
     }
 }

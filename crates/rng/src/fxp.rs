@@ -198,6 +198,15 @@ impl FxpLaplace {
         self.cfg
     }
 
+    /// Whether the logarithm runs through the analytic (double-precision)
+    /// datapath, whose output distribution is exactly [`crate::FxpNoisePmf`].
+    /// Table-driven fast paths are only valid for analytic samplers; the
+    /// CORDIC datapath may flip boundary magnitudes and must be simulated
+    /// draw by draw.
+    pub fn is_analytic(&self) -> bool {
+        matches!(self.path, LogPath::Analytic)
+    }
+
     /// Maps a URNG index `m ∈ [1, 2^Bu]` to a magnitude index through the
     /// configured log datapath.
     ///

@@ -22,6 +22,9 @@
 //!   privacy-loss analysis with no floating-point smoothing.
 //! * [`DiscreteLaplace`] — a two-sided-geometric baseline (the OpenDP-style
 //!   discrete mechanism) used by the ablation experiments.
+//! * [`AliasTable`] — Walker/Vose alias tables built from the exact PMF (or
+//!   any conditional window of it) for O(1) table-driven draws that match
+//!   the source distribution bit-for-bit — the simulation fast path.
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alias;
 mod cache;
 mod cordic;
 mod cordic_exp;
@@ -61,8 +65,13 @@ mod source;
 mod staircase;
 mod tausworthe;
 mod xorshift;
+mod ziggurat;
 
-pub use cache::{cached_enumerated_pmf, cached_pmf, pmf_cache_len};
+pub use alias::AliasTable;
+pub use cache::{
+    alias_cache_len, cached_alias_full, cached_alias_laplace_grid, cached_alias_window,
+    cached_enumerated_pmf, cached_pmf, pmf_cache_len,
+};
 pub use cordic::CordicLn;
 pub use cordic_exp::CordicExp;
 pub use discrete::DiscreteLaplace;
@@ -78,3 +87,4 @@ pub use source::{stream_seed, RandomBits, ScriptedBits, SplitMix64};
 pub use staircase::{FxpStaircase, FxpStaircaseConfig, IdealStaircase};
 pub use tausworthe::Taus88;
 pub use xorshift::Xorshift64Star;
+pub use ziggurat::ZigguratExp;

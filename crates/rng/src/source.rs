@@ -53,6 +53,18 @@ pub trait RandomBits {
     fn bit(&mut self) -> bool {
         self.bits(1) == 1
     }
+
+    /// Fills `out` with consecutive `next_u32` words.
+    ///
+    /// Semantically identical to calling [`RandomBits::next_u32`]
+    /// `out.len()` times; batch samplers use it so one virtual dispatch
+    /// amortizes over a whole chunk of words. Generators may override it
+    /// with a tight monomorphic loop but must preserve the word sequence.
+    fn fill_u32(&mut self, out: &mut [u32]) {
+        for w in out.iter_mut() {
+            *w = self.next_u32();
+        }
+    }
 }
 
 impl<R: RandomBits + ?Sized> RandomBits for &mut R {
@@ -63,6 +75,10 @@ impl<R: RandomBits + ?Sized> RandomBits for &mut R {
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
     }
+
+    fn fill_u32(&mut self, out: &mut [u32]) {
+        (**self).fill_u32(out)
+    }
 }
 
 impl<R: RandomBits + ?Sized> RandomBits for Box<R> {
@@ -72,6 +88,10 @@ impl<R: RandomBits + ?Sized> RandomBits for Box<R> {
 
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
+    }
+
+    fn fill_u32(&mut self, out: &mut [u32]) {
+        (**self).fill_u32(out)
     }
 }
 

@@ -69,6 +69,22 @@ impl RandomBits for Taus88 {
     fn next_u32(&mut self) -> u32 {
         self.step()
     }
+
+    fn fill_u32(&mut self, out: &mut [u32]) {
+        // Same word sequence as repeated `next_u32`; the local copies let
+        // the compiler keep the LFSR state in registers across the chunk.
+        let (mut s1, mut s2, mut s3) = (self.s1, self.s2, self.s3);
+        for w in out.iter_mut() {
+            let b1 = ((s1 << 13) ^ s1) >> 19;
+            s1 = ((s1 & 0xFFFF_FFFE) << 12) ^ b1;
+            let b2 = ((s2 << 2) ^ s2) >> 25;
+            s2 = ((s2 & 0xFFFF_FFF8) << 4) ^ b2;
+            let b3 = ((s3 << 3) ^ s3) >> 11;
+            s3 = ((s3 & 0xFFFF_FFF0) << 17) ^ b3;
+            *w = s1 ^ s2 ^ s3;
+        }
+        (self.s1, self.s2, self.s3) = (s1, s2, s3);
+    }
 }
 
 #[cfg(test)]

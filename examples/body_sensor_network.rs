@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ct = ConstantTimeResampling::new(plain, 8)?;
     let mut batches = 0u32;
     for _ in 0..5_000 {
-        batches += ct.privatize(30.0, &mut rng).resamples;
+        batches += ct.privatize(30.0, &mut rng)?.resamples;
     }
     println!(
         "constant-time motion noising: {batches} extra batches over 5000 requests \

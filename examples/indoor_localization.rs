@@ -35,7 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &positions,
                 |x| {
                     let code = adc.encode(x) as f64;
-                    adc.decode(mech.privatize(code, &mut rng).value.round() as i64)
+                    adc.decode(
+                        mech.privatize(code, &mut rng)
+                            .expect("mechanism")
+                            .value
+                            .round() as i64,
+                    )
                 },
                 query,
                 10,

@@ -38,12 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = Taus88::from_seed(2018);
     let x = 7.3;
     let thresholding = ThresholdingMechanism::new(FxpLaplace::analytic(cfg), range, spec)?;
-    let out = thresholding.privatize(x, &mut rng);
+    let out = thresholding.privatize(x, &mut rng)?;
     println!("thresholding: {x} -> {:.2}", out.value);
 
     let rspec = exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Resampling)?;
     let resampling = ResamplingMechanism::new(FxpLaplace::analytic(cfg), range, rspec)?;
-    let out = resampling.privatize(x, &mut rng);
+    let out = resampling.privatize(x, &mut rng)?;
     println!(
         "resampling:   {x} -> {:.2} ({} redraws)",
         out.value, out.resamples

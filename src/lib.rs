@@ -50,7 +50,7 @@
 //! let spec = exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Thresholding)?;
 //! let mech = ThresholdingMechanism::new(FxpLaplace::analytic(cfg), range, spec)?;
 //! let mut rng = Taus88::from_seed(2018);
-//! let report = mech.privatize(7.3, &mut rng);
+//! let report = mech.privatize(7.3, &mut rng)?;
 //! assert!(report.value.is_finite());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

@@ -27,9 +27,12 @@ fn mixed_numeric_and_categorical_collection() {
     for (i, &bp) in cohort.iter().enumerate() {
         let code = setup.adc.encode(bp) as f64;
         released_bp.push(
-            setup
-                .adc
-                .decode(mech.privatize(code, &mut rng).value.round() as i64),
+            setup.adc.decode(
+                mech.privatize(code, &mut rng)
+                    .expect("mechanism")
+                    .value
+                    .round() as i64,
+            ),
         );
         let smoker = i % 3 == 0; // ground truth: 1/3 of the cohort
         if rr.privatize(smoker, &mut rng) {

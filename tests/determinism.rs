@@ -70,7 +70,7 @@ fn seeded_privatization_is_reproducible() {
     let run = || -> Vec<f64> {
         let mut rng = Taus88::from_seed(7);
         (0..32)
-            .map(|_| mech.privatize(131.0, &mut rng).value)
+            .map(|_| mech.privatize(131.0, &mut rng).expect("thresholding").value)
             .collect()
     };
     assert_eq!(run(), run());

@@ -118,7 +118,10 @@ fn resampling_empirical_acceptance_matches_analysis() {
     let n = 100_000u32;
     let mut redraws = 0u64;
     for _ in 0..n {
-        redraws += mech.privatize_index(x_k, &mut rng).1 as u64;
+        redraws += mech
+            .privatize_index(x_k, &mut rng)
+            .expect("in-support window")
+            .1 as u64;
     }
     let expected_redraws = 1.0 / accept - 1.0;
     let measured = redraws as f64 / n as f64;
