@@ -18,13 +18,21 @@
 //!   used for batch privatization;
 //! * `--compare <baseline.json>` — print per-artifact cells/sec deltas
 //!   against a previous report and exit non-zero if any shared artifact
-//!   regressed by more than 25%.
+//!   regressed by more than 25%;
+//! * `--metrics` — embed the process-wide [`ulp_obs`] snapshot in the JSON
+//!   report (raises the level to `full` unless `ULP_METRICS` pins it).
+//!
+//! All `ULP_*` environment knobs (`ULP_METRICS`, `ULP_PAR_THREADS`,
+//! `ULP_SAMPLER_PATH`) are validated at startup: a set-but-malformed value
+//! exits with status 2 and a message naming the variable — never a silent
+//! fallback.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use ldp_bench::Artifact;
 use ldp_core::SamplerPath;
+use ulp_obs::MetricsLevel;
 
 /// FNV-1a over the rendered artifact text — a stable, dependency-free
 /// fingerprint for cross-thread-count comparison.
@@ -76,7 +84,13 @@ fn json_escape_free(name: &str) -> &str {
     name
 }
 
-fn render_json(threads: usize, smoke: bool, sampler_path: &str, results: &[Timed]) -> String {
+fn render_json(
+    threads: usize,
+    smoke: bool,
+    sampler_path: &str,
+    results: &[Timed],
+    metrics: Option<&str>,
+) -> String {
     let total: f64 = results.iter().map(|r| r.seconds).sum();
     let mut out = String::new();
     out.push_str("{\n");
@@ -100,7 +114,14 @@ fn render_json(threads: usize, smoke: bool, sampler_path: &str, results: &[Timed
         )
         .unwrap();
     }
-    out.push_str("  ]\n}\n");
+    match metrics {
+        Some(report) => {
+            out.push_str("  ],\n");
+            writeln!(out, "  \"metrics\": {report}").unwrap();
+            out.push_str("}\n");
+        }
+        None => out.push_str("  ]\n}\n"),
+    }
     out
 }
 
@@ -180,31 +201,61 @@ fn compare_against(baseline_path: &str, results: &[Timed]) -> bool {
 
 fn main() {
     let mut smoke = false;
+    let mut metrics = false;
     let mut out_path = String::from("BENCH_eval.json");
     let mut compare_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--metrics" => metrics = true,
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--reference" => std::env::set_var("ULP_SAMPLER_PATH", "reference"),
             "--compare" => compare_path = Some(args.next().expect("--compare needs a path")),
             other => panic!(
-                "unknown flag {other:?} (expected --smoke, --out <path>, \
+                "unknown flag {other:?} (expected --smoke, --metrics, --out <path>, \
                  --reference, or --compare <baseline.json>)"
             ),
         }
     }
 
-    let threads = ulp_par::threads();
+    // Validate every ULP_* knob up front: a typo exits with a clear message
+    // naming the variable instead of silently selecting a default.
+    let level = match MetricsLevel::from_env() {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bench_perf: {e}");
+            std::process::exit(2);
+        }
+    };
+    // `--metrics` with no explicit ULP_METRICS raises the level to `full`
+    // so the embedded snapshot actually contains data.
+    let level = if metrics && std::env::var_os(ulp_obs::METRICS_ENV).is_none() {
+        MetricsLevel::Full
+    } else {
+        level
+    };
+    ulp_obs::set_level(level);
+    let threads = match ulp_par::try_threads() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_perf: {e}");
+            std::process::exit(2);
+        }
+    };
     let sampler_path = match SamplerPath::from_env() {
-        SamplerPath::Reference => "reference",
-        SamplerPath::Fast => "fast",
+        Ok(SamplerPath::Reference) => "reference",
+        Ok(SamplerPath::Fast) => "fast",
+        Err(e) => {
+            eprintln!("bench_perf: {e}");
+            std::process::exit(2);
+        }
     };
     eprintln!(
         "bench_perf: {} mode, {threads} worker thread(s) (ULP_PAR_THREADS to override), \
-         {sampler_path} sampler path",
-        if smoke { "smoke" } else { "full" }
+         {sampler_path} sampler path, metrics {}",
+        if smoke { "smoke" } else { "full" },
+        level.name(),
     );
 
     // Smoke counts keep CI in seconds; full counts match the regeneration
@@ -252,7 +303,8 @@ fn main() {
         }),
     ];
 
-    let json = render_json(threads, smoke, sampler_path, &results);
+    let snapshot = metrics.then(|| ulp_obs::snapshot().to_json());
+    let json = render_json(threads, smoke, sampler_path, &results, snapshot.as_deref());
     std::fs::write(&out_path, &json).expect("write JSON report");
     let total: f64 = results.iter().map(|r| r.seconds).sum();
     eprintln!("total {total:.3}s -> {out_path}");

@@ -23,8 +23,11 @@
 //!   would be ROM constants synthesized for the supported (ε, range)
 //!   combinations.
 
-use ldp_core::{LimitMode, QuantizedRange, SegmentTable};
+use ldp_core::{
+    AuditMismatch, BudgetLedger, CompositionLedger, LimitMode, QuantizedRange, SegmentTable,
+};
 use ulp_fixed::QFormat;
+use ulp_obs::{Counter, Histogram};
 use ulp_rng::{
     CordicLn, FxpLaplaceConfig, HealthAlarm, HealthConfig, RandomBits, Taus88, UrngHealth,
 };
@@ -32,6 +35,18 @@ use ulp_rng::{
 use crate::command::Command;
 use crate::error::DpBoxError;
 use crate::trace::{Trace, TraceEvent};
+
+/// Commands accepted across all DP-Box instances in this process.
+static COMMANDS: Counter = Counter::new("dpbox.commands.accepted");
+/// Commands rejected (wrong phase, bad operand, health fault, busy).
+static COMMANDS_REJECTED: Counter = Counter::new("dpbox.commands.rejected");
+/// Health-fault phase entries — recorded even at metrics level `off`:
+/// a voided ε certification must never be invisible.
+static FAULT_TRANSITIONS: Counter = Counter::new("dpbox.phase.health_faults");
+/// Requests served from the cache after exhaustion or during a fault.
+static CACHE_SERVES: Counter = Counter::new("dpbox.outputs.cached");
+/// Cycles from `StartNoising` to a fresh output (2 + resamples).
+static NOISING_CYCLES: Histogram = Histogram::new("dpbox.noising.cycles", "cycles");
 
 /// Static (synthesis-time) configuration of a DP-Box instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -181,6 +196,10 @@ pub struct DpBox<R = Taus88> {
     fault: Option<HealthAlarm>,
     stats: DpBoxStats,
     trace: Option<Trace>,
+    // Auditable privacy accounting: every fresh-output charge is appended
+    // to both records, so `audit()` can cross-check them at any time.
+    ledger: BudgetLedger,
+    accountant: CompositionLedger,
 }
 
 impl DpBox {
@@ -247,6 +266,8 @@ impl<R: RandomBits> DpBox<R> {
             fault: None,
             stats: DpBoxStats::default(),
             trace: None,
+            ledger: BudgetLedger::new(),
+            accountant: CompositionLedger::new(),
             cfg,
         })
     }
@@ -293,6 +314,29 @@ impl<R: RandomBits> DpBox<R> {
     /// Activity counters.
     pub fn stats(&self) -> DpBoxStats {
         self.stats
+    }
+
+    /// The append-only record of every ε charge this device has made
+    /// (cached replays and replenishments never touch it).
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.ledger
+    }
+
+    /// The independent sequential-composition accountant fed in lockstep
+    /// with the ledger.
+    pub fn accountant(&self) -> &CompositionLedger {
+        &self.accountant
+    }
+
+    /// Cross-checks the ledger against the composition accountant (see
+    /// [`BudgetLedger::audit`]): per-query charges and totals must match
+    /// bitwise.
+    ///
+    /// # Errors
+    ///
+    /// The first [`AuditMismatch`] found.
+    pub fn audit(&self) -> Result<(), AuditMismatch> {
+        self.ledger.audit(&self.accountant)
     }
 
     /// The active limiting mode.
@@ -393,11 +437,14 @@ impl<R: RandomBits> DpBox<R> {
             Phase::HealthFault => self.issue_faulted(cmd),
         };
         if result.is_ok() {
+            COMMANDS.inc();
             let cycle = self.cycles;
             self.record(TraceEvent::Command { cycle, cmd, input });
             if self.phase != before {
                 self.record_phase(before, self.phase);
             }
+        } else {
+            COMMANDS_REJECTED.inc();
         }
         result
     }
@@ -523,6 +570,7 @@ impl<R: RandomBits> DpBox<R> {
                     self.output = Some(cached);
                     self.ready = true;
                     self.stats.cached += 1;
+                    CACHE_SERVES.inc();
                     let cycle = self.cycles;
                     self.record(TraceEvent::Output {
                         cycle,
@@ -629,6 +677,7 @@ impl<R: RandomBits> DpBox<R> {
     fn trip(&mut self, alarm: HealthAlarm) {
         self.fault = Some(alarm);
         self.stats.health_alarms += 1;
+        FAULT_TRANSITIONS.record_always(1);
         let cycle = self.cycles;
         self.record(TraceEvent::HealthAlarm { cycle, alarm });
         if self.phase != Phase::HealthFault {
@@ -795,6 +844,8 @@ impl<R: RandomBits> DpBox<R> {
                     .table
                     .charge_for_overshoot(overshoot);
                 self.remaining -= charge;
+                self.ledger.record(charge);
+                self.accountant.record(charge);
                 let cycle = self.cycles;
                 let remaining = self.remaining;
                 self.record(TraceEvent::BudgetCharge {
@@ -821,8 +872,10 @@ impl<R: RandomBits> DpBox<R> {
         self.phase = Phase::Waiting;
         if from_cache {
             self.stats.cached += 1;
+            CACHE_SERVES.inc();
         } else {
             self.stats.noisings += 1;
+            NOISING_CYCLES.record(u64::from(self.noising_subcycle));
         }
         // Stage the next sample immediately on re-entering waiting.
         self.stage_sample();
@@ -1063,6 +1116,34 @@ mod tests {
             loose > 1.5 * tight,
             "ε=0.25 spread {loose} vs ε=1 spread {tight}"
         );
+    }
+
+    #[test]
+    fn ledger_audits_against_accountant() {
+        let cfg = DpBoxConfig {
+            seed: 7,
+            ..DpBoxConfig::default()
+        };
+        let mut dev = DpBox::new(cfg).unwrap();
+        dev.issue(Command::SetEpsilon, 96).unwrap(); // budget 3.0 nats
+        dev.issue(Command::StartNoising, 0).unwrap();
+        dev.issue(Command::SetEpsilon, 1).unwrap();
+        dev.issue(Command::SetSensorRangeLower, 0).unwrap();
+        dev.issue(Command::SetSensorRangeUpper, 320).unwrap();
+        dev.issue(Command::SetThreshold, 0).unwrap();
+        for _ in 0..40 {
+            dev.noise_value(160).unwrap();
+        }
+        let stats = dev.stats();
+        assert!(stats.cached > 0, "budget should exhaust within 40 requests");
+        // Only fresh outputs are charged; cached replays are free.
+        assert_eq!(dev.ledger().len() as u64, stats.noisings);
+        dev.audit().expect("ledger matches accountant");
+        assert_eq!(
+            dev.ledger().total().to_bits(),
+            dev.accountant().total().to_bits()
+        );
+        assert!(dev.ledger().total() > 0.0, "charges were made");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! accuracy is capped.
 
 use ldp_core::{segment_table_cached, BudgetController, LdpError, LimitMode, SamplerPath};
+use ulp_obs::{Counter, SpanTimer};
 use ulp_rng::{FxpLaplace, Taus88};
 
 use crate::setup::ExperimentSetup;
@@ -77,6 +78,11 @@ pub fn averaging_attack(
             next_cp += 1;
         }
     }
+    // Invariant check: the controller's append-only ledger must agree
+    // bitwise with its sequential-composition accountant (counted into the
+    // `ldp.ledger.*` metrics).
+    ctrl.audit()
+        .expect("budget ledger must match the composition accountant");
     Ok(points)
 }
 
@@ -100,6 +106,10 @@ pub fn adversary_curves(
     checkpoints: &[u64],
     seed: u64,
 ) -> Result<Vec<Vec<AdversaryPoint>>, LdpError> {
+    static SWEEP: SpanTimer = SpanTimer::new("eval.adversary_curves");
+    static CELLS: Counter = Counter::new("eval.adversary.curves");
+    let _span = SWEEP.enter();
+    CELLS.add(budgets.len() as u64);
     ulp_par::par_map(budgets, |&b| {
         averaging_attack(setup, x, b, multiples, checkpoints, seed)
     })

@@ -25,6 +25,7 @@ use dp_box::{
     Command, DpBox, DpBoxConfig, DpBoxError, HealthAlarm, HealthConfig, Phase, UrngHealth,
 };
 use ldp_core::{worst_case_loss_extremes, ConditionalDist, LimitMode, QuantizedRange};
+use ulp_obs::{Counter, SpanTimer};
 use ulp_rng::{
     BiasedBits, CorrelatedBits, FxpNoisePmf, OnsetBits, RandomBits, StuckAtBits, Taus88,
 };
@@ -218,6 +219,8 @@ pub fn inject_fault(
             let latency_words = (alarm.word_index + 1).saturating_sub(cc.onset_word);
             let latency_cycles = dev.cycles() - onset_cycles.unwrap_or(cycles_before);
             debug_assert_eq!(dev.phase(), Phase::HealthFault);
+            dev.audit()
+                .expect("device ledger must match the composition accountant");
             return Ok(FaultInjection {
                 fault,
                 detected: true,
@@ -246,6 +249,8 @@ pub fn inject_fault(
             }
         }
     }
+    dev.audit()
+        .expect("device ledger must match the composition accountant");
     Ok(FaultInjection {
         fault,
         detected: false,
@@ -291,6 +296,10 @@ pub fn campaign_row(
     trials: u64,
     seed: u64,
 ) -> Result<CampaignRow, DpBoxError> {
+    static SWEEP: SpanTimer = SpanTimer::new("eval.campaign_row");
+    static CELLS: Counter = Counter::new("eval.campaign.trials");
+    let _span = SWEEP.enter();
+    CELLS.add(trials);
     // Every trial seeds its own device and fault wrapper from `(seed, t)`,
     // so trials fan out over `ulp_par` and aggregate in trial order —
     // byte-identical to the serial loop.

@@ -1,5 +1,6 @@
 //! Histogram tooling for the distribution figures (Figs. 4 and 12).
 
+use ulp_obs::{Counter, SpanTimer};
 use ulp_rng::{stream_seed, Taus88};
 
 /// A fixed-bin histogram over a closed interval.
@@ -152,6 +153,10 @@ pub fn sample_histogram(
     seed: u64,
     sample: impl Fn(&mut Taus88) -> f64 + Sync,
 ) -> Histogram {
+    static SWEEP: SpanTimer = SpanTimer::new("eval.sample_histogram");
+    static CELLS: Counter = Counter::new("eval.histogram.samples");
+    let _span = SWEEP.enter();
+    CELLS.add(n as u64);
     let shards: Vec<(u64, usize)> = (0..n.div_ceil(SHARD_SAMPLES))
         .map(|s| (s as u64, SHARD_SAMPLES.min(n - s * SHARD_SAMPLES)))
         .collect();

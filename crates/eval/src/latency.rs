@@ -8,6 +8,7 @@
 
 use ldp_core::{LdpError, Mechanism};
 use ldp_datasets::{generate, DatasetSpec};
+use ulp_obs::{Counter, SpanTimer};
 use ulp_rng::{FxpNoisePmf, Taus88};
 
 use crate::setup::ExperimentSetup;
@@ -108,6 +109,10 @@ pub fn latency_table(
     trials: usize,
     seed: u64,
 ) -> Result<Vec<LatencyRow>, LdpError> {
+    static SWEEP: SpanTimer = SpanTimer::new("eval.latency_table");
+    static CELLS: Counter = Counter::new("eval.latency.rows");
+    let _span = SWEEP.enter();
+    CELLS.add(specs.len() as u64);
     ulp_par::par_map(specs, |spec| latency_row(spec, eps, multiple, trials, seed))
         .into_iter()
         .collect()

@@ -6,6 +6,7 @@
 //! its MAE shrinks as `1/√n` while each individual bit stays ε-private.
 
 use ldp_core::RandomizedResponse;
+use ulp_obs::{Counter, SpanTimer};
 use ulp_rng::{stream_seed, Taus88};
 
 /// One point of the Fig. 14 curve.
@@ -42,6 +43,10 @@ pub fn rr_curve(
         (0.0..=1.0).contains(&true_proportion),
         "proportion must be in [0, 1]"
     );
+    static SWEEP: SpanTimer = SpanTimer::new("eval.rr_curve");
+    static CELLS: Counter = Counter::new("eval.rr.points");
+    let _span = SWEEP.enter();
+    CELLS.add(sizes.len() as u64);
     // Each population size owns an RNG stream derived from `(seed, n)`, so
     // the sizes evaluate concurrently with byte-identical results to a
     // serial sweep.

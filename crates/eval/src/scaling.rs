@@ -8,6 +8,7 @@
 
 use ldp_core::{LdpError, Mechanism};
 use ldp_datasets::{evaluate_query_batched, DatasetSpec, Query, Shape};
+use ulp_obs::{Counter, SpanTimer};
 use ulp_rng::Taus88;
 
 use crate::setup::{ExperimentSetup, MechKind};
@@ -35,6 +36,10 @@ pub fn scaling_curve(
     trials: usize,
     seed: u64,
 ) -> Result<Vec<ScalingPoint>, LdpError> {
+    static SWEEP: SpanTimer = SpanTimer::new("eval.scaling_curve");
+    static CELLS: Counter = Counter::new("eval.scaling.points");
+    let _span = SWEEP.enter();
+    CELLS.add(sizes.len() as u64);
     // Every size's RNG streams are seeded from `(seed, kind, n)` only, so
     // the parallel sweep is byte-identical to the serial one.
     ulp_par::par_map(sizes, |&n| -> Result<ScalingPoint, LdpError> {

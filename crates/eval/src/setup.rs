@@ -89,8 +89,9 @@ impl ExperimentSetup {
     ///
     /// # Errors
     ///
-    /// [`LdpError::InvalidEpsilon`] for a non-positive ε; RNG configuration
-    /// errors propagate.
+    /// [`LdpError::InvalidEpsilon`] for a non-positive ε;
+    /// [`LdpError::InvalidEnv`] for an unrecognized `ULP_SAMPLER_PATH`
+    /// value; RNG configuration errors propagate.
     pub fn with_output_bits(
         spec: &DatasetSpec,
         eps: f64,
@@ -115,7 +116,7 @@ impl ExperimentSetup {
             cfg,
             pmf,
             eps,
-            sampler_path: SamplerPath::from_env(),
+            sampler_path: SamplerPath::from_env()?,
         })
     }
 

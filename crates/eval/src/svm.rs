@@ -9,6 +9,7 @@
 
 use ldp_core::{LdpError, Mechanism};
 use ldp_datasets::{DatasetSpec, Shape};
+use ulp_obs::{Counter, SpanTimer};
 use ulp_rng::{stream_seed, RandomBits, Taus88};
 
 use crate::setup::ExperimentSetup;
@@ -238,9 +239,13 @@ pub fn svm_grid(
     seed: u64,
 ) -> Result<Vec<Vec<f64>>, LdpError> {
     assert!(reps > 0, "need at least one repetition per cell");
+    static SWEEP: SpanTimer = SpanTimer::new("eval.svm_grid");
+    static CELLS: Counter = Counter::new("eval.svm.cells");
+    let _span = SWEEP.enter();
     let cells: Vec<(usize, usize)> = (0..privacies.len())
         .flat_map(|p| (0..sizes.len()).map(move |s| (p, s)))
         .collect();
+    CELLS.add(cells.len() as u64);
     let accs: Vec<f64> = ulp_par::par_map(&cells, |&(p, s)| -> Result<f64, LdpError> {
         let mut acc = 0.0;
         for r in 0..reps {

@@ -7,6 +7,7 @@
 
 use ldp_core::{LdpError, Mechanism};
 use ldp_datasets::{evaluate_query_batched, generate, DatasetSpec, MaeResult, Query};
+use ulp_obs::{Counter, SpanTimer};
 use ulp_rng::Taus88;
 
 use crate::setup::{ExperimentSetup, MechKind};
@@ -146,6 +147,10 @@ pub fn utility_table(
     trials: usize,
     seed: u64,
 ) -> Result<Vec<UtilityRow>, LdpError> {
+    static SWEEP: SpanTimer = SpanTimer::new("eval.utility_table");
+    static CELLS: Counter = Counter::new("eval.utility.rows");
+    let _span = SWEEP.enter();
+    CELLS.add(specs.len() as u64);
     ulp_par::par_map(specs, |s| {
         utility_row(s, query, eps, multiple, trials, seed)
     })

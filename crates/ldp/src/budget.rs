@@ -9,13 +9,24 @@
 //! cached last output is replayed — repeating an already-released value
 //! leaks nothing further.
 
+use ulp_obs::Counter;
 use ulp_rng::{cached_alias_full, FxpLaplace, FxpLaplaceConfig, FxpNoisePmf, RandomBits};
 
+use crate::composition::CompositionLedger;
 use crate::error::LdpError;
+use crate::ledger::BudgetLedger;
 use crate::loss::{loss_profile, LimitMode, PrivacyLoss};
 use crate::mechanism::RESAMPLE_LIMIT;
 use crate::range::QuantizedRange;
 use crate::threshold::exact_threshold;
+
+/// Requests served with fresh noise across all controllers.
+static FRESH_RESPONSES: Counter = Counter::new("ldp.budget.fresh_responses");
+/// Requests answered by replaying the cached output after exhaustion.
+static CACHE_REPLAYS: Counter = Counter::new("ldp.budget.cache_replays");
+/// Consecutive charges that landed in a different loss segment than the
+/// previous charge (Algorithm 1's segment machinery actually switching).
+static SEGMENT_TRANSITIONS: Counter = Counter::new("ldp.budget.segment_transitions");
 
 /// A nested table of loss segments: overshoot `o ∈ (n_th[i-1], n_th[i]]`
 /// beyond the sensor range costs `loss[i]`.
@@ -55,8 +66,9 @@ impl SegmentTable {
     ///
     /// # Errors
     ///
-    /// [`LdpError::InvalidEpsilon`] if `multiples` is empty, unsorted, or
-    /// contains values ≤ 1; threshold-solver errors propagate.
+    /// [`LdpError::EmptySegmentTable`] if `multiples` is empty;
+    /// [`LdpError::InvalidEpsilon`] if it is unsorted or contains values
+    /// ≤ 1; threshold-solver errors propagate.
     pub fn build(
         cfg: FxpLaplaceConfig,
         pmf: &FxpNoisePmf,
@@ -64,9 +76,9 @@ impl SegmentTable {
         multiples: &[f64],
         mode: LimitMode,
     ) -> Result<Self, LdpError> {
-        if multiples.is_empty() {
-            return Err(LdpError::InvalidEpsilon(f64::NAN));
-        }
+        let Some(&outer_multiple) = multiples.last() else {
+            return Err(LdpError::EmptySegmentTable);
+        };
         if multiples.windows(2).any(|w| w[0] >= w[1]) {
             return Err(LdpError::InvalidEpsilon(f64::NAN));
         }
@@ -74,7 +86,7 @@ impl SegmentTable {
         // Base loss: worst pointwise loss over outputs inside [m, M] at the
         // outermost (largest-window) configuration — dominated by ε plus
         // quantization raggedness.
-        let outer = exact_threshold(cfg, pmf, range, *multiples.last().unwrap(), mode)?;
+        let outer = exact_threshold(cfg, pmf, range, outer_multiple, mode)?;
         let profile = loss_profile(pmf, range, mode, Some(outer.n_th_k));
         let base_loss = profile
             .iter()
@@ -124,14 +136,16 @@ impl SegmentTable {
 
     /// The outermost threshold — the window the mechanism enforces.
     ///
-    /// # Panics
-    ///
-    /// Never panics: `build` guarantees at least one segment.
+    /// Both constructors ([`SegmentTable::build`] and
+    /// [`SegmentTable::from_rom_words`]) reject empty tables, so the
+    /// fallback arm — a zero-width window at the base loss, i.e. "clamp to
+    /// the sensor range" — is unreachable through public APIs; it exists so
+    /// this accessor cannot panic.
     pub fn outermost(&self) -> (i64, f64) {
-        *self
-            .segments
-            .last()
-            .expect("table has at least one segment")
+        match self.segments.last() {
+            Some(&seg) => seg,
+            None => (0, self.base_loss),
+        }
     }
 
     /// Which limiting mode the table was built for.
@@ -144,15 +158,22 @@ impl SegmentTable {
     /// the outermost threshold charge the outermost loss (the output will
     /// have been clamped or resampled there).
     pub fn charge_for_overshoot(&self, overshoot_k: i64) -> f64 {
+        self.classify(overshoot_k).1
+    }
+
+    /// `(segment class, loss)` for an overshoot: class 0 is the in-range
+    /// base, class `i ≥ 1` is the i-th segment (overshoots beyond the
+    /// outermost threshold fall in the outermost class).
+    fn classify(&self, overshoot_k: i64) -> (usize, f64) {
         if overshoot_k <= 0 {
-            return self.base_loss;
+            return (0, self.base_loss);
         }
-        for &(t, loss) in &self.segments {
+        for (i, &(t, loss)) in self.segments.iter().enumerate() {
             if overshoot_k <= t {
-                return loss;
+                return (i + 1, loss);
             }
         }
-        self.outermost().1
+        (self.segments.len(), self.outermost().1)
     }
 
     /// Serializes the table to the ROM words a synthesized DP-Box would
@@ -184,26 +205,26 @@ impl SegmentTable {
     /// [`LdpError::Unsatisfiable`] on malformed words (wrong length, bad
     /// mode tag, non-increasing segments).
     pub fn from_rom_words(words: &[i64]) -> Result<Self, LdpError> {
-        let malformed = LdpError::Unsatisfiable("malformed segment-table ROM");
+        let malformed = || LdpError::Unsatisfiable("malformed segment-table ROM");
         if words.len() < 3 {
-            return Err(malformed);
+            return Err(malformed());
         }
         let mode = match words[0] {
             0 => LimitMode::Resampling,
             1 => LimitMode::Thresholding,
-            _ => return Err(malformed),
+            _ => return Err(malformed()),
         };
         let base_loss = words[1] as f64 / 1e6;
-        let n = usize::try_from(words[2]).map_err(|_| malformed)?;
+        let n = usize::try_from(words[2]).map_err(|_| malformed())?;
         if words.len() != 3 + 2 * n || n == 0 {
-            return Err(malformed);
+            return Err(malformed());
         }
         let mut segments = Vec::with_capacity(n);
         for pair in words[3..].chunks_exact(2) {
             segments.push((pair[0], pair[1] as f64 / 1e6));
         }
         if segments.windows(2).any(|w| w[0].0 >= w[1].0) {
-            return Err(malformed);
+            return Err(malformed());
         }
         Ok(SegmentTable {
             base_loss,
@@ -254,8 +275,20 @@ pub struct BudgetController {
     range: QuantizedRange,
     budget: f64,
     remaining: f64,
-    cached: Option<f64>,
+    cached_k: Option<i64>,
     stats: BudgetStats,
+    ledger: BudgetLedger,
+    accountant: CompositionLedger,
+    last_class: Option<usize>,
+}
+
+/// How a [`BudgetController::respond_index_batch`] call was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetBatchOutcome {
+    /// Entries answered with fresh noise (each one charged and ledgered).
+    pub served: u64,
+    /// Entries answered by replaying the cached output (free).
+    pub replayed: u64,
 }
 
 impl BudgetController {
@@ -274,8 +307,11 @@ impl BudgetController {
             range,
             budget,
             remaining: budget,
-            cached: None,
+            cached_k: None,
             stats: BudgetStats::default(),
+            ledger: BudgetLedger::new(),
+            accountant: CompositionLedger::new(),
+            last_class: None,
         })
     }
 
@@ -292,6 +328,28 @@ impl BudgetController {
     /// Counters for served/cached requests and charged loss.
     pub fn stats(&self) -> BudgetStats {
         self.stats
+    }
+
+    /// The append-only record of every ε charge this controller has made
+    /// (across replenishment periods; replays append nothing).
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.ledger
+    }
+
+    /// The independently accumulated sequential-composition accountant
+    /// (recorded charge by charge alongside the ledger).
+    pub fn accountant(&self) -> &CompositionLedger {
+        &self.accountant
+    }
+
+    /// Cross-checks the ledger against the composition accountant: query
+    /// counts, per-query charges, and totals must match bitwise.
+    ///
+    /// # Errors
+    ///
+    /// The first [`crate::AuditMismatch`] found.
+    pub fn audit(&self) -> Result<(), crate::AuditMismatch> {
+        self.ledger.audit(&self.accountant)
     }
 
     /// Whether the next request will be served from cache.
@@ -348,18 +406,89 @@ impl BudgetController {
         self.respond_with(x, &mut || table.draw(&mut *rng))
     }
 
+    /// Grid-native batched responding: Algorithm 1 applied element by
+    /// element, drawing noise from the cached alias table when the sampler
+    /// is analytic (the exact same distribution at O(1) per draw) and from
+    /// the cycle-faithful datapath otherwise.
+    ///
+    /// The batch **never overdraws**: each element re-checks the budget, so
+    /// the charge sequence — and therefore the ledger and accountant — is
+    /// identical to issuing the same requests one
+    /// [`BudgetController::respond`] at a time. Once the budget runs out
+    /// mid-batch, the remaining entries replay the cached output for free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs_k` and `out` have different lengths.
+    ///
+    /// # Errors
+    ///
+    /// [`LdpError::BudgetExhausted`] if exhaustion is reached with no
+    /// output ever cached — entries before the failing one are already
+    /// written to `out` and their charges are ledgered (the partial state
+    /// stays audit-consistent); [`LdpError::ResampleBudgetExhausted`] as in
+    /// [`BudgetController::respond`]; alias-table construction errors.
+    pub fn respond_index_batch(
+        &mut self,
+        xs_k: &[i64],
+        sampler: &FxpLaplace,
+        rng: &mut dyn RandomBits,
+        out: &mut [i64],
+    ) -> Result<BudgetBatchOutcome, LdpError> {
+        assert_eq!(
+            xs_k.len(),
+            out.len(),
+            "respond_index_batch: length mismatch"
+        );
+        let table = if sampler.is_analytic() {
+            Some(cached_alias_full(sampler.config())?)
+        } else {
+            None
+        };
+        let mut outcome = BudgetBatchOutcome::default();
+        for (&x_k, slot) in xs_k.iter().zip(out.iter_mut()) {
+            if self.exhausted() {
+                let Some(k) = self.cached_k else {
+                    return Err(LdpError::BudgetExhausted);
+                };
+                self.stats.cached += 1;
+                CACHE_REPLAYS.inc();
+                *slot = k;
+                outcome.replayed += 1;
+                continue;
+            }
+            *slot = match &table {
+                Some(t) => self.respond_index_with(x_k, &mut || t.draw(&mut *rng))?,
+                None => self.respond_index_with(x_k, &mut || sampler.sample_index(&mut *rng))?,
+            };
+            outcome.served += 1;
+        }
+        Ok(outcome)
+    }
+
     /// Algorithm 1's core, parameterized over the noise-index source.
     fn respond_with(&mut self, x: f64, draw: &mut dyn FnMut() -> i64) -> Result<f64, LdpError> {
+        let x_k = self.range.quantize(x);
+        let y_k = self.respond_index_with(x_k, draw)?;
+        Ok(self.range.to_value(y_k))
+    }
+
+    /// Algorithm 1's core in grid-index space.
+    fn respond_index_with(
+        &mut self,
+        x_k: i64,
+        draw: &mut dyn FnMut() -> i64,
+    ) -> Result<i64, LdpError> {
         if self.exhausted() {
             self.stats.cached += 1;
-            return self.cached.ok_or(LdpError::BudgetExhausted);
+            CACHE_REPLAYS.inc();
+            return self.cached_k.ok_or(LdpError::BudgetExhausted);
         }
-        let x_k = self.range.quantize(x);
         let (outer_t, _) = self.table.outermost();
         let lo = self.range.min_k() - outer_t;
         let hi = self.range.max_k() + outer_t;
         let mut rejections = 0u32;
-        let (y_k, charge) = loop {
+        let (y_k, class, charge) = loop {
             let tmp = x_k + draw();
             let overshoot = if tmp < self.range.min_k() {
                 self.range.min_k() - tmp
@@ -369,12 +498,14 @@ impl BudgetController {
                 0
             };
             if overshoot <= outer_t {
-                break (tmp, self.table.charge_for_overshoot(overshoot));
+                let (class, charge) = self.table.classify(overshoot);
+                break (tmp, class, charge);
             }
             match self.table.mode() {
                 LimitMode::Thresholding => {
                     let clamped = tmp.clamp(lo, hi);
-                    break (clamped, self.table.outermost().1);
+                    let (class, charge) = (self.table.segments().len(), self.table.outermost().1);
+                    break (clamped, class, charge);
                 }
                 LimitMode::Resampling => {
                     rejections += 1;
@@ -388,9 +519,17 @@ impl BudgetController {
         self.remaining -= charge;
         self.stats.served += 1;
         self.stats.charged += charge;
-        let y = self.range.to_value(y_k);
-        self.cached = Some(y);
-        Ok(y)
+        self.ledger.record(charge);
+        self.accountant.record(charge);
+        FRESH_RESPONSES.inc();
+        if self.last_class != Some(class) {
+            if self.last_class.is_some() {
+                SEGMENT_TRANSITIONS.inc();
+            }
+            self.last_class = Some(class);
+        }
+        self.cached_k = Some(y_k);
+        Ok(y_k)
     }
 }
 

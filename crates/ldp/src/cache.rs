@@ -26,10 +26,21 @@
 //! results are cached; errors re-run the (cheap, fail-fast) validation.
 //! Both maps live behind `RwLock`s so that after warm-up, parallel sweep
 //! cells take only read locks and never serialize on the cache.
+//!
+//! # Poisoning
+//!
+//! Cached values are immutable once inserted, so a thread that panics while
+//! holding a lock cannot leave a half-written entry behind. Lock poisoning
+//! is therefore *recovered* (via [`RwLock`]'s `into_inner`) rather than
+//! propagated — one panicking sweep cell must not wedge every other worker
+//! behind a permanently poisoned cache. Each recovery increments the
+//! `ldp.cache.poison_recoveries` counter (recorded even at metrics level
+//! `off`) so the event is observable.
 
 use std::collections::HashMap;
-use std::sync::{OnceLock, RwLock};
+use std::sync::{OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use ulp_obs::Counter;
 use ulp_rng::{cached_pmf, FxpLaplaceConfig};
 
 use crate::budget::SegmentTable;
@@ -84,6 +95,29 @@ fn segment_cache() -> &'static RwLock<HashMap<SolveKey, SegmentTable>> {
     CACHE.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
+static THRESHOLD_HITS: Counter = Counter::new("ldp.cache.threshold.hits");
+static THRESHOLD_MISSES: Counter = Counter::new("ldp.cache.threshold.misses");
+static SEGMENT_HITS: Counter = Counter::new("ldp.cache.segment.hits");
+static SEGMENT_MISSES: Counter = Counter::new("ldp.cache.segment.misses");
+static POISON_RECOVERIES: Counter = Counter::new("ldp.cache.poison_recoveries");
+
+/// Read-locks `lock`, recovering (and counting) a poisoned guard instead of
+/// panicking: entries are immutable, so the data is intact either way.
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| {
+        POISON_RECOVERIES.record_always(1);
+        poisoned.into_inner()
+    })
+}
+
+/// Write-locks `lock`, recovering (and counting) a poisoned guard.
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|poisoned| {
+        POISON_RECOVERIES.record_always(1);
+        poisoned.into_inner()
+    })
+}
+
 /// [`exact_threshold`](crate::threshold::exact_threshold) against the
 /// memoized closed-form PMF of `cfg`, with the solution itself memoized.
 ///
@@ -99,21 +133,16 @@ pub fn exact_threshold_cached(
     mode: LimitMode,
 ) -> Result<ThresholdSpec, LdpError> {
     let key = SolveKey::new(cfg, range, &[multiple], mode);
-    if let Some(hit) = threshold_cache()
-        .read()
-        .expect("threshold cache poisoned")
-        .get(&key)
-    {
+    if let Some(hit) = read_lock(threshold_cache()).get(&key) {
+        THRESHOLD_HITS.inc();
         return Ok(*hit);
     }
+    THRESHOLD_MISSES.inc();
     // Solve outside the lock: a solve takes milliseconds and concurrent
     // workers frequently race on the same key at sweep startup.
     let pmf = cached_pmf(cfg);
     let spec = exact_threshold(cfg, &pmf, range, multiple, mode)?;
-    threshold_cache()
-        .write()
-        .expect("threshold cache poisoned")
-        .insert(key, spec);
+    write_lock(threshold_cache()).insert(key, spec);
     Ok(spec)
 }
 
@@ -132,19 +161,14 @@ pub fn segment_table_cached(
     mode: LimitMode,
 ) -> Result<SegmentTable, LdpError> {
     let key = SolveKey::new(cfg, range, multiples, mode);
-    if let Some(hit) = segment_cache()
-        .read()
-        .expect("segment cache poisoned")
-        .get(&key)
-    {
+    if let Some(hit) = read_lock(segment_cache()).get(&key) {
+        SEGMENT_HITS.inc();
         return Ok(hit.clone());
     }
+    SEGMENT_MISSES.inc();
     let pmf = cached_pmf(cfg);
     let table = SegmentTable::build(cfg, &pmf, range, multiples, mode)?;
-    segment_cache()
-        .write()
-        .expect("segment cache poisoned")
-        .insert(key, table.clone());
+    write_lock(segment_cache()).insert(key, table.clone());
     Ok(table)
 }
 

@@ -56,6 +56,12 @@ impl CompositionLedger {
         self.losses.len()
     }
 
+    /// The recorded per-query losses, in record order (the raw series an
+    /// external auditor compares against a [`crate::BudgetLedger`]).
+    pub fn losses(&self) -> &[f64] {
+        &self.losses
+    }
+
     /// Whether the composed loss stays within `budget`.
     pub fn fits_within(&self, budget: f64) -> bool {
         self.total() <= budget

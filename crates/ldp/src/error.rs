@@ -2,11 +2,19 @@
 
 use core::fmt;
 
+use ulp_obs::EnvError;
 use ulp_rng::RngError;
 
 /// Error produced by mechanism construction and budget operations.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LdpError {
+    /// A segment table was requested with no loss multiples: budget control
+    /// needs at least one segment to bound the output window.
+    EmptySegmentTable,
+    /// A `ULP_*` environment variable held an unrecognized value. Surfaced
+    /// as a typed error so a misspelling (e.g. `ULP_SAMPLER_PATH=refrence`)
+    /// aborts loudly instead of silently selecting a default path.
+    InvalidEnv(EnvError),
     /// A sensor range was empty, inverted, or non-finite.
     InvalidRange {
         /// Offending lower bound (grid index).
@@ -41,6 +49,10 @@ pub enum LdpError {
 impl fmt::Display for LdpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            LdpError::EmptySegmentTable => {
+                write!(f, "segment table needs at least one loss multiple")
+            }
+            LdpError::InvalidEnv(e) => write!(f, "{e}"),
             LdpError::InvalidRange { min_k, max_k } => {
                 write!(f, "invalid sensor range: [{min_k}, {max_k}] grid units")
             }
@@ -68,6 +80,7 @@ impl std::error::Error for LdpError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             LdpError::Rng(e) => Some(e),
+            LdpError::InvalidEnv(e) => Some(e),
             _ => None,
         }
     }
@@ -76,5 +89,11 @@ impl std::error::Error for LdpError {
 impl From<RngError> for LdpError {
     fn from(e: RngError) -> Self {
         LdpError::Rng(e)
+    }
+}
+
+impl From<EnvError> for LdpError {
+    fn from(e: EnvError) -> Self {
+        LdpError::InvalidEnv(e)
     }
 }

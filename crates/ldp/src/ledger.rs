@@ -1,0 +1,276 @@
+//! The append-only privacy-budget ledger.
+//!
+//! [`crate::BudgetController`] *enforces* the budget; this ledger makes the
+//! enforcement **auditable**: every charge is appended with its running
+//! total, and [`BudgetLedger::audit`] cross-checks the record against an
+//! independently maintained [`CompositionLedger`] (the sequential
+//! composition accountant). The two structures accumulate in the same
+//! order with the same `f64` additions, so a clean audit is an *exact*
+//! (bitwise) equality of per-query spends and totals — any drift, however
+//! produced, is a mismatch, not a tolerance call.
+
+use core::fmt;
+
+use ulp_obs::Counter;
+
+use crate::composition::CompositionLedger;
+
+/// Clean audits completed process-wide (any ledger instance).
+static AUDITS_OK: Counter = Counter::new("ldp.ledger.audits_ok");
+/// Failed audits — recorded even at metrics level `off`: a ledger that
+/// disagrees with its accountant is a broken privacy invariant.
+static AUDIT_FAILURES: Counter = Counter::new("ldp.ledger.audit_failures");
+
+/// One audited privacy charge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LedgerEntry {
+    /// 0-based index of the query that incurred the charge.
+    pub query: u64,
+    /// The ε spent by this query (nats).
+    pub charge: f64,
+    /// Running total after this charge (`Σ` of charges `0..=query`).
+    pub total_after: f64,
+}
+
+/// An append-only record of per-query privacy spends.
+///
+/// # Examples
+///
+/// ```
+/// use ldp_core::{BudgetLedger, CompositionLedger};
+///
+/// let mut ledger = BudgetLedger::new();
+/// let mut accountant = CompositionLedger::new();
+/// for eps in [0.5, 0.75, 0.5] {
+///     ledger.record(eps);
+///     accountant.record(eps);
+/// }
+/// assert_eq!(ledger.total(), accountant.total());
+/// ledger.audit(&accountant).expect("ledger matches accountant");
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BudgetLedger {
+    entries: Vec<LedgerEntry>,
+    total: f64,
+}
+
+/// The first divergence found by [`BudgetLedger::audit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AuditMismatch {
+    /// The ledger and the accountant recorded different query counts.
+    QueryCount {
+        /// Entries in the ledger.
+        ledger: u64,
+        /// Entries in the accountant.
+        accountant: u64,
+    },
+    /// Query `query` was charged differently in the two records.
+    Charge {
+        /// 0-based query index.
+        query: u64,
+        /// The ledger's charge.
+        ledger: f64,
+        /// The accountant's loss.
+        accountant: f64,
+    },
+    /// The running totals diverge (possible only if an entry was mutated,
+    /// since matching per-query charges sum identically).
+    Total {
+        /// The ledger's running total.
+        ledger: f64,
+        /// The accountant's composed total.
+        accountant: f64,
+    },
+}
+
+impl fmt::Display for AuditMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditMismatch::QueryCount { ledger, accountant } => write!(
+                f,
+                "ledger records {ledger} queries but accountant records {accountant}"
+            ),
+            AuditMismatch::Charge {
+                query,
+                ledger,
+                accountant,
+            } => write!(
+                f,
+                "query {query}: ledger charged {ledger} but accountant recorded {accountant}"
+            ),
+            AuditMismatch::Total { ledger, accountant } => write!(
+                f,
+                "running totals diverge: ledger {ledger} vs accountant {accountant}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AuditMismatch {}
+
+impl BudgetLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one charge, advancing the running total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `charge` is negative or not finite — the same physical
+    /// constraint [`CompositionLedger::record`] enforces, so the two
+    /// records can never silently diverge on garbage input.
+    pub fn record(&mut self, charge: f64) {
+        assert!(
+            charge.is_finite() && charge >= 0.0,
+            "privacy charge must be finite and non-negative, got {charge}"
+        );
+        self.total += charge;
+        self.entries.push(LedgerEntry {
+            query: self.entries.len() as u64,
+            charge,
+            total_after: self.total,
+        });
+    }
+
+    /// The audited entries, in charge order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded charges.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been charged yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The running total (`Σ` of all charges, accumulated in charge order).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Cross-checks this ledger against a sequential-composition
+    /// accountant: per-query charges, query counts, and totals must all
+    /// match **exactly** (bitwise; both sides add the same `f64`s in the
+    /// same order, so even rounding is identical).
+    ///
+    /// # Errors
+    ///
+    /// The first [`AuditMismatch`] found.
+    pub fn audit(&self, accountant: &CompositionLedger) -> Result<(), AuditMismatch> {
+        let result = self.audit_inner(accountant);
+        match result {
+            Ok(()) => AUDITS_OK.inc(),
+            Err(_) => AUDIT_FAILURES.record_always(1),
+        }
+        result
+    }
+
+    fn audit_inner(&self, accountant: &CompositionLedger) -> Result<(), AuditMismatch> {
+        let losses = accountant.losses();
+        if self.entries.len() != losses.len() {
+            return Err(AuditMismatch::QueryCount {
+                ledger: self.entries.len() as u64,
+                accountant: losses.len() as u64,
+            });
+        }
+        for (entry, &loss) in self.entries.iter().zip(losses) {
+            if entry.charge.to_bits() != loss.to_bits() {
+                return Err(AuditMismatch::Charge {
+                    query: entry.query,
+                    ledger: entry.charge,
+                    accountant: loss,
+                });
+            }
+        }
+        // `iter().sum::<f64>()` uses `-0.0` as its identity, so an empty
+        // accountant totals `-0.0` while the ledger's running total starts
+        // at `+0.0`. Adding `+0.0` collapses the two zero encodings (and is
+        // exact for every other value), keeping the comparison bitwise.
+        let total = accountant.total() + 0.0;
+        if (self.total + 0.0).to_bits() != total.to_bits() {
+            return Err(AuditMismatch::Total {
+                ledger: self.total,
+                accountant: total,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_records_audit_clean() {
+        let mut ledger = BudgetLedger::new();
+        let mut acct = CompositionLedger::new();
+        for eps in [0.1, 0.2, 0.1 + 0.2, 1e-9, 5.0] {
+            ledger.record(eps);
+            acct.record(eps);
+        }
+        ledger.audit(&acct).unwrap();
+        assert_eq!(ledger.total().to_bits(), acct.total().to_bits());
+        assert_eq!(ledger.len(), acct.queries());
+    }
+
+    #[test]
+    fn entries_carry_running_totals() {
+        let mut ledger = BudgetLedger::new();
+        ledger.record(0.5);
+        ledger.record(0.25);
+        let e = ledger.entries();
+        assert_eq!(e[0].query, 0);
+        assert_eq!(e[0].total_after, 0.5);
+        assert_eq!(e[1].query, 1);
+        assert_eq!(e[1].total_after, 0.75);
+    }
+
+    #[test]
+    fn count_mismatch_is_reported() {
+        let mut ledger = BudgetLedger::new();
+        ledger.record(0.5);
+        let acct = CompositionLedger::new();
+        assert_eq!(
+            ledger.audit(&acct),
+            Err(AuditMismatch::QueryCount {
+                ledger: 1,
+                accountant: 0
+            })
+        );
+    }
+
+    #[test]
+    fn charge_mismatch_is_reported_with_query_index() {
+        let mut ledger = BudgetLedger::new();
+        let mut acct = CompositionLedger::new();
+        ledger.record(0.5);
+        acct.record(0.5);
+        ledger.record(0.25);
+        acct.record(0.75);
+        match ledger.audit(&acct) {
+            Err(AuditMismatch::Charge { query: 1, .. }) => {}
+            other => panic!("expected charge mismatch at query 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "privacy charge must be finite")]
+    fn nan_charge_panics() {
+        BudgetLedger::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn empty_ledger_audits_against_empty_accountant() {
+        BudgetLedger::new()
+            .audit(&CompositionLedger::new())
+            .unwrap();
+        assert!(BudgetLedger::new().is_empty());
+    }
+}

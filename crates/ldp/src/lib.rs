@@ -60,6 +60,7 @@ mod discrete_mech;
 mod error;
 pub mod float_vuln;
 mod kary;
+mod ledger;
 pub mod loss;
 mod mechanism;
 mod multi;
@@ -70,13 +71,14 @@ pub mod theory;
 pub mod threshold;
 mod timing;
 
-pub use budget::{BudgetController, BudgetStats, SegmentTable};
+pub use budget::{BudgetBatchOutcome, BudgetController, BudgetStats, SegmentTable};
 pub use cache::{exact_threshold_cached, segment_table_cached};
 pub use central::{count_sensitivity, mean_sensitivity, CentralLaplaceMean};
 pub use composition::CompositionLedger;
 pub use discrete_mech::DiscreteLaplaceMechanism;
 pub use error::LdpError;
 pub use kary::KaryRandomizedResponse;
+pub use ledger::{AuditMismatch, BudgetLedger, LedgerEntry};
 pub use loss::{
     conditional, loss_profile, worst_case_loss_exhaustive, worst_case_loss_extremes,
     ConditionalDist, LimitMode, PrivacyLoss,

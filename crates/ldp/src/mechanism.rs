@@ -24,6 +24,7 @@
 
 use std::sync::Arc;
 
+use ulp_obs::{parse_env, Counter, EnvError, Histogram};
 use ulp_rng::{
     cached_alias_full, cached_alias_laplace_grid, cached_alias_window, AliasTable, FxpLaplace,
     FxpLaplaceConfig, IdealLaplace, RandomBits, ZigguratExp,
@@ -32,6 +33,13 @@ use ulp_rng::{
 use crate::error::LdpError;
 use crate::range::QuantizedRange;
 use crate::threshold::ThresholdSpec;
+
+/// Total out-of-window redraws across all resampling paths.
+static RESAMPLE_REDRAWS: Counter = Counter::new("ldp.resample.redraws");
+/// Outputs the thresholding mechanisms actually clamped to the window edge.
+static THRESHOLD_CLAMPS: Counter = Counter::new("ldp.threshold.clamps");
+/// Redraws needed per single `privatize` call (resampling mode).
+static RETRIES_PER_CALL: Histogram = Histogram::new("ldp.resample.retries_per_call", "retries");
 
 /// Hard cap on consecutive out-of-window redraws before a resampling loop
 /// reports [`LdpError::ResampleBudgetExhausted`]. Real configurations accept
@@ -52,16 +60,49 @@ pub enum SamplerPath {
     Reference,
 }
 
+/// Environment variable selecting the batched sampler path.
+pub const SAMPLER_PATH_ENV: &str = "ULP_SAMPLER_PATH";
+
 impl SamplerPath {
-    /// Reads the path from the `ULP_SAMPLER_PATH` environment variable:
-    /// `"reference"` selects [`SamplerPath::Reference`], anything else
-    /// (including unset) selects [`SamplerPath::Fast`]. The evaluation
-    /// harness uses this so whole artifact runs can be regenerated on either
-    /// path without code changes.
-    pub fn from_env() -> Self {
-        match std::env::var("ULP_SAMPLER_PATH") {
-            Ok(v) if v.eq_ignore_ascii_case("reference") => SamplerPath::Reference,
-            _ => SamplerPath::Fast,
+    /// Parses a raw value: `fast` or `reference` (case-insensitive).
+    /// `None` (unset) selects [`SamplerPath::Fast`] — the documented
+    /// default for simulation throughput.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError`] for anything else: a misspelling like `refrence` used
+    /// to silently select the fast path, which is exactly the invisible
+    /// misconfiguration strict parsing exists to prevent.
+    pub fn parse(raw: Option<&str>) -> Result<Self, EnvError> {
+        let Some(raw) = raw else {
+            return Ok(SamplerPath::Fast);
+        };
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "fast" => Ok(SamplerPath::Fast),
+            "reference" => Ok(SamplerPath::Reference),
+            _ => Err(EnvError {
+                var: SAMPLER_PATH_ENV,
+                value: raw.to_string(),
+                expected: "fast | reference",
+            }),
+        }
+    }
+
+    /// Reads the path from the [`SAMPLER_PATH_ENV`] environment variable
+    /// (unset selects [`SamplerPath::Fast`]). The evaluation harness uses
+    /// this so whole artifact runs can be regenerated on either path
+    /// without code changes.
+    ///
+    /// # Errors
+    ///
+    /// [`LdpError::InvalidEnv`] on a set-but-unrecognized value — never a
+    /// silent fallback.
+    pub fn from_env() -> Result<Self, LdpError> {
+        match parse_env(SAMPLER_PATH_ENV, "fast | reference", |s| {
+            SamplerPath::parse(Some(s)).ok()
+        })? {
+            Some(p) => Ok(p),
+            None => Ok(SamplerPath::Fast),
         }
     }
 }
@@ -245,6 +286,7 @@ fn resample_miss(
     let mut misses = 0u32;
     loop {
         *resamples += 1;
+        RESAMPLE_REDRAWS.inc();
         misses += 1;
         if misses >= MISS_SWITCH {
             let window = cached_alias_window(cfg, lo - x_k, hi - x_k)?;
@@ -607,6 +649,8 @@ impl ResamplingMechanism {
         loop {
             let y = x_k + self.sampler.sample_index(rng);
             if y >= lo && y <= hi {
+                RESAMPLE_REDRAWS.add(u64::from(resamples));
+                RETRIES_PER_CALL.record(u64::from(resamples));
                 return Ok((y, resamples));
             }
             resamples += 1;
@@ -764,7 +808,12 @@ impl ThresholdingMechanism {
     pub fn privatize_index(&self, x_k: i64, rng: &mut dyn RandomBits) -> i64 {
         let lo = self.range.min_k() - self.spec.n_th_k;
         let hi = self.range.max_k() + self.spec.n_th_k;
-        (x_k + self.sampler.sample_index(rng)).clamp(lo, hi)
+        let y = x_k + self.sampler.sample_index(rng);
+        let clamped = y.clamp(lo, hi);
+        if clamped != y {
+            THRESHOLD_CLAMPS.inc();
+        }
+        clamped
     }
 }
 
@@ -793,7 +842,12 @@ impl Mechanism for ThresholdingMechanism {
         // (boundary atoms included) — zero rejections by construction.
         let range = self.range;
         bulk_noise_apply(&table, xs, rng, out, |x, noise| {
-            range.to_value((range.quantize(x) + noise).clamp(lo, hi))
+            let y = range.quantize(x) + noise;
+            let clamped = y.clamp(lo, hi);
+            if clamped != y {
+                THRESHOLD_CLAMPS.inc();
+            }
+            range.to_value(clamped)
         });
         Ok(0)
     }
@@ -818,7 +872,12 @@ impl Mechanism for ThresholdingMechanism {
         // thresholded law exactly (boundary atoms included).
         table.fill_batch(rng, out);
         for (slot, &x_k) in out.iter_mut().zip(xs_k) {
-            *slot = (x_k + *slot).clamp(lo, hi);
+            let y = x_k + *slot;
+            let clamped = y.clamp(lo, hi);
+            if clamped != y {
+                THRESHOLD_CLAMPS.inc();
+            }
+            *slot = clamped;
         }
         Ok(Some(0))
     }

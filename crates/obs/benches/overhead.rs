@@ -1,0 +1,43 @@
+//! Pins the cost of a *disabled* instrumentation site.
+//!
+//! The acceptance bar from the observability design: with `ULP_METRICS=off`
+//! a counter increment, histogram record, or span enter must cost < 2 ns —
+//! one relaxed atomic load plus an untaken branch. The enabled paths are
+//! benchmarked too, as a non-gating reference.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ulp_obs::{set_level, Counter, Histogram, MetricsLevel, SpanTimer};
+
+static C_OFF: Counter = Counter::new("bench.overhead.counter_off");
+static H_OFF: Histogram = Histogram::new("bench.overhead.hist_off", "ns");
+static S_OFF: SpanTimer = SpanTimer::new("bench.overhead.span_off");
+
+static C_ON: Counter = Counter::new("bench.overhead.counter_on");
+static H_ON: Histogram = Histogram::new("bench.overhead.hist_on", "ns");
+static S_ON: SpanTimer = SpanTimer::new("bench.overhead.span_on");
+
+fn bench_disabled(c: &mut Criterion) {
+    set_level(MetricsLevel::Off);
+    let mut g = c.benchmark_group("metrics_off");
+    g.bench_function("counter_inc", |b| b.iter(|| C_OFF.inc()));
+    g.bench_function("histogram_record", |b| {
+        b.iter(|| H_OFF.record(black_box(42)))
+    });
+    g.bench_function("span_enter", |b| b.iter(|| drop(S_OFF.enter())));
+    g.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    set_level(MetricsLevel::Full);
+    let mut g = c.benchmark_group("metrics_full");
+    g.bench_function("counter_inc", |b| b.iter(|| C_ON.inc()));
+    g.bench_function("histogram_record", |b| {
+        b.iter(|| H_ON.record(black_box(42)))
+    });
+    g.bench_function("span_enter", |b| b.iter(|| drop(S_ON.enter())));
+    g.finish();
+    set_level(MetricsLevel::Off);
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! The process-wide registries behind [`crate::snapshot`].
+//!
+//! Metric statics are `const`-constructed (so instrumentation sites are
+//! just `static C: Counter = Counter::new("…")`) and register themselves
+//! lazily the first time they record while metrics are enabled. A metric
+//! that never fires therefore never appears in a snapshot — reports list
+//! what happened, not every site compiled into the binary.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use crate::counter::Counter;
+use crate::hist::Histogram;
+use crate::span::SpanTimer;
+
+/// One registry per metric kind; all hold `&'static` references.
+pub(crate) struct Registry {
+    pub(crate) counters: Mutex<Vec<&'static Counter>>,
+    pub(crate) histograms: Mutex<Vec<&'static Histogram>>,
+    pub(crate) spans: Mutex<Vec<&'static SpanTimer>>,
+}
+
+pub(crate) fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(Vec::new()),
+        histograms: Mutex::new(Vec::new()),
+        spans: Mutex::new(Vec::new()),
+    })
+}
+
+/// Locks a registry list, recovering from poisoning (a panicked thread
+/// mid-registration leaves the list intact — worst case one duplicate
+/// registration attempt, which `register_once` prevents).
+pub(crate) fn lock<T>(m: &Mutex<Vec<T>>) -> MutexGuard<'_, Vec<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Registers `item` into `list` exactly once, guarded by `flag`.
+///
+/// The fast path (already registered) is a single relaxed load; the slow
+/// path takes the registry lock and re-checks under it so concurrent first
+/// records cannot double-insert.
+pub(crate) fn register_once<T: Copy>(flag: &AtomicBool, list: &Mutex<Vec<T>>, item: T) {
+    if flag.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut guard = lock(list);
+    if !flag.swap(true, Ordering::Relaxed) {
+        guard.push(item);
+    }
+}

@@ -26,9 +26,12 @@
 //! 2. [`std::thread::available_parallelism`],
 //! 3. a serial fallback of `1` if neither is available.
 //!
-//! The variable is read once per process. Nested `par_map` calls from
-//! inside a worker run serially (no thread explosion): the outermost sweep
-//! owns the pool.
+//! A set-but-malformed `ULP_PAR_THREADS` (`0`, `"all"`, an empty string…)
+//! is **rejected, never silently defaulted**: [`try_threads`] returns the
+//! typed [`EnvError`] for binaries that want to report it, and [`threads`]
+//! panics with the same message. The variable is read once per process.
+//! Nested `par_map` calls from inside a worker run serially (no thread
+//! explosion): the outermost sweep owns the pool.
 //!
 //! # Examples
 //!
@@ -46,6 +49,8 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+pub use ulp_obs::EnvError;
+
 /// Environment variable overriding the worker count (`1` = serial).
 pub const THREADS_ENV: &str = "ULP_PAR_THREADS";
 
@@ -58,18 +63,59 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
+/// Parses a raw `ULP_PAR_THREADS` value: `None` (unset) selects the
+/// machine default; a positive integer is honored; anything else is a
+/// typed [`EnvError`].
+///
+/// # Errors
+///
+/// [`EnvError`] for a set value that is not a positive integer.
+pub fn parse_threads(raw: Option<&str>) -> Result<usize, EnvError> {
+    match raw {
+        None => Ok(default_threads()),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(EnvError {
+                var: THREADS_ENV,
+                value: v.to_owned(),
+                expected: "a positive integer (1 = serial)",
+            }),
+        },
+    }
+}
+
+/// The worker count [`threads`] would use, as a `Result`: binaries call
+/// this at startup so a malformed `ULP_PAR_THREADS` is reported as a
+/// proper error instead of a panic mid-sweep.
+///
+/// # Errors
+///
+/// [`EnvError`] for a set-but-malformed `ULP_PAR_THREADS`.
+pub fn try_threads() -> Result<usize, EnvError> {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => parse_threads(Some(&v)),
+        Err(std::env::VarError::NotPresent) => parse_threads(None),
+        Err(std::env::VarError::NotUnicode(os)) => Err(EnvError {
+            var: THREADS_ENV,
+            value: os.to_string_lossy().into_owned(),
+            expected: "a positive integer (1 = serial)",
+        }),
+    }
+}
+
 /// The worker count used by [`par_map`] / [`par_for_each`]: the
 /// `ULP_PAR_THREADS` override if set to a positive integer, otherwise the
 /// machine's available parallelism. Read once per process.
+///
+/// # Panics
+///
+/// Panics on a set-but-malformed `ULP_PAR_THREADS` — a misspelled
+/// thread-count override must never be silently replaced by a different
+/// pool width. Binaries that prefer an error value call [`try_threads`]
+/// first.
 pub fn threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| match std::env::var(THREADS_ENV) {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => default_threads(),
-        },
-        Err(_) => default_threads(),
-    })
+    *THREADS.get_or_init(|| try_threads().unwrap_or_else(|e| panic!("{e}")))
 }
 
 /// Whether the calling thread is itself a pool worker (nested sweeps run
@@ -242,5 +288,21 @@ mod tests {
     #[test]
     fn threads_is_at_least_one() {
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads(Some("1")).unwrap(), 1);
+        assert_eq!(parse_threads(Some(" 8 ")).unwrap(), 8);
+        assert!(parse_threads(None).unwrap() >= 1);
+    }
+
+    #[test]
+    fn parse_threads_rejects_garbage_instead_of_defaulting() {
+        for bad in ["0", "-2", "all", "", "4x", "1.5"] {
+            let err = parse_threads(Some(bad)).unwrap_err();
+            assert_eq!(err.var, THREADS_ENV, "{bad:?}");
+            assert_eq!(err.value, bad);
+        }
     }
 }

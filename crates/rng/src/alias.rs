@@ -22,6 +22,8 @@
 
 use std::collections::HashMap;
 
+use ulp_obs::Counter;
+
 use crate::error::RngError;
 use crate::pmf::FxpNoisePmf;
 use crate::source::RandomBits;
@@ -164,6 +166,11 @@ impl AliasTable {
                 alias_k: ks[i],
             };
         }
+
+        // All public constructors (from_pmf, from_pmf_window, laplace_grid,
+        // from_f64_weights) funnel through here, so this counts every build.
+        static BUILDS: Counter = Counter::new("rng.alias.builds");
+        BUILDS.inc();
 
         Ok(AliasTable {
             buckets,

@@ -25,14 +25,47 @@
 //! lock, so parallel sweep cells never serialize on the cache. Writers
 //! build outside the lock and insert with `entry().or_insert()` — a racing
 //! duplicate build is discarded, and both callers observe the same `Arc`.
+//!
+//! A panic while holding a lock poisons it; since every cached value is
+//! immutable once inserted (`Arc`-shared, never mutated in place), a
+//! poisoned map is still structurally sound, so the accessors recover the
+//! guard with [`std::sync::PoisonError::into_inner`] instead of wedging
+//! every subsequent sweep cell. Each recovery is counted
+//! (`rng.cache.poison_recoveries`, recorded at every metrics level).
 
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use ulp_obs::Counter;
 
 use crate::alias::AliasTable;
 use crate::error::RngError;
 use crate::fxp::FxpLaplaceConfig;
 use crate::pmf::FxpNoisePmf;
+
+static PMF_HITS: Counter = Counter::new("rng.cache.pmf.hits");
+static PMF_MISSES: Counter = Counter::new("rng.cache.pmf.misses");
+static ALIAS_HITS: Counter = Counter::new("rng.cache.alias.hits");
+static ALIAS_MISSES: Counter = Counter::new("rng.cache.alias.misses");
+static GRID_HITS: Counter = Counter::new("rng.cache.grid.hits");
+static GRID_MISSES: Counter = Counter::new("rng.cache.grid.misses");
+static POISON_RECOVERIES: Counter = Counter::new("rng.cache.poison_recoveries");
+
+/// Read-locks a cache map, recovering (and counting) a poisoned lock.
+fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| {
+        POISON_RECOVERIES.record_always(1);
+        e.into_inner()
+    })
+}
+
+/// Write-locks a cache map, recovering (and counting) a poisoned lock.
+fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| {
+        POISON_RECOVERIES.record_always(1);
+        e.into_inner()
+    })
+}
 
 /// Bit-exact cache key for a [`FxpLaplaceConfig`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,19 +122,15 @@ fn grid_cache() -> &'static GridMap {
 /// concurrent evaluation cells share one copy.
 pub fn cached_pmf(cfg: FxpLaplaceConfig) -> Arc<FxpNoisePmf> {
     let key = PmfKey::new(cfg, false);
-    if let Some(hit) = cache().read().expect("pmf cache poisoned").get(&key) {
+    if let Some(hit) = read_lock(cache()).get(&key) {
+        PMF_HITS.inc();
         return Arc::clone(hit);
     }
+    PMF_MISSES.inc();
     // Build outside the lock: closed_form is O(support) exp() calls and
     // concurrent workers frequently miss on the same key at startup.
     let pmf = Arc::new(FxpNoisePmf::closed_form(cfg));
-    Arc::clone(
-        cache()
-            .write()
-            .expect("pmf cache poisoned")
-            .entry(key)
-            .or_insert(pmf),
-    )
+    Arc::clone(write_lock(cache()).entry(key).or_insert(pmf))
 }
 
 /// The exhaustively enumerated PMF for `cfg`, memoized process-wide — one
@@ -113,17 +142,13 @@ pub fn cached_pmf(cfg: FxpLaplaceConfig) -> Arc<FxpNoisePmf> {
 /// [`FxpNoisePmf::by_enumeration`]).
 pub fn cached_enumerated_pmf(cfg: FxpLaplaceConfig) -> Result<Arc<FxpNoisePmf>, RngError> {
     let key = PmfKey::new(cfg, true);
-    if let Some(hit) = cache().read().expect("pmf cache poisoned").get(&key) {
+    if let Some(hit) = read_lock(cache()).get(&key) {
+        PMF_HITS.inc();
         return Ok(Arc::clone(hit));
     }
+    PMF_MISSES.inc();
     let pmf = Arc::new(FxpNoisePmf::by_enumeration(cfg)?);
-    Ok(Arc::clone(
-        cache()
-            .write()
-            .expect("pmf cache poisoned")
-            .entry(key)
-            .or_insert(pmf),
-    ))
+    Ok(Arc::clone(write_lock(cache()).entry(key).or_insert(pmf)))
 }
 
 /// The alias table over the full signed support of `cfg`'s exact PMF,
@@ -162,24 +187,18 @@ fn cached_alias(
         pmf: PmfKey::new(cfg, false),
         window,
     };
-    if let Some(hit) = alias_cache()
-        .read()
-        .expect("alias cache poisoned")
-        .get(&key)
-    {
+    if let Some(hit) = read_lock(alias_cache()).get(&key) {
+        ALIAS_HITS.inc();
         return Ok(Arc::clone(hit));
     }
+    ALIAS_MISSES.inc();
     let pmf = cached_pmf(cfg);
     let table = Arc::new(match window {
         None => AliasTable::from_pmf(&pmf)?,
         Some((lo, hi)) => AliasTable::from_pmf_window(&pmf, lo, hi)?,
     });
     Ok(Arc::clone(
-        alias_cache()
-            .write()
-            .expect("alias cache poisoned")
-            .entry(key)
-            .or_insert(table),
+        write_lock(alias_cache()).entry(key).or_insert(table),
     ))
 }
 
@@ -193,27 +212,25 @@ fn cached_alias(
 /// positive/finite, or too wide to tabulate). Errors are not cached.
 pub fn cached_alias_laplace_grid(lambda: f64) -> Result<Arc<AliasTable>, RngError> {
     let key = lambda.to_bits();
-    if let Some(hit) = grid_cache().read().expect("grid cache poisoned").get(&key) {
+    if let Some(hit) = read_lock(grid_cache()).get(&key) {
+        GRID_HITS.inc();
         return Ok(Arc::clone(hit));
     }
+    GRID_MISSES.inc();
     let table = Arc::new(AliasTable::laplace_grid(lambda)?);
     Ok(Arc::clone(
-        grid_cache()
-            .write()
-            .expect("grid cache poisoned")
-            .entry(key)
-            .or_insert(table),
+        write_lock(grid_cache()).entry(key).or_insert(table),
     ))
 }
 
 /// Number of distinct PMFs currently memoized (diagnostics/tests).
 pub fn pmf_cache_len() -> usize {
-    cache().read().expect("pmf cache poisoned").len()
+    read_lock(cache()).len()
 }
 
 /// Number of distinct alias tables currently memoized (diagnostics/tests).
 pub fn alias_cache_len() -> usize {
-    alias_cache().read().expect("alias cache poisoned").len()
+    read_lock(alias_cache()).len()
 }
 
 #[cfg(test)]

@@ -41,8 +41,16 @@
 //! assert!(alarm.word_index < 64);
 //! ```
 
+use ulp_obs::Counter;
+
 use crate::error::RngError;
 use crate::source::RandomBits;
+
+/// Words that passed every online health test.
+static VERDICTS_OK: Counter = Counter::new("rng.health.verdicts_ok");
+/// Newly latched health alarms — recorded at every metrics level, because a
+/// tripped URNG is exactly the event operators must never miss.
+static ALARMS: Counter = Counter::new("rng.health.alarms");
 
 /// Configuration for [`UrngHealth`]: false-positive target and window sizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -304,6 +312,7 @@ impl UrngHealth {
                         };
                         self.words += 1;
                         self.alarm = Some(alarm);
+                        ALARMS.record_always(1);
                         return Err(alarm);
                     }
                 } else {
@@ -333,9 +342,11 @@ impl UrngHealth {
         if self.window_pos == self.cfg.apt_window {
             if let Err(alarm) = self.close_window(index) {
                 self.alarm = Some(alarm);
+                ALARMS.record_always(1);
                 return Err(alarm);
             }
         }
+        VERDICTS_OK.inc();
         Ok(())
     }
 

@@ -6,7 +6,12 @@
 //! with period ≈ 2^88 — small state, shift/xor only, which is why it is the
 //! standard choice for ULP hardware.
 
+use ulp_obs::Counter;
+
 use crate::source::{RandomBits, SplitMix64};
+
+/// Uniform words drawn from Taus88 generators, process-wide.
+static WORDS_DRAWN: Counter = Counter::new("rng.taus88.words_drawn");
 
 /// L'Ecuyer's three-component combined Tausworthe generator (period ≈ 2^88).
 ///
@@ -67,10 +72,12 @@ impl Taus88 {
 
 impl RandomBits for Taus88 {
     fn next_u32(&mut self) -> u32 {
+        WORDS_DRAWN.inc();
         self.step()
     }
 
     fn fill_u32(&mut self, out: &mut [u32]) {
+        WORDS_DRAWN.add(out.len() as u64);
         // Same word sequence as repeated `next_u32`; the local copies let
         // the compiler keep the LFSR state in registers across the chunk.
         let (mut s1, mut s2, mut s3) = (self.s1, self.s2, self.s3);
