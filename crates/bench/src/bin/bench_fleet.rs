@@ -1,0 +1,277 @@
+//! bench_fleet — the fleet-scale aggregation benchmark.
+//!
+//! Sweeps the simulated DP-Box fleet across population sizes (and, at a
+//! fixed population, across collector shard counts), timing the full
+//! pipeline — device simulation, wire encoding, sharded ingest, estimation,
+//! ledger audit — and writes a machine-readable JSON report (default
+//! `BENCH_fleet.json`).
+//!
+//! Each cell records:
+//!
+//! * throughput (reports ingested per second);
+//! * the [`FleetOutcome`] determinism digest — rerunning with a different
+//!   `ULP_PAR_THREADS` must reproduce every digest bit-for-bit;
+//! * the accuracy gates: mean, RR frequency, and RR count must land within
+//!   `3·SE + bias_bound` of ground truth. A gate failure aborts the run —
+//!   a benchmark that quietly reports wrong estimates is worse than none.
+//!
+//! Flags:
+//!
+//! * `--smoke` — tiny populations (CI-friendly, seconds not minutes);
+//! * `--out <path>` — where to write the JSON report;
+//! * `--metrics` — embed the process-wide [`ulp_obs`] snapshot in the JSON
+//!   report (raises the level to `full` unless `ULP_METRICS` pins it).
+//!
+//! `ULP_*` environment knobs are validated at startup: a set-but-malformed
+//! value exits with status 2 naming the variable — never a silent fallback.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ulp_fleet::{render_sweep, FleetConfig, FleetDriver, FleetOutcome, FleetSweepRow, GateResult};
+use ulp_obs::MetricsLevel;
+
+struct Cell {
+    name: String,
+    devices: usize,
+    shards: usize,
+    epochs: u32,
+    seconds: f64,
+    outcome: FleetOutcome,
+}
+
+impl Cell {
+    fn reports_per_sec(&self) -> f64 {
+        self.outcome.ingest.accepted as f64 / self.seconds.max(1e-9)
+    }
+
+    /// The three gated estimators, lined up against ground truth.
+    fn gates(&self) -> [(&'static str, GateResult); 3] {
+        let o = &self.outcome;
+        let mean = o.mean.expect("populated mean estimate");
+        let freq = o.rr_frequency.expect("populated RR frequency estimate");
+        let count = o.rr_count.expect("populated RR count estimate");
+        [
+            ("mean", GateResult::new(mean, o.truth_mean)),
+            ("frequency", GateResult::new(freq, o.truth_fraction)),
+            (
+                "count",
+                GateResult::new(count, o.truth_fraction * count.n as f64),
+            ),
+        ]
+    }
+
+    fn sweep_row(&self) -> FleetSweepRow {
+        let [(_, mean), (_, frequency), (_, count)] = self.gates();
+        FleetSweepRow {
+            devices: self.devices,
+            excluded: self.outcome.devices_excluded,
+            reports: self.outcome.ingest.accepted,
+            mean,
+            frequency,
+            count,
+            variance: self
+                .outcome
+                .variance
+                .map(|v| (v, self.outcome.truth_variance)),
+            median: self.outcome.median.map(|m| (m, self.outcome.truth_median)),
+            audit_ok: self.outcome.audit_ok,
+        }
+    }
+}
+
+fn run_cell(name: String, cfg: FleetConfig) -> Cell {
+    let (devices, shards, epochs) = (cfg.devices, cfg.shards, cfg.epochs);
+    let driver = FleetDriver::new(cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let start = Instant::now();
+    let outcome = driver.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+    let seconds = start.elapsed().as_secs_f64();
+    let cell = Cell {
+        name,
+        devices,
+        shards,
+        epochs,
+        seconds,
+        outcome,
+    };
+    eprintln!(
+        "  {:<10} {seconds:>8.3}s  {:>9} reports  {:>10.0} rep/s  digest {:016x}",
+        cell.name,
+        cell.outcome.ingest.accepted,
+        cell.reports_per_sec(),
+        cell.outcome.digest(),
+    );
+    assert!(
+        cell.outcome.audit_ok,
+        "{}: fleet privacy ledger failed its audit",
+        cell.name
+    );
+    for (stat, gate) in cell.gates() {
+        assert!(
+            gate.within_gate,
+            "{}: {stat} estimate {:.4} vs truth {:.4} exceeds 3*SE + bias = {:.4}",
+            cell.name,
+            gate.estimate.value,
+            gate.truth,
+            3.0 * gate.estimate.stderr + gate.estimate.bias_bound,
+        );
+    }
+    cell
+}
+
+fn render_json(threads: usize, smoke: bool, cells: &[Cell], metrics: Option<&str>) -> String {
+    let total: f64 = cells.iter().map(|c| c.seconds).sum();
+    let total_reports: u64 = cells.iter().map(|c| c.outcome.ingest.accepted).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    writeln!(out, "  \"schema\": \"ulp-ldp/bench_fleet/v1\",").unwrap();
+    writeln!(out, "  \"threads\": {threads},").unwrap();
+    writeln!(out, "  \"smoke\": {smoke},").unwrap();
+    writeln!(out, "  \"total_seconds\": {total:.3},").unwrap();
+    writeln!(out, "  \"total_reports\": {total_reports},").unwrap();
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 < cells.len() { "," } else { "" };
+        let [(_, mean), (_, freq), (_, count)] = c.gates();
+        let gate_json = |g: &GateResult| {
+            format!(
+                "{{\"estimate\": {:.6}, \"truth\": {:.6}, \"abs_err\": {:.6}, \
+                 \"bound\": {:.6}, \"pass\": {}}}",
+                g.estimate.value,
+                g.truth,
+                g.abs_err,
+                3.0 * g.estimate.stderr + g.estimate.bias_bound,
+                g.within_gate,
+            )
+        };
+        writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"devices\": {}, \"shards\": {}, \"epochs\": {}, \
+             \"seconds\": {:.3}, \"reports\": {}, \"rejected\": {}, \"excluded\": {}, \
+             \"reports_per_sec\": {:.1}, \"digest\": \"{:016x}\", \"audit_ok\": {}, \
+             \"mean\": {}, \"frequency\": {}, \"count\": {}}}{sep}",
+            c.name,
+            c.devices,
+            c.shards,
+            c.epochs,
+            c.seconds,
+            c.outcome.ingest.accepted,
+            c.outcome.ingest.rejected,
+            c.outcome.devices_excluded,
+            c.reports_per_sec(),
+            c.outcome.digest(),
+            c.outcome.audit_ok,
+            gate_json(&mean),
+            gate_json(&freq),
+            gate_json(&count),
+        )
+        .unwrap();
+    }
+    match metrics {
+        Some(report) => {
+            out.push_str("  ],\n");
+            writeln!(out, "  \"metrics\": {report}").unwrap();
+            out.push_str("}\n");
+        }
+        None => out.push_str("  ]\n}\n"),
+    }
+    out
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut metrics = false;
+    let mut out_path = String::from("BENCH_fleet.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--metrics" => metrics = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown flag {other:?} (expected --smoke, --metrics, --out <path>)"),
+        }
+    }
+
+    let level = match MetricsLevel::from_env() {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bench_fleet: {e}");
+            std::process::exit(2);
+        }
+    };
+    let level = if metrics && std::env::var_os(ulp_obs::METRICS_ENV).is_none() {
+        MetricsLevel::Full
+    } else {
+        level
+    };
+    ulp_obs::set_level(level);
+    let threads = match ulp_par::try_threads() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_fleet: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "bench_fleet: {} mode, {threads} worker thread(s) (ULP_PAR_THREADS to override), \
+         metrics {}",
+        if smoke { "smoke" } else { "full" },
+        level.name(),
+    );
+
+    // Population sweep at the default shard count, then a shard sweep at a
+    // fixed population. Epochs are chosen so the largest full-mode cell
+    // ingests 2 × 10⁶ reports (2 queries/device/epoch).
+    let populations: &[usize] = if smoke {
+        &[500, 2_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+    let (shard_pop, shard_counts): (usize, &[usize]) = if smoke {
+        (2_000, &[1, 8])
+    } else {
+        (100_000, &[1, 2, 8])
+    };
+
+    let mut cells = Vec::new();
+    for &devices in populations {
+        cells.push(run_cell(
+            format!("n{devices}"),
+            FleetConfig::paper_default(devices, 1, ldp_bench::SEED),
+        ));
+    }
+    for &shards in shard_counts {
+        cells.push(run_cell(
+            format!("shards{shards}"),
+            FleetConfig {
+                shards,
+                ..FleetConfig::paper_default(shard_pop, 1, ldp_bench::SEED)
+            },
+        ));
+    }
+
+    // Shard count must not change the outcome: every shard-sweep cell (and
+    // the matching population cell) shares one digest.
+    let shard_digests: Vec<u64> = cells
+        .iter()
+        .filter(|c| c.devices == shard_pop)
+        .map(|c| c.outcome.digest())
+        .collect();
+    assert!(
+        shard_digests.windows(2).all(|w| w[0] == w[1]),
+        "shard sweep digests diverged: {shard_digests:016x?}"
+    );
+
+    eprintln!("\nfleet accuracy vs ground truth:");
+    let rows: Vec<FleetSweepRow> = cells.iter().map(Cell::sweep_row).collect();
+    eprintln!("{}", render_sweep(&rows));
+
+    let metrics_report = if metrics {
+        Some(ulp_obs::snapshot().to_json())
+    } else {
+        None
+    };
+    let json = render_json(threads, smoke, &cells, metrics_report.as_deref());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path:?}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -7,11 +7,11 @@
 //! averaged over the dataset.
 
 use ldp_core::{LdpError, Mechanism};
-use ldp_datasets::{generate, DatasetSpec};
+use ldp_datasets::DatasetSpec;
 use ulp_obs::{Counter, SpanTimer};
 use ulp_rng::{FxpNoisePmf, Taus88};
 
-use crate::setup::ExperimentSetup;
+use crate::setup::{ExperimentSetup, GroundTruth};
 
 /// Base noising latency in cycles (Section V: load + noise).
 pub const BASE_CYCLES: f64 = 2.0;
@@ -67,17 +67,18 @@ pub fn latency_row(
     trials: usize,
     seed: u64,
 ) -> Result<LatencyRow, LdpError> {
-    let setup = ExperimentSetup::paper_default(spec, eps)?;
+    // Shared prep (setup + generate + encode) from the hoisted
+    // `GroundTruth`; realization and draw order are unchanged.
+    let gt = GroundTruth::prepare(spec, eps, seed)?;
+    let setup = &gt.setup;
     let resampling = setup.resampling(multiple)?;
-    let data = generate(spec, seed);
     // Cap total privatizations at ~200k to keep the harness responsive.
-    let trials = trials.max(1).min((200_000 / data.len()).max(1));
+    let trials = trials.max(1).min((200_000 / gt.len()).max(1));
     let mut rng = Taus88::from_seed(seed ^ 0x1A7E);
     let mut total_resamples: u64 = 0;
     let mut count: u64 = 0;
     for _ in 0..trials {
-        for &x in &data {
-            let code = setup.adc.encode(x) as f64;
+        for &code in &gt.codes {
             // Single `privatize` is always cycle-faithful regardless of the
             // sampler path: latency models the hardware redraw loop.
             total_resamples += resampling.privatize(code, &mut rng)?.resamples as u64;
@@ -85,8 +86,7 @@ pub fn latency_row(
         }
     }
     let measured = BASE_CYCLES + total_resamples as f64 / count as f64;
-    let codes: Vec<i64> = data.iter().map(|&x| setup.adc.encode(x)).collect();
-    let analytic = analytic_cycles(&setup, resampling.threshold().n_th_k, &codes);
+    let analytic = analytic_cycles(setup, resampling.threshold().n_th_k, &gt.codes_k);
     Ok(LatencyRow {
         dataset: spec.name,
         resampling_cycles: measured,

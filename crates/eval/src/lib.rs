@@ -53,6 +53,6 @@ pub use predict::{noise_sigma, predict_mean_mae, sensors_for_mean_mae};
 pub use report::{fmt_mae, fmt_pct, TextTable};
 pub use rr_eval::{rr_curve, RrPoint};
 pub use scaling::{scaling_curve, ScalingPoint};
-pub use setup::{ExperimentSetup, MechKind};
+pub use setup::{ExperimentSetup, GroundTruth, MechKind};
 pub use svm::{halfspace_dataset, svm_accuracy, svm_grid, LinearSvm, Sample, SvmPrivacy};
 pub use utility::{utility_row, utility_table, UtilityCell, UtilityRow};

@@ -11,7 +11,7 @@ use ldp_datasets::{evaluate_query_batched, DatasetSpec, Query, Shape};
 use ulp_obs::{Counter, SpanTimer};
 use ulp_rng::Taus88;
 
-use crate::setup::{ExperimentSetup, MechKind};
+use crate::setup::{GroundTruth, MechKind};
 
 /// MAE of the mean query at one dataset size, all four settings.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,8 +52,10 @@ pub fn scaling_curve(
             18.0,
             Shape::TruncatedGaussian,
         );
-        let setup = ExperimentSetup::with_output_bits(&spec, eps, 17, by, 8)?;
-        let data = ldp_datasets::generate(&spec, seed ^ n as u64);
+        // Shared prep (generate + encode) from the hoisted `GroundTruth`;
+        // same `(spec, seed ^ n)` inputs, so the realization is unchanged.
+        let gt = GroundTruth::with_output_bits(&spec, eps, 17, by, 8, seed ^ n as u64)?;
+        let setup = &gt.setup;
         let mut mae = Vec::with_capacity(4);
         for kind in MechKind::all() {
             let mech: Box<dyn Mechanism> = match kind {
@@ -64,14 +66,15 @@ pub fn scaling_curve(
             };
             let mut rng = Taus88::from_seed(seed ^ ((kind as u64) << 24) ^ n as u64);
             let adc = setup.adc;
-            // Hoisted encode + one batched pass per trial (reference-path
-            // draw order matches the old per-entry loop exactly).
-            let codes: Vec<f64> = data.iter().map(|&x| adc.encode(x) as f64).collect();
+            // Pre-hoisted encodings + one batched pass per trial
+            // (reference-path draw order matches the old per-entry loop
+            // exactly).
+            let codes = &gt.codes;
             let mut noised = vec![0.0f64; codes.len()];
             let result = evaluate_query_batched(
-                &data,
+                &gt.data,
                 |out: &mut [f64]| -> Result<(), LdpError> {
-                    mech.privatize_batch(&codes, &mut rng, &mut noised)?;
+                    mech.privatize_batch(codes, &mut rng, &mut noised)?;
                     for (slot, &v) in out.iter_mut().zip(noised.iter()) {
                         *slot = adc.decode(v.round() as i64);
                     }

@@ -10,10 +10,120 @@ use ldp_core::{
     exact_threshold_cached, FxpBaseline, IdealLaplaceMechanism, LdpError, LimitMode,
     QuantizedRange, ResamplingMechanism, SamplerPath, ThresholdingMechanism,
 };
-use ldp_datasets::DatasetSpec;
+use ldp_datasets::{generate, DatasetSpec};
 use ulp_rng::{cached_pmf, FxpLaplace, FxpLaplaceConfig, FxpNoisePmf};
 
 use crate::adc::Adc;
+
+/// A dataset realization prepared for evaluation: the setup plus the
+/// generated values and their deterministic encodings.
+///
+/// Every sweep used to repeat the same three steps per cell — build an
+/// [`ExperimentSetup`], call [`ldp_datasets::generate`], and encode the
+/// values to ADC codes. This hoists that block so the utility, latency,
+/// adversary, and fleet sweeps all share one copy (and one definition of
+/// "ground truth") instead of each keeping their own.
+///
+/// Generation and encoding are pure functions of `(spec, seed)`, so
+/// preparing a `GroundTruth` consumes no RNG stream shared with any
+/// mechanism: sweeps rewired through it reproduce their previous bytes
+/// exactly.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// The configured experiment (ADC, range, noise PMF, mechanisms).
+    pub setup: ExperimentSetup,
+    /// The generated physical sensor values.
+    pub data: Vec<f64>,
+    /// `data` encoded to ADC codes, as `f64` (the batched-privatization
+    /// input format).
+    pub codes: Vec<f64>,
+    /// `data` encoded to ADC codes, as grid indices (the index-batch /
+    /// device input format).
+    pub codes_k: Vec<i64>,
+}
+
+impl GroundTruth {
+    /// Prepares a dataset realization under the paper's default operating
+    /// point (`Bu = 17`, 8-bit ADC).
+    ///
+    /// # Errors
+    ///
+    /// See [`ExperimentSetup::new`].
+    pub fn prepare(spec: &DatasetSpec, eps: f64, seed: u64) -> Result<Self, LdpError> {
+        Ok(Self::from_setup(
+            ExperimentSetup::paper_default(spec, eps)?,
+            seed,
+        ))
+    }
+
+    /// Prepares a realization with explicit RNG widths (the Fig. 15 sweep
+    /// varies `By`).
+    ///
+    /// # Errors
+    ///
+    /// See [`ExperimentSetup::with_output_bits`].
+    pub fn with_output_bits(
+        spec: &DatasetSpec,
+        eps: f64,
+        bu: u8,
+        by: u8,
+        adc_bits: u8,
+        seed: u64,
+    ) -> Result<Self, LdpError> {
+        Ok(Self::from_setup(
+            ExperimentSetup::with_output_bits(spec, eps, bu, by, adc_bits)?,
+            seed,
+        ))
+    }
+
+    /// Generates and encodes the dataset for an already-built setup.
+    pub fn from_setup(setup: ExperimentSetup, seed: u64) -> Self {
+        let data = generate(&setup.spec, seed);
+        let adc = setup.adc;
+        let codes_k: Vec<i64> = data.iter().map(|&x| adc.encode(x)).collect();
+        let codes: Vec<f64> = codes_k.iter().map(|&k| k as f64).collect();
+        GroundTruth {
+            setup,
+            data,
+            codes,
+            codes_k,
+        }
+    }
+
+    /// Number of entries in the realization.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the realization is empty (a zero-entry spec).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// True population mean, in ADC codes.
+    pub fn mean_code(&self) -> f64 {
+        self.codes_k.iter().map(|&k| k as f64).sum::<f64>() / self.len().max(1) as f64
+    }
+
+    /// True population variance (biased, `/n`), in squared ADC codes.
+    pub fn variance_code(&self) -> f64 {
+        let m = self.mean_code();
+        self.codes_k
+            .iter()
+            .map(|&k| {
+                let d = k as f64 - m;
+                d * d
+            })
+            .sum::<f64>()
+            / self.len().max(1) as f64
+    }
+
+    /// True fraction of entries at or above `threshold_k` codes — the
+    /// ground truth for the RR-backed count/frequency queries.
+    pub fn fraction_at_or_above(&self, threshold_k: i64) -> f64 {
+        self.codes_k.iter().filter(|&&k| k >= threshold_k).count() as f64 / self.len().max(1) as f64
+    }
+}
 
 /// Which of the paper's four evaluated settings a mechanism instance is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -219,6 +329,46 @@ mod tests {
     fn rejects_bad_epsilon() {
         assert!(ExperimentSetup::paper_default(&statlog_heart(), 0.0).is_err());
         assert!(ExperimentSetup::paper_default(&statlog_heart(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn ground_truth_matches_manual_prep() {
+        let spec = statlog_heart();
+        let gt = GroundTruth::prepare(&spec, 0.5, 7).unwrap();
+        let data = ldp_datasets::generate(&spec, 7);
+        assert_eq!(gt.data, data);
+        let codes: Vec<f64> = data
+            .iter()
+            .map(|&x| gt.setup.adc.encode(x) as f64)
+            .collect();
+        assert_eq!(gt.codes, codes);
+        // The i64 encodings equal the `quantize` path the sweeps used
+        // before the hoist (unit grid, min_k = 0).
+        let xs_k: Vec<i64> = codes.iter().map(|&c| gt.setup.range.quantize(c)).collect();
+        assert_eq!(gt.codes_k, xs_k);
+        assert_eq!(gt.len(), spec.entries);
+        assert!(!gt.is_empty());
+    }
+
+    #[test]
+    fn ground_truth_statistics_are_exact() {
+        let spec = statlog_heart();
+        let gt = GroundTruth::prepare(&spec, 0.5, 11).unwrap();
+        let n = gt.len() as f64;
+        let mean = gt.codes_k.iter().map(|&k| k as f64).sum::<f64>() / n;
+        assert_eq!(gt.mean_code(), mean);
+        let var = gt
+            .codes_k
+            .iter()
+            .map(|&k| (k as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        assert!((gt.variance_code() - var).abs() < 1e-9);
+        // Thresholding at the extremes brackets every entry.
+        assert_eq!(gt.fraction_at_or_above(0), 1.0);
+        assert_eq!(gt.fraction_at_or_above(gt.setup.adc.max_code() + 1), 0.0);
+        let mid = gt.fraction_at_or_above(128);
+        assert!(mid > 0.0 && mid < 1.0, "mid-range threshold splits: {mid}");
     }
 
     #[test]

@@ -6,11 +6,11 @@
 //! byte-identical for any thread count.
 
 use ldp_core::{LdpError, Mechanism};
-use ldp_datasets::{evaluate_query_batched, generate, DatasetSpec, MaeResult, Query};
+use ldp_datasets::{evaluate_query_batched, DatasetSpec, MaeResult, Query};
 use ulp_obs::{Counter, SpanTimer};
 use ulp_rng::Taus88;
 
-use crate::setup::{ExperimentSetup, MechKind};
+use crate::setup::{GroundTruth, MechKind};
 
 /// One cell of a utility table.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,8 +49,11 @@ pub fn utility_row(
     trials: usize,
     seed: u64,
 ) -> Result<UtilityRow, LdpError> {
-    let setup = ExperimentSetup::paper_default(spec, eps)?;
-    let data = generate(spec, seed);
+    // Shared dataset realization and encodings (hoisted; generation is a
+    // pure function of `(spec, seed)` so cell RNG streams are untouched).
+    let gt = GroundTruth::prepare(spec, eps, seed)?;
+    let setup = &gt.setup;
+    let data = &gt.data;
     let scale = query.error_scale(spec.range_length(), spec.entries);
     // Each cell owns its RNG stream (seeded from `(seed, kind)` only), so
     // evaluating the four settings concurrently reproduces the serial bytes.
@@ -65,26 +68,21 @@ pub fn utility_row(
             };
             let mut rng = Taus88::from_seed(seed ^ (kind as u64) << 32 ^ 0xCE11);
             let adc = setup.adc;
-            // Encoding is deterministic, so hoist it out of the trial loop;
-            // each trial is then one batched privatization pass (on the
-            // reference path this privatizes entries in the exact order the
-            // per-entry loop used, so the trial bytes are unchanged).
-            let codes: Vec<f64> = data.iter().map(|&x| adc.encode(x) as f64).collect();
-            // Quantization is also trial-invariant, so the grid fast path
-            // (`privatize_index_batch`) takes pre-quantized indices and
-            // skips the per-entry divide/round the f64 path repays every
-            // trial; `adc.decode`'s constants are hoisted for the same
-            // reason. On the reference path the index route declines
-            // (`Ok(None)`) and the f64 fallback below runs the exact
-            // pre-existing sequence, so reference digests are unchanged.
+            // Encodings come pre-hoisted from the shared `GroundTruth`;
+            // each trial is one batched privatization pass. The grid fast
+            // path (`privatize_index_batch`) takes the pre-quantized
+            // indices; on the reference path it declines (`Ok(None)`) and
+            // the f64 fallback below runs the exact pre-existing draw
+            // sequence, so reference digests are unchanged.
+            let codes = &gt.codes;
             let range = setup.range;
-            let xs_k: Vec<i64> = codes.iter().map(|&c| range.quantize(c)).collect();
+            let xs_k = &gt.codes_k;
             let mut y_k = vec![0i64; codes.len()];
             let mut noised = vec![0.0f64; codes.len()];
             let (dec_min, dec_lsb) = (adc.decode(0), adc.lsb());
             let fill = |out: &mut [f64]| -> Result<(), LdpError> {
                 if mech
-                    .privatize_index_batch(&xs_k, &mut rng, &mut y_k)?
+                    .privatize_index_batch(xs_k, &mut rng, &mut y_k)?
                     .is_some()
                 {
                     if range.delta() == 1.0 {
@@ -100,7 +98,7 @@ pub fn utility_row(
                     }
                     return Ok(());
                 }
-                mech.privatize_batch(&codes, &mut rng, &mut noised)?;
+                mech.privatize_batch(codes, &mut rng, &mut noised)?;
                 for (slot, &v) in out.iter_mut().zip(noised.iter()) {
                     *slot = adc.decode(v.round() as i64);
                 }
@@ -119,7 +117,7 @@ pub fn utility_row(
                 }
                 _ => 0.0,
             };
-            let result = evaluate_query_batched(&data, fill, query, trials, scale, debias)?;
+            let result = evaluate_query_batched(data, fill, query, trials, scale, debias)?;
             Ok(UtilityCell {
                 kind,
                 result,

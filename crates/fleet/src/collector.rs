@@ -1,0 +1,492 @@
+//! The sharded, batch-ingesting collector.
+//!
+//! The collector is the untrusted aggregator of the LDP model: it sees only
+//! wire-encoded privatized reports and folds them into per-query moment
+//! accumulators (count, Σy, Σy², Σy³, Σy⁴, RR tally, exact quantile
+//! sketch). Estimators debias these aggregates downstream.
+//!
+//! # Determinism
+//!
+//! Ingest is parallel but *partitioned*, never racy:
+//!
+//! 1. a batch of frames is decoded in fixed-size chunks via [`ulp_par`]
+//!    (chunk boundaries depend only on the byte count);
+//! 2. each shard then scans the decoded reports, accepting only devices
+//!    that hash to it (`FNV-1a(device) mod shards` — a property of the
+//!    report, not of the executing thread);
+//! 3. [`Collector::totals`] folds shards in index order.
+//!
+//! Accumulator updates are exact integer additions, which are associative
+//! and commutative, so the folded totals are **bit-identical for any thread
+//! count and any shard count** — the same discipline (results are a pure
+//! function of the data, never of the schedule) the `stream_seed` seeding
+//! rules give the evaluation sweeps.
+
+use ulp_obs::{Counter, Histogram, SpanTimer};
+
+use crate::sketch::GridSketch;
+use crate::wire::{Payload, Report, WireError, FRAME_LEN};
+
+/// Reports accepted into shard accumulators, process-wide.
+static INGESTED: Counter = Counter::new("fleet.reports.ingested");
+/// Frames rejected by the wire decoder — recorded at every metrics level:
+/// silent data loss at the collector edge must never be invisible.
+static REJECTED: Counter = Counter::new("fleet.frames.rejected");
+/// Shard accumulator folds performed by [`Collector::totals`].
+static SHARD_MERGES: Counter = Counter::new("fleet.shard.merges");
+/// Wall-clock of each ingested batch.
+static INGEST_SPAN: SpanTimer = SpanTimer::new("fleet.collector.ingest");
+/// Reports per ingested batch.
+static BATCH_SIZE: Histogram = Histogram::new("fleet.collector.batch_reports", "reports");
+
+/// What a query aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Fixed-point noised values; moments plus an exact quantile sketch
+    /// over `[sketch_min_k, sketch_max_k]` (the device output window).
+    Numeric {
+        /// Lowest sketch bin (grid units).
+        sketch_min_k: i64,
+        /// Highest sketch bin (grid units).
+        sketch_max_k: i64,
+    },
+    /// Randomized-response bits; a ones tally.
+    RrBit,
+}
+
+/// One registered aggregation stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryConfig {
+    /// Wire query id this stream accepts.
+    pub id: u16,
+    /// Payload type and sketch bounds.
+    pub kind: QueryKind,
+}
+
+/// Exact aggregates for one query (one shard's share, or the fold of all
+/// shards).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTotals {
+    /// Reports accumulated.
+    pub count: u64,
+    /// Σ payload (numeric queries; RR bits contribute to `ones` instead).
+    pub sum: i128,
+    /// Σ payload².
+    pub sum2: i128,
+    /// Σ payload³.
+    pub sum3: i128,
+    /// Σ payload⁴.
+    pub sum4: i128,
+    /// RR `true` reports.
+    pub ones: u64,
+    /// Exact quantile sketch (numeric queries only).
+    pub sketch: Option<GridSketch>,
+}
+
+impl Default for QueryTotals {
+    /// Tally-only totals (no sketch) — the RR-query shape.
+    fn default() -> Self {
+        QueryTotals::new(QueryKind::RrBit)
+    }
+}
+
+impl QueryTotals {
+    fn new(kind: QueryKind) -> Self {
+        let sketch = match kind {
+            QueryKind::Numeric {
+                sketch_min_k,
+                sketch_max_k,
+            } => Some(GridSketch::new(sketch_min_k, sketch_max_k)),
+            QueryKind::RrBit => None,
+        };
+        QueryTotals {
+            count: 0,
+            sum: 0,
+            sum2: 0,
+            sum3: 0,
+            sum4: 0,
+            ones: 0,
+            sketch,
+        }
+    }
+
+    /// Empty totals for a numeric query sketching `[min_k, max_k]`.
+    pub fn new_numeric(sketch_min_k: i64, sketch_max_k: i64) -> Self {
+        QueryTotals::new(QueryKind::Numeric {
+            sketch_min_k,
+            sketch_max_k,
+        })
+    }
+
+    /// Absorbs one numeric report value (grid units).
+    pub fn absorb_value(&mut self, v: i64) {
+        self.count += 1;
+        let w = i128::from(v);
+        self.sum += w;
+        self.sum2 += w * w;
+        self.sum3 += w * w * w;
+        self.sum4 += w * w * w * w;
+        if let Some(s) = self.sketch.as_mut() {
+            s.record(v);
+        }
+    }
+
+    /// Absorbs one randomized-response bit.
+    pub fn absorb_bit(&mut self, b: bool) {
+        self.count += 1;
+        self.ones += u64::from(b);
+    }
+
+    fn absorb(&mut self, payload: Payload) {
+        match payload {
+            Payload::Value(v) => self.absorb_value(i64::from(v)),
+            Payload::RrBit(b) => self.absorb_bit(b),
+        }
+    }
+
+    fn merge(&mut self, other: &QueryTotals) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum2 += other.sum2;
+        self.sum3 += other.sum3;
+        self.sum4 += other.sum4;
+        self.ones += other.ones;
+        match (self.sketch.as_mut(), other.sketch.as_ref()) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, None) => {}
+            _ => unreachable!("same query kind implies same sketch presence"),
+        }
+    }
+}
+
+/// Outcome of one [`Collector::ingest_frames`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestStats {
+    /// Reports accepted into shard accumulators.
+    pub accepted: u64,
+    /// Frames rejected (decode failure, unknown query, or payload kind
+    /// mismatching the query's registration).
+    pub rejected: u64,
+}
+
+/// Hash-sharded per-query accumulators over privatized report batches.
+#[derive(Debug, Clone)]
+pub struct Collector {
+    queries: Vec<QueryConfig>,
+    /// `shard_accs[shard][query_index]`.
+    shard_accs: Vec<Vec<QueryTotals>>,
+    ingested: u64,
+    rejected: u64,
+    first_error: Option<WireError>,
+}
+
+/// FNV-1a of the device id — the shard assignment hash. A property of the
+/// report alone, so the shard partition is independent of thread schedule.
+fn device_hash(device: u32) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in device.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl Collector {
+    /// Creates a collector with `shards` accumulator partitions for the
+    /// given query streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero, `queries` is empty, or query ids repeat.
+    pub fn new(shards: usize, queries: &[QueryConfig]) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(!queries.is_empty(), "need at least one query");
+        for (i, q) in queries.iter().enumerate() {
+            assert!(
+                queries[..i].iter().all(|p| p.id != q.id),
+                "duplicate query id {}",
+                q.id
+            );
+        }
+        let shard_accs = (0..shards)
+            .map(|_| queries.iter().map(|q| QueryTotals::new(q.kind)).collect())
+            .collect();
+        Collector {
+            queries: queries.to_vec(),
+            shard_accs,
+            ingested: 0,
+            rejected: 0,
+            first_error: None,
+        }
+    }
+
+    /// Number of accumulator shards.
+    pub fn shards(&self) -> usize {
+        self.shard_accs.len()
+    }
+
+    /// Reports accepted over the collector's lifetime.
+    pub fn reports_ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Frames rejected over the collector's lifetime.
+    pub fn frames_rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The first wire error seen (kept for diagnostics; `None` if every
+    /// rejection was a query/kind mismatch rather than a decode failure).
+    pub fn first_error(&self) -> Option<WireError> {
+        self.first_error
+    }
+
+    fn query_index(&self, report: &Report) -> Option<usize> {
+        let idx = self.queries.iter().position(|q| q.id == report.query)?;
+        let kind_matches = matches!(
+            (self.queries[idx].kind, report.payload),
+            (QueryKind::Numeric { .. }, Payload::Value(_)) | (QueryKind::RrBit, Payload::RrBit(_))
+        );
+        kind_matches.then_some(idx)
+    }
+
+    /// Ingests a batch of concatenated wire frames.
+    ///
+    /// `bytes` is split at [`FRAME_LEN`] boundaries; each slot decodes to a
+    /// report or a rejection (trailing bytes shorter than one frame are
+    /// rejected as one truncated frame). Decoding fans out over [`ulp_par`]
+    /// in fixed-size chunks, then every shard scans the decoded batch for
+    /// its devices — see the module docs for why this is schedule-proof.
+    pub fn ingest_frames(&mut self, bytes: &[u8]) -> IngestStats {
+        let _span = INGEST_SPAN.enter();
+        let whole = bytes.len() / FRAME_LEN;
+        let tail = bytes.len() % FRAME_LEN;
+
+        // Phase 1: decode, in parallel over fixed-size chunks.
+        const DECODE_CHUNK: usize = 16 * 1024;
+        let chunks: Vec<&[u8]> = bytes[..whole * FRAME_LEN]
+            .chunks(DECODE_CHUNK * FRAME_LEN)
+            .collect();
+        let decoded: Vec<Vec<Result<Report, WireError>>> = ulp_par::par_map(&chunks, |chunk| {
+            chunk.chunks(FRAME_LEN).map(Report::decode).collect()
+        });
+
+        let mut stats = IngestStats::default();
+        let mut reports: Vec<(usize, Report)> = Vec::with_capacity(whole);
+        for item in decoded.into_iter().flatten() {
+            match item {
+                Ok(report) => match self.query_index(&report) {
+                    Some(q) => reports.push((q, report)),
+                    None => stats.rejected += 1,
+                },
+                Err(e) => {
+                    stats.rejected += 1;
+                    self.first_error.get_or_insert(e);
+                }
+            }
+        }
+        if tail != 0 {
+            stats.rejected += 1;
+            self.first_error
+                .get_or_insert(WireError::Truncated { got: tail });
+        }
+        stats.accepted = reports.len() as u64;
+
+        // Phase 2: shard accumulation. Each shard owns its accumulators and
+        // scans the whole decoded batch for its devices.
+        let shards = self.shards() as u64;
+        let shard_ids: Vec<u64> = (0..shards).collect();
+        let mut fresh: Vec<Vec<QueryTotals>> = ulp_par::par_map(&shard_ids, |&shard| {
+            let mut accs: Vec<QueryTotals> = self
+                .queries
+                .iter()
+                .map(|q| QueryTotals::new(q.kind))
+                .collect();
+            for (q, report) in &reports {
+                if device_hash(report.device) % shards == shard {
+                    accs[*q].absorb(report.payload);
+                }
+            }
+            accs
+        });
+        for (acc, new) in self.shard_accs.iter_mut().zip(&mut fresh) {
+            for (a, b) in acc.iter_mut().zip(new.iter()) {
+                a.merge(b);
+            }
+        }
+
+        self.ingested += stats.accepted;
+        self.rejected += stats.rejected;
+        INGESTED.add(stats.accepted);
+        REJECTED.record_always(stats.rejected);
+        BATCH_SIZE.record(stats.accepted);
+        stats
+    }
+
+    /// Folds every shard's accumulators (in shard-index order) into the
+    /// query's lifetime totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query_id` was not registered.
+    pub fn totals(&self, query_id: u16) -> QueryTotals {
+        let idx = self
+            .queries
+            .iter()
+            .position(|q| q.id == query_id)
+            .unwrap_or_else(|| panic!("query {query_id} not registered"));
+        let mut folded = QueryTotals::new(self.queries[idx].kind);
+        for shard in &self.shard_accs {
+            folded.merge(&shard[idx]);
+            SHARD_MERGES.inc();
+        }
+        folded
+    }
+
+    /// The registered query streams.
+    pub fn queries(&self) -> &[QueryConfig] {
+        &self.queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NUMERIC: QueryConfig = QueryConfig {
+        id: 0,
+        kind: QueryKind::Numeric {
+            sketch_min_k: -64,
+            sketch_max_k: 64,
+        },
+    };
+    const RR: QueryConfig = QueryConfig {
+        id: 1,
+        kind: QueryKind::RrBit,
+    };
+
+    fn frames(reports: &[Report]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in reports {
+            r.encode_into(&mut out);
+        }
+        out
+    }
+
+    fn value(device: u32, v: i32) -> Report {
+        Report {
+            device,
+            query: 0,
+            epoch: 0,
+            payload: Payload::Value(v),
+        }
+    }
+
+    #[test]
+    fn accumulates_exact_moments_and_tallies() {
+        let mut c = Collector::new(2, &[NUMERIC, RR]);
+        let batch = frames(&[
+            value(1, 3),
+            value(2, -4),
+            Report {
+                device: 3,
+                query: 1,
+                epoch: 0,
+                payload: Payload::RrBit(true),
+            },
+            Report {
+                device: 4,
+                query: 1,
+                epoch: 0,
+                payload: Payload::RrBit(false),
+            },
+        ]);
+        let stats = c.ingest_frames(&batch);
+        assert_eq!(
+            stats,
+            IngestStats {
+                accepted: 4,
+                rejected: 0
+            }
+        );
+        let t = c.totals(0);
+        assert_eq!(
+            (t.count, t.sum, t.sum2, t.sum3, t.sum4),
+            (2, -1, 25, -37, 337)
+        );
+        assert_eq!(t.sketch.as_ref().unwrap().total(), 2);
+        let rr = c.totals(1);
+        assert_eq!((rr.count, rr.ones), (2, 1));
+    }
+
+    #[test]
+    fn shard_count_does_not_change_totals() {
+        let reports: Vec<Report> = (0..500).map(|i| value(i, (i as i32 % 41) - 20)).collect();
+        let batch = frames(&reports);
+        let mut one = Collector::new(1, &[NUMERIC]);
+        let mut eight = Collector::new(8, &[NUMERIC]);
+        one.ingest_frames(&batch);
+        eight.ingest_frames(&batch);
+        assert_eq!(one.totals(0), eight.totals(0));
+    }
+
+    #[test]
+    fn split_batches_equal_one_batch() {
+        let reports: Vec<Report> = (0..100).map(|i| value(i, i as i32)).collect();
+        let mut whole = Collector::new(4, &[NUMERIC]);
+        whole.ingest_frames(&frames(&reports));
+        let mut split = Collector::new(4, &[NUMERIC]);
+        split.ingest_frames(&frames(&reports[..37]));
+        split.ingest_frames(&frames(&reports[37..]));
+        assert_eq!(whole.totals(0), split.totals(0));
+        assert_eq!(whole.reports_ingested(), split.reports_ingested());
+    }
+
+    #[test]
+    fn corrupt_unknown_and_trailing_frames_are_rejected() {
+        let mut c = Collector::new(2, &[NUMERIC]);
+        let mut batch = frames(&[value(1, 5)]);
+        // Corrupt frame.
+        let mut bad = value(2, 6).encode();
+        bad[6] ^= 0xFF;
+        batch.extend_from_slice(&bad);
+        // Unknown query id.
+        Report {
+            device: 3,
+            query: 9,
+            epoch: 0,
+            payload: Payload::Value(1),
+        }
+        .encode_into(&mut batch);
+        // Kind mismatch: RR bit on the numeric query.
+        Report {
+            device: 4,
+            query: 0,
+            epoch: 0,
+            payload: Payload::RrBit(true),
+        }
+        .encode_into(&mut batch);
+        // Trailing partial frame.
+        batch.extend_from_slice(&[0xD9, 0x01]);
+        let stats = c.ingest_frames(&batch);
+        assert_eq!(
+            stats,
+            IngestStats {
+                accepted: 1,
+                rejected: 4
+            }
+        );
+        assert_eq!(c.frames_rejected(), 4);
+        assert!(matches!(
+            c.first_error(),
+            Some(WireError::ChecksumMismatch { .. })
+        ));
+        assert_eq!(c.totals(0).count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate query id")]
+    fn duplicate_query_ids_panic() {
+        Collector::new(1, &[RR, RR]);
+    }
+}

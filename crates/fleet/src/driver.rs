@@ -1,0 +1,654 @@
+//! The simulated-fleet driver: N DP-Box devices streaming into a collector.
+//!
+//! Each device is a full [`dp_box::DpBox`] instance — FSM, budget ledger,
+//! URNG health monitor — not a shortcut around the device model. The driver
+//!
+//! 1. draws a population of sensor values from a dataset spec (via
+//!    [`ldp_eval::GroundTruth`], the shared ground-truth preparation);
+//! 2. boots every device through the hardware command sequence, running the
+//!    power-on URNG self-test first so devices with degraded bit sources
+//!    fail safe *before emitting a single report* (a value-independent
+//!    exclusion, hence unbiased);
+//! 3. streams epochs of wire-encoded reports through a sharded
+//!    [`Collector`];
+//! 4. folds every device's budget ledger into one auditable fleet ledger;
+//! 5. returns debiased estimates next to the included-population ground
+//!    truth.
+//!
+//! # Determinism
+//!
+//! Every random stream is seeded by [`ulp_rng::stream_seed`] from
+//! `(master seed, device id, role)`, device simulation fans out over
+//! [`ulp_par::par_map`] in fixed-size chunks, and the collector's shard
+//! partition hashes device ids — so the outcome is a pure function of the
+//! configuration, bit-identical at any thread count and shard count.
+
+use core::fmt;
+
+use dp_box::{Command, DpBox, DpBoxConfig, DpBoxError, HealthConfig, Phase};
+use ldp_core::{BudgetLedger, CompositionLedger, LdpError, RandomizedResponse};
+use ldp_datasets::DatasetSpec;
+use ldp_eval::GroundTruth;
+use ulp_obs::{Counter, SpanTimer};
+use ulp_rng::{stream_seed, CorrelatedBits, RandomBits, Taus88};
+
+use crate::collector::{Collector, IngestStats, QueryConfig, QueryKind};
+use crate::estimator::{Estimate, NoiseModel};
+use crate::wire::{Payload, Report};
+
+/// Devices booted, process-wide.
+static DEVICES: Counter = Counter::new("fleet.devices.simulated");
+/// Devices excluded by the power-on URNG self-test — recorded at every
+/// metrics level: a fleet silently dropping devices must be visible.
+static EXCLUDED: Counter = Counter::new("fleet.devices.excluded");
+/// Wall-clock of each streamed epoch (simulation + ingest).
+static EPOCH_SPAN: SpanTimer = SpanTimer::new("fleet.driver.epoch");
+
+/// Wire query id carrying fixed-point noised values.
+pub const VALUE_QUERY: u16 = 0;
+/// Wire query id carrying randomized-response threshold bits.
+pub const RR_QUERY: u16 = 1;
+
+/// Fleet simulation parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Population size (devices).
+    pub devices: usize,
+    /// Reporting epochs to stream.
+    pub epochs: u32,
+    /// Master seed every per-device stream derives from.
+    pub seed: u64,
+    /// Collector shard count.
+    pub shards: usize,
+    /// Dataset the sensor values are drawn from (`entries` is overridden
+    /// by `devices`).
+    pub spec: DatasetSpec,
+    /// Privacy shift `n_m` (per-report ε = 2^−n_m).
+    pub eps_shift: u8,
+    /// ADC resolution in bits (codes span `[0, 2^adc_bits]`).
+    pub adc_bits: u8,
+    /// URNG width `Bu`.
+    pub bu: u8,
+    /// Datapath word width.
+    pub word_bits: u8,
+    /// Per-device privacy budget, in raw grid units of nats (loaded with
+    /// the initialization-phase `SetEpsilon` overload).
+    pub budget_raw: i64,
+    /// Devices per thousand whose URNG is wired through a correlated-bits
+    /// fault (they must fail the power-on self-test and be excluded).
+    pub faulty_per_mille: u32,
+    /// RR threshold: each device reports `RR(x ≥ threshold_code)`.
+    pub threshold_code: i64,
+    /// Devices per parallel simulation chunk.
+    pub chunk: usize,
+    /// Budget-control segment multiples.
+    pub multiples: Vec<f64>,
+}
+
+impl FleetConfig {
+    /// The paper's operating point (`Bu = 17`, 8-bit ADC, 20-bit word,
+    /// ε = ½) on a statlog-heart population, 5‰ faulty devices.
+    pub fn paper_default(devices: usize, epochs: u32, seed: u64) -> Self {
+        FleetConfig {
+            devices,
+            epochs,
+            seed,
+            shards: 4,
+            spec: ldp_datasets::statlog_heart(),
+            eps_shift: 1,
+            adc_bits: 8,
+            bu: 17,
+            word_bits: 20,
+            budget_raw: 1 << 18,
+            faulty_per_mille: 5,
+            threshold_code: 128,
+            chunk: 1024,
+            multiples: vec![1.5, 2.0, 2.5, 3.0],
+        }
+    }
+}
+
+/// Why a fleet run could not be carried out.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A configuration field failed validation.
+    Config(&'static str),
+    /// A device rejected the boot command sequence.
+    Device(DpBoxError),
+    /// Noise-model or mechanism construction failed.
+    Privacy(LdpError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Config(msg) => write!(f, "invalid fleet config: {msg}"),
+            FleetError::Device(e) => write!(f, "device error: {e}"),
+            FleetError::Privacy(e) => write!(f, "privacy configuration error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Config(_) => None,
+            FleetError::Device(e) => Some(e),
+            FleetError::Privacy(e) => Some(e),
+        }
+    }
+}
+
+impl From<DpBoxError> for FleetError {
+    fn from(e: DpBoxError) -> Self {
+        FleetError::Device(e)
+    }
+}
+
+impl From<LdpError> for FleetError {
+    fn from(e: LdpError) -> Self {
+        FleetError::Privacy(e)
+    }
+}
+
+/// A device's bit source: healthy Tausworthe, or the same wrapped in a
+/// lag-1 correlated-bits fault that the power-on self-test must catch.
+#[derive(Debug, Clone)]
+enum FleetUrng {
+    Healthy(Taus88),
+    Faulty(CorrelatedBits<Taus88>),
+}
+
+impl RandomBits for FleetUrng {
+    fn next_u32(&mut self) -> u32 {
+        match self {
+            FleetUrng::Healthy(r) => r.next_u32(),
+            FleetUrng::Faulty(r) => r.next_u32(),
+        }
+    }
+}
+
+/// Everything one fleet run produces.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Devices booted (the configured population).
+    pub devices_simulated: usize,
+    /// Devices the power-on URNG self-test excluded before any report.
+    pub devices_excluded: usize,
+    /// Devices that stopped reporting mid-stream (budget exhaustion or a
+    /// runtime health trip — expected 0 under the default configuration).
+    pub devices_dropped: usize,
+    /// Collector ingest totals over the whole run.
+    pub ingest: IngestStats,
+    /// Debiased population-mean estimate, in ADC codes.
+    pub mean: Option<Estimate>,
+    /// Debiased population-variance estimate, in codes².
+    pub variance: Option<Estimate>,
+    /// Report-distribution median, in codes.
+    pub median: Option<Estimate>,
+    /// Debiased fraction of devices at or above the RR threshold.
+    pub rr_frequency: Option<Estimate>,
+    /// Debiased count of devices at or above the RR threshold.
+    pub rr_count: Option<Estimate>,
+    /// True mean (codes) over the *included* devices.
+    pub truth_mean: f64,
+    /// True variance (codes², biased `/n`) over the included devices.
+    pub truth_variance: f64,
+    /// True median (codes) over the included devices.
+    pub truth_median: f64,
+    /// True fraction of included devices at or above the RR threshold.
+    pub truth_fraction: f64,
+    /// Total privacy loss recorded across the fleet ledger, in nats.
+    pub ledger_total: f64,
+    /// Charges recorded in the fleet ledger (one per fresh device output).
+    pub ledger_entries: usize,
+    /// Whether the merged fleet ledger audits clean against the
+    /// independently folded composition accountant.
+    pub audit_ok: bool,
+    /// The thresholding window bound `n_th` (codes) the devices ran with.
+    pub n_th_k: i64,
+}
+
+impl FleetOutcome {
+    /// Canonical rendering of every schedule-independent field — the text
+    /// the determinism digest is computed over. Exact float bits are
+    /// rendered via [`f64::to_bits`] so "close" never passes for "equal".
+    pub fn canonical_text(&self) -> String {
+        fn est(e: &Option<Estimate>) -> String {
+            match e {
+                None => "none".to_string(),
+                Some(e) => format!(
+                    "{:016x}:{:016x}:{}:{:016x}",
+                    e.value.to_bits(),
+                    e.stderr.to_bits(),
+                    e.n,
+                    e.bias_bound.to_bits()
+                ),
+            }
+        }
+        format!(
+            "devices={} excluded={} dropped={} accepted={} rejected={}\n\
+             mean={} variance={} median={} rr_frequency={} rr_count={}\n\
+             truth_mean={:016x} truth_variance={:016x} truth_median={:016x} truth_fraction={:016x}\n\
+             ledger_total={:016x} ledger_entries={} audit_ok={} n_th_k={}\n",
+            self.devices_simulated,
+            self.devices_excluded,
+            self.devices_dropped,
+            self.ingest.accepted,
+            self.ingest.rejected,
+            est(&self.mean),
+            est(&self.variance),
+            est(&self.median),
+            est(&self.rr_frequency),
+            est(&self.rr_count),
+            self.truth_mean.to_bits(),
+            self.truth_variance.to_bits(),
+            self.truth_median.to_bits(),
+            self.truth_fraction.to_bits(),
+            self.ledger_total.to_bits(),
+            self.ledger_entries,
+            self.audit_ok,
+            self.n_th_k,
+        )
+    }
+
+    /// FNV-1a 64-bit digest of [`FleetOutcome::canonical_text`]: equal
+    /// digests witness bit-identical outcomes across thread counts, shard
+    /// counts, and chunk sizes.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in self.canonical_text().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Per-chunk simulation result, folded on the main thread in chunk order.
+struct ChunkResult {
+    /// `frames[epoch]` holds the chunk's wire bytes for that epoch.
+    frames: Vec<Vec<u8>>,
+    /// The chunk's device ledgers, merged in device order.
+    ledger: BudgetLedger,
+    /// Every charge in `ledger`, in record order (for the accountant fold).
+    charges: Vec<f64>,
+    excluded: Vec<u32>,
+    dropped: Vec<u32>,
+}
+
+/// The simulated fleet: configuration plus the derived noise model.
+#[derive(Debug, Clone)]
+pub struct FleetDriver {
+    cfg: FleetConfig,
+    model: NoiseModel,
+    max_code: i64,
+}
+
+impl FleetDriver {
+    /// Validates the configuration and builds the collector-side noise
+    /// model for it.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Config`] for empty populations/epochs/shards/chunks or
+    /// an out-of-range threshold; [`FleetError::Privacy`] if the noise
+    /// model cannot be built.
+    pub fn new(cfg: FleetConfig) -> Result<Self, FleetError> {
+        if cfg.devices == 0 {
+            return Err(FleetError::Config("population must be non-empty"));
+        }
+        if cfg.epochs == 0 {
+            return Err(FleetError::Config("need at least one epoch"));
+        }
+        if cfg.shards == 0 {
+            return Err(FleetError::Config("need at least one shard"));
+        }
+        if cfg.chunk == 0 {
+            return Err(FleetError::Config("chunk size must be positive"));
+        }
+        if cfg.devices > u32::MAX as usize {
+            return Err(FleetError::Config("device ids must fit in u32"));
+        }
+        let max_code = 1i64 << cfg.adc_bits;
+        if !(0..=max_code).contains(&cfg.threshold_code) {
+            return Err(FleetError::Config("RR threshold outside the ADC range"));
+        }
+        let model = NoiseModel::for_device(
+            cfg.bu,
+            cfg.word_bits,
+            cfg.eps_shift,
+            0,
+            max_code,
+            &cfg.multiples,
+        )?;
+        Ok(FleetDriver {
+            cfg,
+            model,
+            max_code,
+        })
+    }
+
+    /// The collector-side noise model (estimators, window, RR mechanism).
+    pub fn model(&self) -> &NoiseModel {
+        &self.model
+    }
+
+    /// Runs the full simulation: boot, stream, collect, estimate, audit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-boot and mechanism-construction failures. Devices
+    /// excluded by the self-test or dropped mid-stream are *not* errors —
+    /// they are the fail-safe path working as designed, and are reported in
+    /// the outcome.
+    pub fn run(&self) -> Result<FleetOutcome, FleetError> {
+        let cfg = &self.cfg;
+        let truth = GroundTruth::prepare(
+            &DatasetSpec {
+                entries: cfg.devices,
+                ..cfg.spec.clone()
+            },
+            2f64.powi(-i32::from(cfg.eps_shift)),
+            cfg.seed,
+        )?;
+        let rr = self.model.rr()?;
+
+        // Simulate in fixed-size chunks; par_map returns chunk results in
+        // chunk order regardless of schedule.
+        let chunk_starts: Vec<u32> = (0..cfg.devices as u32).step_by(cfg.chunk).collect();
+        let chunk_results: Vec<Result<ChunkResult, FleetError>> =
+            ulp_par::par_map(&chunk_starts, |&start| {
+                let end = (start as usize + cfg.chunk).min(cfg.devices) as u32;
+                self.simulate_chunk(start, end, &truth.codes_k, rr)
+            });
+
+        // Stream epochs through the collector, fold ledgers chunk-major.
+        let mut collector = Collector::new(
+            cfg.shards,
+            &[
+                QueryConfig {
+                    id: VALUE_QUERY,
+                    kind: QueryKind::Numeric {
+                        sketch_min_k: self.model.window_lo(),
+                        sketch_max_k: self.model.window_hi(),
+                    },
+                },
+                QueryConfig {
+                    id: RR_QUERY,
+                    kind: QueryKind::RrBit,
+                },
+            ],
+        );
+        let mut chunks = Vec::with_capacity(chunk_results.len());
+        for r in chunk_results {
+            chunks.push(r?);
+        }
+        let mut ingest = IngestStats::default();
+        for epoch in 0..cfg.epochs as usize {
+            let _span = EPOCH_SPAN.enter();
+            for chunk in &chunks {
+                let stats = collector.ingest_frames(&chunk.frames[epoch]);
+                ingest.accepted += stats.accepted;
+                ingest.rejected += stats.rejected;
+            }
+        }
+
+        let mut fleet_ledger = BudgetLedger::new();
+        let mut accountant = CompositionLedger::new();
+        let mut excluded: Vec<u32> = Vec::new();
+        let mut dropped = 0usize;
+        for chunk in &chunks {
+            fleet_ledger.merge(&chunk.ledger);
+            for &c in &chunk.charges {
+                accountant.record(c);
+            }
+            excluded.extend_from_slice(&chunk.excluded);
+            dropped += chunk.dropped.len();
+        }
+        let audit_ok = fleet_ledger.audit(&accountant).is_ok();
+        DEVICES.add(cfg.devices as u64);
+        EXCLUDED.record_always(excluded.len() as u64);
+
+        // Included-population ground truth: exclusion happens before any
+        // value-dependent computation, so this is an unbiased subsample.
+        let excluded_set: std::collections::HashSet<u32> = excluded.iter().copied().collect();
+        let included: Vec<i64> = truth
+            .codes_k
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !excluded_set.contains(&(*i as u32)))
+            .map(|(_, &k)| k)
+            .collect();
+        let n = included.len().max(1) as f64;
+        let truth_mean = included.iter().map(|&k| k as f64).sum::<f64>() / n;
+        let truth_variance = included
+            .iter()
+            .map(|&k| (k as f64 - truth_mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let truth_median = {
+            let mut sorted = included.clone();
+            sorted.sort_unstable();
+            sorted
+                .get(sorted.len().saturating_sub(1) / 2)
+                .map_or(f64::NAN, |&k| k as f64)
+        };
+        let truth_fraction = included
+            .iter()
+            .filter(|&&k| k >= cfg.threshold_code)
+            .count() as f64
+            / n;
+
+        let values = collector.totals(VALUE_QUERY);
+        let bits = collector.totals(RR_QUERY);
+        Ok(FleetOutcome {
+            devices_simulated: cfg.devices,
+            devices_excluded: excluded.len(),
+            devices_dropped: dropped,
+            ingest,
+            mean: self.model.mean(&values),
+            variance: self.model.variance(&values),
+            median: self.model.median(&values),
+            rr_frequency: self.model.rr_frequency(&bits)?,
+            rr_count: self.model.rr_count(&bits)?,
+            truth_mean,
+            truth_variance,
+            truth_median,
+            truth_fraction,
+            ledger_total: fleet_ledger.total(),
+            ledger_entries: fleet_ledger.len(),
+            audit_ok,
+            n_th_k: self.model.n_th_k(),
+        })
+    }
+
+    /// Simulates devices `[start, end)`: boot each through the hardware
+    /// command sequence and emit its per-epoch wire frames.
+    fn simulate_chunk(
+        &self,
+        start: u32,
+        end: u32,
+        codes_k: &[i64],
+        rr: RandomizedResponse,
+    ) -> Result<ChunkResult, FleetError> {
+        let cfg = &self.cfg;
+        let epochs = cfg.epochs as usize;
+        let mut out = ChunkResult {
+            frames: vec![Vec::new(); epochs],
+            ledger: BudgetLedger::new(),
+            charges: Vec::new(),
+            excluded: Vec::new(),
+            dropped: Vec::new(),
+        };
+        for id in start..end {
+            let x_code = codes_k[id as usize];
+            let faulty =
+                stream_seed(cfg.seed, &[u64::from(id), 7]) % 1000 < u64::from(cfg.faulty_per_mille);
+            let urng = if faulty {
+                FleetUrng::Faulty(CorrelatedBits::new(
+                    Taus88::from_seed(stream_seed(cfg.seed, &[u64::from(id), 1])),
+                    1,
+                    230,
+                ))
+            } else {
+                FleetUrng::Healthy(Taus88::from_seed(stream_seed(
+                    cfg.seed,
+                    &[u64::from(id), 0],
+                )))
+            };
+            let mut dev = DpBox::with_urng(
+                DpBoxConfig {
+                    word_bits: cfg.word_bits,
+                    frac_bits: 0,
+                    bu: cfg.bu,
+                    cordic_iterations: 24,
+                    segment_multiples: cfg.multiples.clone(),
+                    seed: 0, // ignored: the URNG is caller-supplied
+                },
+                urng,
+            )?;
+            // Power-on self-test: a short APT window keeps the startup
+            // draw cheap while the lag-correlation test still catches the
+            // wired fault deterministically.
+            dev.set_health_config(
+                HealthConfig::new(40, 64, 4).map_err(|e| FleetError::Device(DpBoxError::Rng(e)))?,
+            );
+            dev.issue(Command::ResetHealth, 0)?;
+            if dev.phase() == Phase::HealthFault {
+                out.excluded.push(id);
+                continue;
+            }
+            // Initialization phase: budget, then freeze into waiting.
+            dev.issue(Command::SetEpsilon, cfg.budget_raw)?;
+            dev.issue(Command::StartNoising, 0)?;
+            // Waiting phase: per-reading privacy level, range, mode.
+            dev.issue(Command::SetEpsilon, i64::from(cfg.eps_shift))?;
+            dev.issue(Command::SetSensorRangeLower, 0)?;
+            dev.issue(Command::SetSensorRangeUpper, self.max_code)?;
+            dev.issue(Command::SetThreshold, 0)?; // resampling → thresholding
+            let mut rr_rng = Taus88::from_seed(stream_seed(cfg.seed, &[u64::from(id), 2]));
+            let above = x_code >= cfg.threshold_code;
+            for epoch in 0..epochs {
+                match dev.noise_value(x_code) {
+                    Ok((y, _cycles)) => {
+                        Report {
+                            device: id,
+                            query: VALUE_QUERY,
+                            epoch: epoch as u32,
+                            payload: Payload::Value(y as i32),
+                        }
+                        .encode_into(&mut out.frames[epoch]);
+                    }
+                    // Fail-safe paths (runtime health trip, budget halt):
+                    // the device stops reporting; the fleet records it.
+                    Err(DpBoxError::UrngHealthFault(_)) | Err(DpBoxError::BudgetExhausted) => {
+                        out.dropped.push(id);
+                        break;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+                Report {
+                    device: id,
+                    query: RR_QUERY,
+                    epoch: epoch as u32,
+                    payload: Payload::RrBit(rr.privatize(above, &mut rr_rng)),
+                }
+                .encode_into(&mut out.frames[epoch]);
+            }
+            out.charges.extend(dev.accountant().losses());
+            out.ledger.merge(dev.ledger());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(devices: usize) -> FleetConfig {
+        FleetConfig {
+            chunk: 64,
+            ..FleetConfig::paper_default(devices, 2, 99)
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_fleets() {
+        for (mutate, msg) in [
+            (
+                Box::new(|c: &mut FleetConfig| c.devices = 0) as Box<dyn Fn(&mut FleetConfig)>,
+                "population",
+            ),
+            (Box::new(|c: &mut FleetConfig| c.epochs = 0), "epoch"),
+            (Box::new(|c: &mut FleetConfig| c.shards = 0), "shard"),
+            (Box::new(|c: &mut FleetConfig| c.chunk = 0), "chunk"),
+            (
+                Box::new(|c: &mut FleetConfig| c.threshold_code = 1 << 12),
+                "threshold",
+            ),
+        ] {
+            let mut cfg = small_cfg(10);
+            mutate(&mut cfg);
+            // `expect_err` needs `FleetDriver: Debug`, which it doesn't carry.
+            let Err(err) = FleetDriver::new(cfg).map(|_| ()) else {
+                panic!("expected a config error mentioning {msg:?}");
+            };
+            assert!(err.to_string().contains(msg), "{err} missing {msg:?}");
+        }
+    }
+
+    #[test]
+    fn small_fleet_runs_audits_and_reports() {
+        let driver = FleetDriver::new(small_cfg(200)).unwrap();
+        let out = driver.run().unwrap();
+        assert_eq!(out.devices_simulated, 200);
+        assert_eq!(out.devices_dropped, 0);
+        assert!(out.audit_ok, "fleet ledger must audit clean");
+        assert_eq!(out.ingest.rejected, 0);
+        // Every included device reports one value + one bit per epoch.
+        let included = 200 - out.devices_excluded as u64;
+        assert_eq!(out.ingest.accepted, included * 2 * 2);
+        assert_eq!(out.ledger_entries as u64, included * 2);
+        let mean = out.mean.unwrap();
+        assert!(mean.value.is_finite() && mean.stderr > 0.0);
+        assert!(out.rr_frequency.unwrap().value >= 0.0);
+        assert!(out.median.is_some() && out.variance.is_some());
+    }
+
+    #[test]
+    fn faulty_devices_are_excluded_before_reporting() {
+        // Every device faulty: the self-test must exclude the whole fleet.
+        let cfg = FleetConfig {
+            faulty_per_mille: 1000,
+            ..small_cfg(50)
+        };
+        let out = FleetDriver::new(cfg).unwrap().run().unwrap();
+        assert_eq!(out.devices_excluded, 50);
+        assert_eq!(out.ingest.accepted, 0);
+        assert_eq!(out.ledger_entries, 0);
+        assert!(out.mean.is_none());
+    }
+
+    #[test]
+    fn outcome_is_identical_at_any_thread_and_shard_count() {
+        let base = FleetDriver::new(small_cfg(300)).unwrap().run().unwrap();
+        let resharded = FleetDriver::new(FleetConfig {
+            shards: 7,
+            chunk: 17,
+            ..small_cfg(300)
+        })
+        .unwrap()
+        .run()
+        .unwrap();
+        // Different shard/chunk partitions, same reports: every estimate
+        // matches exactly.
+        assert_eq!(base.mean, resharded.mean);
+        assert_eq!(base.variance, resharded.variance);
+        assert_eq!(base.median, resharded.median);
+        assert_eq!(base.rr_frequency, resharded.rr_frequency);
+        assert_eq!(base.ledger_total, resharded.ledger_total);
+        assert_eq!(base.devices_excluded, resharded.devices_excluded);
+    }
+}

@@ -1,0 +1,47 @@
+//! # ulp-fleet — population-scale LDP aggregation for DP-Box devices
+//!
+//! The paper's device model ([`dp_box`]) certifies what *one* ultra-low-power
+//! sensor may release; this crate builds the other half of the local-DP
+//! deployment story: millions of such devices reporting to an **untrusted
+//! collector** that must recover accurate population statistics from
+//! privatized, window-clamped, occasionally-corrupted reports.
+//!
+//! The pipeline, stage by stage:
+//!
+//! * [`wire`] — a compact versioned report frame (magic, version, device,
+//!   query, epoch, payload, checksum) with typed rejection of corrupt or
+//!   truncated frames;
+//! * [`collector`] — hash-sharded per-query moment accumulators plus an
+//!   exact grid quantile [`sketch`], ingesting report batches in parallel
+//!   with bit-identical totals at any thread or shard count;
+//! * [`estimator`] — debiased estimators (mean, variance, median, RR
+//!   frequency and count) built on the sampler's *exact* output PMF, each
+//!   returning an analytic standard error and, where proven, a
+//!   deterministic bias envelope;
+//! * [`driver`] — the simulated fleet: N full DP-Box devices (budget
+//!   ledgers, URNG health self-tests, fail-safe exclusion) streaming epochs
+//!   through a collector, with the per-device privacy ledgers folded into
+//!   one auditable fleet ledger;
+//! * [`sweep`] — the accuracy sweep gating `|estimate − truth|` against
+//!   `3·SE + bias_bound` across population sizes.
+//!
+//! Everything is deterministic by construction: device streams are
+//! [`ulp_rng::stream_seed`]-derived, parallelism partitions by data (never
+//! by schedule), and accumulator folds are exact integer arithmetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod driver;
+pub mod estimator;
+pub mod sketch;
+pub mod sweep;
+pub mod wire;
+
+pub use collector::{Collector, IngestStats, QueryConfig, QueryKind, QueryTotals};
+pub use driver::{FleetConfig, FleetDriver, FleetError, FleetOutcome, RR_QUERY, VALUE_QUERY};
+pub use estimator::{Estimate, NoiseModel};
+pub use sketch::GridSketch;
+pub use sweep::{fleet_sweep, render_sweep, FleetSweepRow, GateResult};
+pub use wire::{Payload, Report, WireError, FRAME_LEN, MAGIC, VERSION};

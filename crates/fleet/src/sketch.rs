@@ -1,0 +1,186 @@
+//! An exact streaming quantile sketch over the datapath grid.
+//!
+//! DP-Box outputs live on a small integer grid (the thresholding window is
+//! a few thousand codes wide), so the collector does not need an
+//! approximate mergeable sketch — a bounded histogram of `u64` counts *is*
+//! the exact empirical distribution, merges by elementwise addition
+//! (associative and commutative, hence byte-identical for any shard
+//! arrangement), and answers any quantile exactly.
+
+/// Exact quantile sketch: one counter per grid index in `[min_k, max_k]`,
+/// out-of-range observations clamped to the edge bins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridSketch {
+    min_k: i64,
+    max_k: i64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl GridSketch {
+    /// Creates an empty sketch over `[min_k, max_k]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is inverted or wider than 2²⁴ bins — fleet
+    /// sketches cover a device output window, not an arbitrary i64 range.
+    pub fn new(min_k: i64, max_k: i64) -> Self {
+        assert!(min_k <= max_k, "inverted sketch range [{min_k}, {max_k}]");
+        let bins = (max_k - min_k + 1) as u128;
+        assert!(bins <= 1 << 24, "sketch range too wide: {bins} bins");
+        GridSketch {
+            min_k,
+            max_k,
+            counts: vec![0; bins as usize],
+            total: 0,
+        }
+    }
+
+    /// Lowest tracked grid index.
+    pub fn min_k(&self) -> i64 {
+        self.min_k
+    }
+
+    /// Highest tracked grid index.
+    pub fn max_k(&self) -> i64 {
+        self.max_k
+    }
+
+    /// Observations recorded so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records one observation, clamping to the tracked range.
+    pub fn record(&mut self, k: i64) {
+        let idx = (k.clamp(self.min_k, self.max_k) - self.min_k) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Count recorded at grid index `k` (0 outside the range).
+    pub fn count(&self, k: i64) -> u64 {
+        if k < self.min_k || k > self.max_k {
+            return 0;
+        }
+        self.counts[(k - self.min_k) as usize]
+    }
+
+    /// Folds `other` into `self` by elementwise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sketches cover different ranges.
+    pub fn merge(&mut self, other: &GridSketch) {
+        assert!(
+            self.min_k == other.min_k && self.max_k == other.max_k,
+            "sketch range mismatch: [{}, {}] vs [{}, {}]",
+            self.min_k,
+            self.max_k,
+            other.min_k,
+            other.max_k
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The exact `q`-quantile: the smallest grid index whose cumulative
+    /// count reaches `⌈q·total⌉` (with a floor of one observation).
+    /// Returns `None` for an empty sketch.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q <= 1`.
+    pub fn quantile(&self, q: f64) -> Option<i64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(self.min_k + i as i64);
+            }
+        }
+        unreachable!("cumulative count reaches total")
+    }
+
+    /// Fraction of observations within `±w` grid units of `center` — the
+    /// empirical density mass the median standard error is derived from.
+    pub fn mass_within(&self, center: i64, w: i64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let lo = (center - w).clamp(self.min_k, self.max_k);
+        let hi = (center + w).clamp(self.min_k, self.max_k);
+        let sum: u64 = ((lo - self.min_k) as usize..=(hi - self.min_k) as usize)
+            .map(|i| self.counts[i])
+            .sum();
+        sum as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_exact_order_statistics() {
+        let mut s = GridSketch::new(0, 10);
+        for k in [5, 1, 9, 3, 5, 7, 5] {
+            s.record(k);
+        }
+        // Sorted: 1 3 5 5 5 7 9 — median is the 4th (rank ⌈0.5·7⌉ = 4).
+        assert_eq!(s.quantile(0.5), Some(5));
+        assert_eq!(s.quantile(1.0), Some(9));
+        assert_eq!(s.quantile(1e-9), Some(1));
+    }
+
+    #[test]
+    fn merge_equals_interleaved_recording() {
+        let mut all = GridSketch::new(-5, 5);
+        let mut a = GridSketch::new(-5, 5);
+        let mut b = GridSketch::new(-5, 5);
+        for (i, k) in [-5, 0, 3, 3, -2, 5, 1].iter().enumerate() {
+            all.record(*k);
+            if i % 2 == 0 { &mut a } else { &mut b }.record(*k);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn out_of_range_observations_clamp() {
+        let mut s = GridSketch::new(0, 4);
+        s.record(-100);
+        s.record(100);
+        assert_eq!(s.count(0), 1);
+        assert_eq!(s.count(4), 1);
+        assert_eq!(s.total(), 2);
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantile() {
+        assert_eq!(GridSketch::new(0, 1).quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "range mismatch")]
+    fn merging_mismatched_ranges_panics() {
+        GridSketch::new(0, 4).merge(&GridSketch::new(0, 5));
+    }
+
+    #[test]
+    fn mass_within_counts_the_window() {
+        let mut s = GridSketch::new(0, 10);
+        for k in 0..=10 {
+            s.record(k);
+        }
+        assert!((s.mass_within(5, 2) - 5.0 / 11.0).abs() < 1e-12);
+        assert_eq!(s.mass_within(0, 10), 1.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! The fleet accuracy sweep: estimates vs ground truth across populations.
+//!
+//! Runs the full simulated fleet at increasing population sizes and lines
+//! each debiased estimate up against the included-population ground truth,
+//! together with its *gate*: the mean, frequency, and count estimators
+//! carry analytic standard errors and deterministic bias envelopes, so
+//! `|estimate − truth| ≤ 3·SE + bias_bound` is a checkable soundness claim,
+//! not a vibe. Variance and median are reported for inspection but not
+//! gated (their envelopes are loose / not claimed — see
+//! [`NoiseModel`](crate::NoiseModel)).
+
+use ldp_eval::TextTable;
+
+use crate::driver::{FleetConfig, FleetDriver, FleetError};
+use crate::estimator::Estimate;
+
+/// One estimator's showing in a sweep row.
+#[derive(Debug, Clone, Copy)]
+pub struct GateResult {
+    /// The estimate (value, SE, bias envelope).
+    pub estimate: Estimate,
+    /// The matching ground truth.
+    pub truth: f64,
+    /// `|estimate − truth|`.
+    pub abs_err: f64,
+    /// Whether the error is within `3·SE + bias_bound`.
+    pub within_gate: bool,
+}
+
+impl GateResult {
+    /// Lines an estimate up against its ground truth and evaluates the
+    /// `3·SE + bias_bound` gate.
+    pub fn new(estimate: Estimate, truth: f64) -> Self {
+        let abs_err = (estimate.value - truth).abs();
+        GateResult {
+            estimate,
+            truth,
+            abs_err,
+            within_gate: abs_err <= 3.0 * estimate.stderr + estimate.bias_bound,
+        }
+    }
+}
+
+/// One population size's fleet-vs-truth comparison.
+#[derive(Debug, Clone)]
+pub struct FleetSweepRow {
+    /// Population simulated.
+    pub devices: usize,
+    /// Devices the power-on self-test excluded.
+    pub excluded: usize,
+    /// Reports the collector accepted.
+    pub reports: u64,
+    /// Mean estimator vs truth (gated).
+    pub mean: GateResult,
+    /// RR frequency estimator vs truth (gated).
+    pub frequency: GateResult,
+    /// RR count estimator vs truth (gated).
+    pub count: GateResult,
+    /// Variance estimate and truth (reported, not gated).
+    pub variance: Option<(Estimate, f64)>,
+    /// Median estimate and truth (reported, not gated).
+    pub median: Option<(Estimate, f64)>,
+    /// Whether the fleet ledger audited clean.
+    pub audit_ok: bool,
+}
+
+impl FleetSweepRow {
+    /// Whether every gated estimator landed within its bound and the
+    /// ledger audit passed.
+    pub fn all_gates_pass(&self) -> bool {
+        self.mean.within_gate
+            && self.frequency.within_gate
+            && self.count.within_gate
+            && self.audit_ok
+    }
+}
+
+/// Runs the fleet at each population in `populations` (sharing every other
+/// configuration field of `base`) and compares estimates to ground truth.
+///
+/// # Errors
+///
+/// [`FleetError`] from driver construction or a run; a fleet whose
+/// estimators return no estimate (e.g. the entire population excluded)
+/// surfaces as [`FleetError::Config`].
+pub fn fleet_sweep(
+    base: &FleetConfig,
+    populations: &[usize],
+) -> Result<Vec<FleetSweepRow>, FleetError> {
+    let mut rows = Vec::with_capacity(populations.len());
+    for &devices in populations {
+        let cfg = FleetConfig {
+            devices,
+            ..base.clone()
+        };
+        let out = FleetDriver::new(cfg)?.run()?;
+        let (mean, freq, cnt) = match (out.mean, out.rr_frequency, out.rr_count) {
+            (Some(m), Some(f), Some(c)) => (m, f, c),
+            _ => {
+                return Err(FleetError::Config(
+                    "population too small or fully excluded: no estimates",
+                ))
+            }
+        };
+        rows.push(FleetSweepRow {
+            devices,
+            excluded: out.devices_excluded,
+            reports: out.ingest.accepted,
+            mean: GateResult::new(mean, out.truth_mean),
+            frequency: GateResult::new(freq, out.truth_fraction),
+            count: GateResult::new(cnt, out.truth_fraction * cnt.n as f64),
+            variance: out.variance.map(|v| (v, out.truth_variance)),
+            median: out.median.map(|m| (m, out.truth_median)),
+            audit_ok: out.audit_ok,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders sweep rows as a text table (the `bench_fleet` report body).
+pub fn render_sweep(rows: &[FleetSweepRow]) -> TextTable {
+    let mut table = TextTable::new(vec![
+        "devices",
+        "excluded",
+        "reports",
+        "stat",
+        "estimate",
+        "truth",
+        "|err|",
+        "3*SE+bias",
+        "gate",
+    ]);
+    for row in rows {
+        let mut stat = |name: &str, g: &GateResult, gated: bool| {
+            table.row(vec![
+                row.devices.to_string(),
+                row.excluded.to_string(),
+                row.reports.to_string(),
+                name.to_string(),
+                format!("{:.4}", g.estimate.value),
+                format!("{:.4}", g.truth),
+                format!("{:.4}", g.abs_err),
+                format!("{:.4}", 3.0 * g.estimate.stderr + g.estimate.bias_bound),
+                if !gated {
+                    "-".to_string()
+                } else if g.within_gate {
+                    "pass".to_string()
+                } else {
+                    "FAIL".to_string()
+                },
+            ]);
+        };
+        stat("mean", &row.mean, true);
+        stat("frequency", &row.frequency, true);
+        stat("count", &row.count, true);
+        if let Some((est, truth)) = row.variance {
+            stat("variance", &GateResult::new(est, truth), false);
+        }
+        if let Some((est, truth)) = row.median {
+            stat("median", &GateResult::new(est, truth), false);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_gates_pass_at_modest_populations() {
+        let base = FleetConfig {
+            chunk: 256,
+            ..FleetConfig::paper_default(0, 2, 424)
+        };
+        let rows = fleet_sweep(&base, &[500, 2000]).unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(
+                row.all_gates_pass(),
+                "gates failed at n = {}: mean err {:.3} (bound {:.3}), freq err {:.4} (bound {:.4})",
+                row.devices,
+                row.mean.abs_err,
+                3.0 * row.mean.estimate.stderr + row.mean.estimate.bias_bound,
+                row.frequency.abs_err,
+                3.0 * row.frequency.estimate.stderr + row.frequency.estimate.bias_bound,
+            );
+        }
+        // SE shrinks with population.
+        assert!(rows[1].mean.estimate.stderr < rows[0].mean.estimate.stderr);
+    }
+
+    #[test]
+    fn render_produces_one_block_per_statistic() {
+        let base = FleetConfig {
+            chunk: 128,
+            ..FleetConfig::paper_default(0, 1, 5)
+        };
+        let rows = fleet_sweep(&base, &[300]).unwrap();
+        let table = render_sweep(&rows);
+        assert_eq!(table.len(), 5); // mean, frequency, count, variance, median
+        let text = table.to_string();
+        assert!(text.contains("mean") && text.contains("median"));
+    }
+}

@@ -134,6 +134,40 @@ impl BudgetLedger {
         });
     }
 
+    /// Folds another ledger into this one by replaying its charges, in
+    /// order, through [`BudgetLedger::record`].
+    ///
+    /// This is the fleet-level aggregation path: per-device ledgers merge
+    /// into one fleet ledger whose running total is the plain sequential
+    /// `f64` sum of every charge in fold order. An accountant kept in
+    /// lockstep — a [`CompositionLedger`] extended with the same charges in
+    /// the same order — therefore still audits **bitwise** clean (including
+    /// the `−0.0` sum-identity normalization for all-empty folds): merging
+    /// never loses the accountant equivalence guarantee.
+    ///
+    /// ```
+    /// use ldp_core::{BudgetLedger, CompositionLedger};
+    ///
+    /// let mut dev_a = BudgetLedger::new();
+    /// let mut dev_b = BudgetLedger::new();
+    /// dev_a.record(0.5);
+    /// dev_b.record(0.25);
+    /// dev_b.record(0.1);
+    ///
+    /// let mut fleet = BudgetLedger::new();
+    /// let mut accountant = CompositionLedger::new();
+    /// for dev in [&dev_a, &dev_b] {
+    ///     fleet.merge(dev);
+    ///     accountant.extend(dev.entries().iter().map(|e| e.charge));
+    /// }
+    /// fleet.audit(&accountant).expect("fold preserves audit equivalence");
+    /// ```
+    pub fn merge(&mut self, other: &BudgetLedger) {
+        for e in &other.entries {
+            self.record(e.charge);
+        }
+    }
+
     /// The audited entries, in charge order.
     pub fn entries(&self) -> &[LedgerEntry] {
         &self.entries
@@ -203,6 +237,17 @@ impl BudgetLedger {
     }
 }
 
+impl Extend<f64> for BudgetLedger {
+    /// Records each charge in iteration order (see [`BudgetLedger::record`];
+    /// the same panics apply). Mirrors `Extend` on [`CompositionLedger`] so
+    /// the two fleet-level records can be fed identically.
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for charge in iter {
+            self.record(charge);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +309,64 @@ mod tests {
     #[should_panic(expected = "privacy charge must be finite")]
     fn nan_charge_panics() {
         BudgetLedger::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn merge_replays_charges_and_preserves_bitwise_audit() {
+        // Three "device" ledgers with charges chosen to exercise f64
+        // rounding (0.1 + 0.2 != 0.3 exactly).
+        let device_charges: [&[f64]; 3] = [&[0.1, 0.2], &[], &[0.3, 1e-9, 5.0]];
+        let mut fleet = BudgetLedger::new();
+        let mut acct = CompositionLedger::new();
+        let mut sequential = BudgetLedger::new();
+        for charges in device_charges {
+            let mut dev = BudgetLedger::new();
+            for &c in charges {
+                dev.record(c);
+                sequential.record(c);
+            }
+            fleet.merge(&dev);
+            acct.extend(dev.entries().iter().map(|e| e.charge));
+        }
+        // The fold is indistinguishable from recording sequentially...
+        assert_eq!(fleet, sequential);
+        assert_eq!(fleet.len(), 5);
+        // ...and still audits bitwise against the lockstep accountant.
+        fleet.audit(&acct).unwrap();
+        assert_eq!(fleet.total().to_bits(), (acct.total() + 0.0).to_bits());
+        // Entries were renumbered into the fleet's query space.
+        let queries: Vec<u64> = fleet.entries().iter().map(|e| e.query).collect();
+        assert_eq!(queries, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn merging_only_empty_ledgers_keeps_the_zero_identity_audit() {
+        let mut fleet = BudgetLedger::new();
+        let acct = CompositionLedger::new();
+        for _ in 0..3 {
+            fleet.merge(&BudgetLedger::new());
+        }
+        // +0.0 running total vs the accountant's −0.0 sum identity: the
+        // normalization in `audit` must keep this bitwise clean.
+        fleet.audit(&acct).unwrap();
+        assert!(fleet.is_empty());
+    }
+
+    #[test]
+    fn extend_matches_record_loop() {
+        let mut a = BudgetLedger::new();
+        let mut b = BudgetLedger::new();
+        a.extend([0.25, 0.5, 0.125]);
+        for c in [0.25, 0.5, 0.125] {
+            b.record(c);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "privacy charge must be finite")]
+    fn extend_rejects_garbage_like_record() {
+        BudgetLedger::new().extend([0.5, f64::NEG_INFINITY]);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   (synthetic regenerations) and the evaluation queries;
 //! * [`eval`] ([`ldp_eval`]) — the harness that regenerates every table and
 //!   figure;
+//! * [`fleet`] ([`ulp_fleet`]) — the population-scale aggregation pipeline:
+//!   report wire protocol, sharded collector, debiased estimators, and the
+//!   simulated-fleet driver;
 //! * [`par`] ([`ulp_par`]) — the vendored scoped thread pool the evaluation
 //!   sweeps fan out on (`ULP_PAR_THREADS` overrides the width; results are
 //!   byte-identical at any thread count).
@@ -66,5 +69,6 @@ pub use ldp_core as ldp;
 pub use ldp_datasets as datasets;
 pub use ldp_eval as eval;
 pub use ulp_fixed as fixed;
+pub use ulp_fleet as fleet;
 pub use ulp_par as par;
 pub use ulp_rng as rng;
