@@ -1,0 +1,640 @@
+//! Seeded, deterministic lossy-transport fault injection.
+//!
+//! The chaos transport sits between a reporting device and the collector
+//! and misbehaves on purpose: it drops, duplicates (by eating acks),
+//! reorders, bit-flips, truncates, and delays frames, each fault class at
+//! its own configured rate and in **correlated bursts** — real radio links
+//! fail in fades, not as i.i.d. coin flips.
+//!
+//! # Fault model
+//!
+//! Each `(device, class)` pair owns an independent two-state
+//! Gilbert–Elliott chain: in the *good* state faults are off; in the *bad*
+//! state the class fires. Transition probabilities are chosen so the
+//! stationary bad-state probability equals the configured `rate` and the
+//! mean bad-burst length equals `burst`. One transmission attempt steps
+//! every chain once; the first firing class in the fixed priority order
+//! `drop > corrupt > truncate > delay > ack-loss > reorder` decides the
+//! attempt's fate:
+//!
+//! | class    | delivered?                  | acked? |
+//! |----------|-----------------------------|--------|
+//! | drop     | no                          | no     |
+//! | corrupt  | yes, with bit flips         | no     |
+//! | truncate | yes, first `L` bytes only   | no     |
+//! | delay    | yes, `1..=3` rounds late    | no¹    |
+//! | ack-loss | yes, intact                 | no     |
+//! | reorder  | yes, displaced in its round | yes    |
+//! | none     | yes, intact                 | yes    |
+//!
+//! ¹ the sender's retry timer expires before the late ack arrives, so a
+//! delayed delivery behaves like an ack loss on the sending side — the
+//! retransmission then lands *next to* the delayed original, which is
+//! exactly the duplicated-and-reordered input the collector's dedup window
+//! must fold away.
+//!
+//! # Determinism
+//!
+//! Every chain is seeded by [`ulp_rng::stream_seed`] from
+//! `(chaos seed, device id, class index)`, and fault details (flip masks,
+//! truncation lengths, delays) come from a per-device detail stream that
+//! advances only on that device's own faults. The fault pattern is
+//! therefore a pure function of `(chaos seed, device id, attempt index)` —
+//! independent of thread count, chunk partition, and every other device —
+//! which is what lets a chaos campaign assert byte-identical outcomes
+//! across schedules.
+
+use ulp_obs::Counter;
+use ulp_rng::{stream_seed, RandomBits, Taus88};
+
+use crate::wire::FRAME_LEN;
+
+/// Frames eaten whole by the transport.
+static DROPPED: Counter = Counter::new("fleet.chaos.dropped");
+/// Frames delivered with injected bit flips.
+static CORRUPTED: Counter = Counter::new("fleet.chaos.corrupted");
+/// Frames delivered with their tail cut off.
+static TRUNCATED: Counter = Counter::new("fleet.chaos.truncated");
+/// Frames delivered one or more rounds late.
+static DELAYED: Counter = Counter::new("fleet.chaos.delayed");
+/// Intact deliveries whose ack was eaten (forcing a retransmission).
+static ACK_LOST: Counter = Counter::new("fleet.chaos.ack_lost");
+/// Frames displaced within their delivery round.
+static REORDERED: Counter = Counter::new("fleet.chaos.reordered");
+
+/// The longest delivery delay the transport injects, in rounds.
+pub const MAX_DELAY_ROUNDS: u32 = 3;
+
+/// One fault class's behavior: stationary fault probability and mean
+/// burst length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultClass {
+    /// Stationary probability that an attempt hits this fault, in
+    /// `[0, 0.5]`.
+    pub rate: f64,
+    /// Mean length of a fault burst, in attempts (`>= 1`; `1` ≈ i.i.d.).
+    pub burst: f64,
+}
+
+impl FaultClass {
+    /// A disabled class.
+    pub const OFF: FaultClass = FaultClass {
+        rate: 0.0,
+        burst: 1.0,
+    };
+
+    /// An uncorrelated (burst length 1) class at `rate`.
+    pub fn flat(rate: f64) -> FaultClass {
+        FaultClass { rate, burst: 1.0 }
+    }
+
+    /// A bursty class: faults arrive in runs averaging `burst` attempts.
+    pub fn bursty(rate: f64, burst: f64) -> FaultClass {
+        FaultClass { rate, burst }
+    }
+
+    fn validate(&self, name: &'static str) -> Result<(), ChaosConfigError> {
+        if !(self.rate.is_finite() && (0.0..=0.5).contains(&self.rate)) {
+            return Err(ChaosConfigError {
+                class: name,
+                field: "rate",
+                expected: "a finite value in [0, 0.5]",
+            });
+        }
+        if !(self.burst.is_finite() && self.burst >= 1.0) {
+            return Err(ChaosConfigError {
+                class: name,
+                field: "burst",
+                expected: "a finite value >= 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A rejected [`ChaosConfig`] field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfigError {
+    /// The fault class at fault.
+    pub class: &'static str,
+    /// The offending field.
+    pub field: &'static str,
+    /// What would have been accepted.
+    pub expected: &'static str,
+}
+
+impl core::fmt::Display for ChaosConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "chaos config: {}.{} must be {}",
+            self.class, self.field, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ChaosConfigError {}
+
+/// The transport's full fault profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed every per-device chain and detail stream derives from.
+    pub seed: u64,
+    /// Frame loss.
+    pub drop: FaultClass,
+    /// Ack loss (intact delivery, sender retries anyway).
+    pub duplicate: FaultClass,
+    /// In-round displacement.
+    pub reorder: FaultClass,
+    /// In-flight bit flips.
+    pub corrupt: FaultClass,
+    /// In-flight tail truncation.
+    pub truncate: FaultClass,
+    /// Late delivery (`1..=`[`MAX_DELAY_ROUNDS`] rounds).
+    pub delay: FaultClass,
+}
+
+impl ChaosConfig {
+    /// A transport that never misbehaves (every class off).
+    pub fn quiet(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            drop: FaultClass::OFF,
+            duplicate: FaultClass::OFF,
+            reorder: FaultClass::OFF,
+            corrupt: FaultClass::OFF,
+            truncate: FaultClass::OFF,
+            delay: FaultClass::OFF,
+        }
+    }
+
+    /// Validates every class.
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosConfigError`] naming the first out-of-range field.
+    pub fn validate(&self) -> Result<(), ChaosConfigError> {
+        self.drop.validate("drop")?;
+        self.duplicate.validate("duplicate")?;
+        self.reorder.validate("reorder")?;
+        self.corrupt.validate("corrupt")?;
+        self.truncate.validate("truncate")?;
+        self.delay.validate("delay")?;
+        Ok(())
+    }
+
+    /// Whether every class is off (the transport is a perfect wire).
+    pub fn is_quiet(&self) -> bool {
+        [
+            self.drop,
+            self.duplicate,
+            self.reorder,
+            self.corrupt,
+            self.truncate,
+            self.delay,
+        ]
+        .iter()
+        .all(|c| c.rate == 0.0)
+    }
+}
+
+/// Which fault decided an attempt's fate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Frame eaten whole.
+    Drop,
+    /// Bit flips injected in flight.
+    Corrupt,
+    /// Tail cut off in flight.
+    Truncate,
+    /// Delivered late.
+    Delay,
+    /// Delivered intact, ack eaten.
+    AckLoss,
+    /// Delivered intact, displaced within its round.
+    Reorder,
+}
+
+/// What the collector receives from one attempt, if anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The bytes that arrive (possibly corrupted or shorter than
+    /// [`FRAME_LEN`]).
+    pub bytes: Vec<u8>,
+    /// Rounds after the send round the bytes arrive (0 = same round).
+    pub delay_rounds: u32,
+    /// Whether the frame lands displaced within its arrival round.
+    pub displaced: bool,
+}
+
+/// Outcome of one transmission attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attempt {
+    /// What arrives at the collector (`None` for a dropped frame).
+    pub delivery: Option<Delivery>,
+    /// Whether the sender sees an ack in time (no ⇒ it will retry).
+    pub acked: bool,
+    /// The fault that fired, if any.
+    pub fault: Option<FaultKind>,
+}
+
+/// A two-state Gilbert–Elliott burst chain. `p(good→bad)` and
+/// `p(bad→good)` are fixed so the stationary bad probability is `rate`
+/// and the mean bad-run length is `burst`.
+#[derive(Debug, Clone)]
+struct GilbertElliott {
+    bad: bool,
+    /// `p(good→bad)` as a u32 threshold (fire if `draw < threshold`).
+    enter: u32,
+    /// `p(bad→good)` as a u32 threshold.
+    leave: u32,
+    rng: Taus88,
+}
+
+fn prob_to_threshold(p: f64) -> u32 {
+    // Round-to-nearest keeps tiny rates representable; 2^32 saturates.
+    let scaled = (p * 4_294_967_296.0).round();
+    if scaled >= 4_294_967_295.0 {
+        u32::MAX
+    } else {
+        scaled as u32
+    }
+}
+
+impl GilbertElliott {
+    fn new(class: FaultClass, seed: u64) -> GilbertElliott {
+        // Stationary P(bad) = enter / (enter + leave) = rate with
+        // leave = 1/burst and enter = rate / (burst · (1 − rate)).
+        // rate ≤ 0.5 and burst ≥ 1 keep enter ≤ 1.
+        let leave = 1.0 / class.burst;
+        let enter = if class.rate == 0.0 {
+            0.0
+        } else {
+            class.rate / (class.burst * (1.0 - class.rate))
+        };
+        let mut rng = Taus88::from_seed(seed);
+        // Start from the stationary distribution so early attempts see the
+        // configured rate, not a warm-up transient.
+        let bad = class.rate > 0.0
+            && u64::from(rng.next_u32()) < u64::from(prob_to_threshold(class.rate));
+        GilbertElliott {
+            bad,
+            enter: prob_to_threshold(enter),
+            leave: prob_to_threshold(leave),
+            rng,
+        }
+    }
+
+    /// Advances one attempt; returns whether the chain is (now) bad.
+    fn step(&mut self) -> bool {
+        let draw = self.rng.next_u32();
+        let threshold = if self.bad { self.leave } else { self.enter };
+        if u64::from(draw) < u64::from(threshold) {
+            self.bad = !self.bad;
+        }
+        self.bad
+    }
+}
+
+// Class indices for stream seeding (7 = the detail stream).
+const CLASS_DROP: u64 = 0;
+const CLASS_DUPLICATE: u64 = 1;
+const CLASS_REORDER: u64 = 2;
+const CLASS_CORRUPT: u64 = 3;
+const CLASS_TRUNCATE: u64 = 4;
+const CLASS_DELAY: u64 = 5;
+const CLASS_DETAIL: u64 = 7;
+
+/// The chaos transport as seen by one device: its six burst chains plus
+/// the detail stream that draws flip masks, cut lengths, and delays.
+#[derive(Debug, Clone)]
+pub struct DeviceChaos {
+    drop: GilbertElliott,
+    corrupt: GilbertElliott,
+    truncate: GilbertElliott,
+    delay: GilbertElliott,
+    ack_loss: GilbertElliott,
+    reorder: GilbertElliott,
+    detail: Taus88,
+}
+
+impl DeviceChaos {
+    /// Builds the transport state for `device` under `cfg`. The result is
+    /// a pure function of `(cfg.seed, device)`.
+    pub fn new(cfg: &ChaosConfig, device: u32) -> DeviceChaos {
+        let chain = |class: FaultClass, idx: u64| {
+            GilbertElliott::new(class, stream_seed(cfg.seed, &[u64::from(device), idx]))
+        };
+        DeviceChaos {
+            drop: chain(cfg.drop, CLASS_DROP),
+            corrupt: chain(cfg.corrupt, CLASS_CORRUPT),
+            truncate: chain(cfg.truncate, CLASS_TRUNCATE),
+            delay: chain(cfg.delay, CLASS_DELAY),
+            ack_loss: chain(cfg.duplicate, CLASS_DUPLICATE),
+            reorder: chain(cfg.reorder, CLASS_REORDER),
+            detail: Taus88::from_seed(stream_seed(cfg.seed, &[u64::from(device), CLASS_DETAIL])),
+        }
+    }
+
+    /// Passes one frame through the transport, advancing every chain by
+    /// one attempt.
+    pub fn attempt(&mut self, frame: &[u8; FRAME_LEN]) -> Attempt {
+        // Every chain steps every attempt — fault priority must not
+        // distort the other classes' burst processes.
+        let drop = self.drop.step();
+        let corrupt = self.corrupt.step();
+        let truncate = self.truncate.step();
+        let delay = self.delay.step();
+        let ack_loss = self.ack_loss.step();
+        let reorder = self.reorder.step();
+
+        if drop {
+            DROPPED.inc();
+            return Attempt {
+                delivery: None,
+                acked: false,
+                fault: Some(FaultKind::Drop),
+            };
+        }
+        if corrupt {
+            CORRUPTED.inc();
+            // 1–3 bit flips at detail-drawn positions.
+            let mut bytes = frame.to_vec();
+            let flips = 1 + (self.detail.next_u32() % 3) as usize;
+            for _ in 0..flips {
+                let at = (self.detail.next_u32() as usize) % FRAME_LEN;
+                let bit = self.detail.next_u32() % 8;
+                bytes[at] ^= 1 << bit;
+            }
+            return Attempt {
+                delivery: Some(Delivery {
+                    bytes,
+                    delay_rounds: 0,
+                    displaced: false,
+                }),
+                acked: false,
+                fault: Some(FaultKind::Corrupt),
+            };
+        }
+        if truncate {
+            TRUNCATED.inc();
+            let keep = 1 + (self.detail.next_u32() as usize) % (FRAME_LEN - 1);
+            return Attempt {
+                delivery: Some(Delivery {
+                    bytes: frame[..keep].to_vec(),
+                    delay_rounds: 0,
+                    displaced: false,
+                }),
+                acked: false,
+                fault: Some(FaultKind::Truncate),
+            };
+        }
+        if delay {
+            DELAYED.inc();
+            let rounds = 1 + self.detail.next_u32() % MAX_DELAY_ROUNDS;
+            return Attempt {
+                delivery: Some(Delivery {
+                    bytes: frame.to_vec(),
+                    delay_rounds: rounds,
+                    displaced: false,
+                }),
+                acked: false,
+                fault: Some(FaultKind::Delay),
+            };
+        }
+        if ack_loss {
+            ACK_LOST.inc();
+            return Attempt {
+                delivery: Some(Delivery {
+                    bytes: frame.to_vec(),
+                    delay_rounds: 0,
+                    displaced: false,
+                }),
+                acked: false,
+                fault: Some(FaultKind::AckLoss),
+            };
+        }
+        if reorder {
+            REORDERED.inc();
+            return Attempt {
+                delivery: Some(Delivery {
+                    bytes: frame.to_vec(),
+                    delay_rounds: 0,
+                    displaced: true,
+                }),
+                acked: true,
+                fault: Some(FaultKind::Reorder),
+            };
+        }
+        Attempt {
+            delivery: Some(Delivery {
+                bytes: frame.to_vec(),
+                delay_rounds: 0,
+                displaced: false,
+            }),
+            acked: true,
+            fault: None,
+        }
+    }
+}
+
+/// Environment variable overriding a chaos campaign's master seed.
+pub const CHAOS_SEED_ENV: &str = "ULP_CHAOS_SEED";
+
+/// Reads [`CHAOS_SEED_ENV`]: `Ok(None)` if unset, the parsed seed if a
+/// valid `u64`, and a typed error otherwise — a misspelled seed must never
+/// silently fall back to a default campaign.
+///
+/// # Errors
+///
+/// [`ulp_obs::EnvError`] for a set-but-malformed value.
+pub fn chaos_seed_from_env() -> Result<Option<u64>, ulp_obs::EnvError> {
+    match std::env::var(CHAOS_SEED_ENV) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(os)) => Err(ulp_obs::EnvError {
+            var: CHAOS_SEED_ENV,
+            value: os.to_string_lossy().into_owned(),
+            expected: "an unsigned 64-bit integer",
+        }),
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(seed) => Ok(Some(seed)),
+            Err(_) => Err(ulp_obs::EnvError {
+                var: CHAOS_SEED_ENV,
+                value: v,
+                expected: "an unsigned 64-bit integer",
+            }),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{Payload, Report};
+
+    fn frame() -> [u8; FRAME_LEN] {
+        Report {
+            device: 1,
+            query: 0,
+            epoch: 0,
+            payload: Payload::Value(42),
+        }
+        .encode()
+    }
+
+    #[test]
+    fn quiet_transport_is_a_perfect_wire() {
+        let cfg = ChaosConfig::quiet(9);
+        assert!(cfg.is_quiet());
+        let mut chaos = DeviceChaos::new(&cfg, 3);
+        for _ in 0..100 {
+            let a = chaos.attempt(&frame());
+            assert!(a.acked && a.fault.is_none());
+            assert_eq!(a.delivery.unwrap().bytes, frame().to_vec());
+        }
+    }
+
+    #[test]
+    fn fault_pattern_is_a_pure_function_of_seed_and_device() {
+        let cfg = ChaosConfig {
+            drop: FaultClass::bursty(0.1, 4.0),
+            corrupt: FaultClass::flat(0.05),
+            duplicate: FaultClass::bursty(0.1, 2.0),
+            delay: FaultClass::flat(0.05),
+            ..ChaosConfig::quiet(1234)
+        };
+        let run = || -> Vec<Attempt> {
+            let mut chaos = DeviceChaos::new(&cfg, 77);
+            (0..500).map(|_| chaos.attempt(&frame())).collect()
+        };
+        assert_eq!(run(), run());
+        // A different device sees an *independent* pattern.
+        let mut other = DeviceChaos::new(&cfg, 78);
+        let other_run: Vec<Attempt> = (0..500).map(|_| other.attempt(&frame())).collect();
+        assert_ne!(run(), other_run);
+    }
+
+    #[test]
+    fn stationary_rate_is_respected_per_class() {
+        // Aggregate over many devices so chain independence averages out.
+        let cfg = ChaosConfig {
+            drop: FaultClass::bursty(0.2, 4.0),
+            ..ChaosConfig::quiet(5)
+        };
+        let mut dropped = 0u64;
+        let mut total = 0u64;
+        for device in 0..200u32 {
+            let mut chaos = DeviceChaos::new(&cfg, device);
+            for _ in 0..200 {
+                total += 1;
+                if chaos.attempt(&frame()).fault == Some(FaultKind::Drop) {
+                    dropped += 1;
+                }
+            }
+        }
+        let observed = dropped as f64 / total as f64;
+        assert!(
+            (observed - 0.2).abs() < 0.02,
+            "drop rate {observed:.3} too far from configured 0.2"
+        );
+    }
+
+    #[test]
+    fn bursts_have_the_configured_mean_length() {
+        let cfg = ChaosConfig {
+            drop: FaultClass::bursty(0.2, 5.0),
+            ..ChaosConfig::quiet(11)
+        };
+        let mut runs = Vec::new();
+        for device in 0..100u32 {
+            let mut chaos = DeviceChaos::new(&cfg, device);
+            let mut current = 0u64;
+            for _ in 0..500 {
+                if chaos.attempt(&frame()).fault == Some(FaultKind::Drop) {
+                    current += 1;
+                } else if current > 0 {
+                    runs.push(current);
+                    current = 0;
+                }
+            }
+        }
+        let mean = runs.iter().sum::<u64>() as f64 / runs.len() as f64;
+        assert!(
+            (mean - 5.0).abs() < 1.0,
+            "mean burst {mean:.2} too far from configured 5"
+        );
+    }
+
+    #[test]
+    fn corrupted_deliveries_differ_and_truncated_ones_are_short() {
+        let cfg = ChaosConfig {
+            corrupt: FaultClass::flat(0.5),
+            truncate: FaultClass::flat(0.5),
+            ..ChaosConfig::quiet(21)
+        };
+        let mut chaos = DeviceChaos::new(&cfg, 1);
+        let (mut corrupted, mut truncated) = (0, 0);
+        for _ in 0..400 {
+            let a = chaos.attempt(&frame());
+            match a.fault {
+                Some(FaultKind::Corrupt) => {
+                    corrupted += 1;
+                    let d = a.delivery.unwrap();
+                    assert_eq!(d.bytes.len(), FRAME_LEN);
+                    assert_ne!(d.bytes, frame().to_vec());
+                }
+                Some(FaultKind::Truncate) => {
+                    truncated += 1;
+                    let d = a.delivery.unwrap();
+                    assert!((1..FRAME_LEN).contains(&d.bytes.len()));
+                }
+                _ => {}
+            }
+        }
+        assert!(corrupted > 50 && truncated > 20);
+    }
+
+    #[test]
+    fn delays_are_bounded_and_unacked() {
+        let cfg = ChaosConfig {
+            delay: FaultClass::flat(0.5),
+            ..ChaosConfig::quiet(31)
+        };
+        let mut chaos = DeviceChaos::new(&cfg, 1);
+        let mut seen = 0;
+        for _ in 0..200 {
+            let a = chaos.attempt(&frame());
+            if a.fault == Some(FaultKind::Delay) {
+                seen += 1;
+                assert!(!a.acked);
+                let d = a.delivery.unwrap();
+                assert!((1..=MAX_DELAY_ROUNDS).contains(&d.delay_rounds));
+                assert_eq!(d.bytes, frame().to_vec());
+            }
+        }
+        assert!(seen > 50);
+    }
+
+    #[test]
+    fn config_validation_rejects_out_of_range_classes() {
+        let mut cfg = ChaosConfig::quiet(1);
+        cfg.corrupt = FaultClass::flat(0.75);
+        let err = cfg.validate().unwrap_err();
+        assert_eq!((err.class, err.field), ("corrupt", "rate"));
+        cfg.corrupt = FaultClass::OFF;
+        cfg.delay = FaultClass::bursty(0.1, 0.5);
+        let err = cfg.validate().unwrap_err();
+        assert_eq!((err.class, err.field), ("delay", "burst"));
+        cfg.delay = FaultClass::OFF;
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn chaos_seed_env_parses_strictly() {
+        assert_eq!(super::CHAOS_SEED_ENV, "ULP_CHAOS_SEED");
+        // Parsing logic is exercised via the inner match on strings.
+        for (raw, ok) in [("42", true), (" 7 ", true), ("-1", false), ("abc", false)] {
+            assert_eq!(raw.trim().parse::<u64>().is_ok(), ok, "{raw:?}");
+        }
+    }
+}

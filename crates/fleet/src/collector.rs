@@ -1,19 +1,45 @@
-//! The sharded, batch-ingesting collector.
+//! The sharded, batch-ingesting, fault-tolerant collector.
 //!
 //! The collector is the untrusted aggregator of the LDP model: it sees only
 //! wire-encoded privatized reports and folds them into per-query moment
 //! accumulators (count, Σy, Σy², Σy³, Σy⁴, RR tally, exact quantile
 //! sketch). Estimators debias these aggregates downstream.
 //!
+//! Unlike a lab-bench pipeline, the ingest path assumes a *lossy* transport
+//! and *imperfect* senders:
+//!
+//! * **Stream resync** — a corrupt or truncated frame is counted and
+//!   skipped, scanning forward for the next magic byte whose checksum
+//!   verifies, instead of aborting the batch
+//!   (`fleet.wire.corrupt_frames` / `fleet.wire.resyncs`);
+//! * **Idempotent ingest** — a per-device, per-query dedup window (two
+//!   64-epoch blocks) folds duplicated and reordered frames to the totals
+//!   of the clean stream (`fleet.dedup.duplicates` / `fleet.dedup.stale`);
+//! * **Quarantine** — senders that repeatedly emit attributable protocol
+//!   violations (sequence drift, unknown kinds/queries, out-of-range RR
+//!   payloads) are latched out, mirroring the device-side `HealthFault`
+//!   latch (`fleet.quarantine.latched` / `fleet.quarantine.dropped`).
+//!   In-flight corruption is *never* attributed: pre-checksum errors carry
+//!   no trustworthy device id, so a healthy device behind a noisy link
+//!   cannot be quarantined;
+//! * **Degraded sealing** — [`EpochSeal::evaluate`] grades realized
+//!   coverage against a quorum threshold, marking the seal
+//!   [`SealStatus::Degraded`] instead of panicking; estimators already
+//!   compute SE from realized (not assumed) response counts.
+//!
 //! # Determinism
 //!
 //! Ingest is parallel but *partitioned*, never racy:
 //!
 //! 1. a batch of frames is decoded in fixed-size chunks via [`ulp_par`]
-//!    (chunk boundaries depend only on the byte count);
-//! 2. each shard then scans the decoded reports, accepting only devices
-//!    that hash to it (`FNV-1a(device) mod shards` — a property of the
-//!    report, not of the executing thread);
+//!    (chunk boundaries depend only on the byte count); if any frame fails,
+//!    the batch is re-decoded by the sequential resync scanner, whose
+//!    output is a pure function of the bytes;
+//! 2. each shard then scans the decoded items in stream order, handling
+//!    only devices that hash to it (`FNV-1a(device) mod shards` — a
+//!    property of the report, not of the executing thread). Dedup windows,
+//!    strike counts, and quarantine latches live *inside* the owning shard,
+//!    so their evolution is also schedule-free;
 //! 3. [`Collector::totals`] folds shards in index order.
 //!
 //! Accumulator updates are exact integer additions, which are associative
@@ -22,22 +48,47 @@
 //! function of the data, never of the schedule) the `stream_seed` seeding
 //! rules give the evaluation sweeps.
 
+use std::collections::HashMap;
+
 use ulp_obs::{Counter, Histogram, SpanTimer};
 
 use crate::sketch::GridSketch;
-use crate::wire::{Payload, Report, WireError, FRAME_LEN};
+use crate::wire::{Payload, Report, WireError, FRAME_LEN, MAGIC};
 
 /// Reports accepted into shard accumulators, process-wide.
 static INGESTED: Counter = Counter::new("fleet.reports.ingested");
 /// Frames rejected by the wire decoder — recorded at every metrics level:
 /// silent data loss at the collector edge must never be invisible.
 static REJECTED: Counter = Counter::new("fleet.frames.rejected");
+/// Corruption events skipped by the stream scanner.
+static CORRUPT_FRAMES: Counter = Counter::new("fleet.wire.corrupt_frames");
+/// Times the scanner recovered alignment at a non-adjacent offset.
+static RESYNCS: Counter = Counter::new("fleet.wire.resyncs");
+/// Frames folded away as retransmissions of an already-counted report.
+static DUPLICATES: Counter = Counter::new("fleet.dedup.duplicates");
+/// Frames older than the dedup window, rejected as unverifiable.
+static STALE: Counter = Counter::new("fleet.dedup.stale");
+/// Senders latched into quarantine — recorded at every metrics level:
+/// excluding a sender is a fleet-integrity event, like a failed audit.
+static QUARANTINE_LATCHED: Counter = Counter::new("fleet.quarantine.latched");
+/// Frames dropped because their sender is quarantined.
+static QUARANTINE_DROPPED: Counter = Counter::new("fleet.quarantine.dropped");
 /// Shard accumulator folds performed by [`Collector::totals`].
 static SHARD_MERGES: Counter = Counter::new("fleet.shard.merges");
 /// Wall-clock of each ingested batch.
 static INGEST_SPAN: SpanTimer = SpanTimer::new("fleet.collector.ingest");
 /// Reports per ingested batch.
 static BATCH_SIZE: Histogram = Histogram::new("fleet.collector.batch_reports", "reports");
+
+/// Typed per-class wire-error counters (the `fleet.wire.err.*` family).
+static ERR_TRUNCATED: Counter = Counter::new("fleet.wire.err.truncated");
+static ERR_BAD_MAGIC: Counter = Counter::new("fleet.wire.err.bad_magic");
+static ERR_UNSUPPORTED_VERSION: Counter = Counter::new("fleet.wire.err.unsupported_version");
+static ERR_UNKNOWN_KIND: Counter = Counter::new("fleet.wire.err.unknown_kind");
+static ERR_NON_ZERO_RESERVED: Counter = Counter::new("fleet.wire.err.non_zero_reserved");
+static ERR_CHECKSUM_MISMATCH: Counter = Counter::new("fleet.wire.err.checksum_mismatch");
+static ERR_SEQ_MISMATCH: Counter = Counter::new("fleet.wire.err.seq_mismatch");
+static ERR_PAYLOAD_OUT_OF_RANGE: Counter = Counter::new("fleet.wire.err.payload_out_of_range");
 
 /// What a query aggregates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,24 +210,275 @@ impl QueryTotals {
     }
 }
 
-/// Outcome of one [`Collector::ingest_frames`] call.
+/// Per-class tallies of the typed wire errors seen by this collector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct IngestStats {
-    /// Reports accepted into shard accumulators.
-    pub accepted: u64,
-    /// Frames rejected (decode failure, unknown query, or payload kind
-    /// mismatching the query's registration).
-    pub rejected: u64,
+pub struct WireErrorTally {
+    /// [`WireError::Truncated`] count.
+    pub truncated: u64,
+    /// [`WireError::BadMagic`] count.
+    pub bad_magic: u64,
+    /// [`WireError::UnsupportedVersion`] count.
+    pub unsupported_version: u64,
+    /// [`WireError::UnknownKind`] count.
+    pub unknown_kind: u64,
+    /// [`WireError::NonZeroReserved`] count.
+    pub non_zero_reserved: u64,
+    /// [`WireError::ChecksumMismatch`] count.
+    pub checksum_mismatch: u64,
+    /// [`WireError::SeqMismatch`] count.
+    pub seq_mismatch: u64,
+    /// [`WireError::PayloadOutOfRange`] count.
+    pub payload_out_of_range: u64,
 }
 
-/// Hash-sharded per-query accumulators over privatized report batches.
+impl WireErrorTally {
+    fn count(&mut self, e: &WireError) {
+        match e {
+            WireError::Truncated { .. } => {
+                self.truncated += 1;
+                ERR_TRUNCATED.inc();
+            }
+            WireError::BadMagic { .. } => {
+                self.bad_magic += 1;
+                ERR_BAD_MAGIC.inc();
+            }
+            WireError::UnsupportedVersion { .. } => {
+                self.unsupported_version += 1;
+                ERR_UNSUPPORTED_VERSION.inc();
+            }
+            WireError::UnknownKind { .. } => {
+                self.unknown_kind += 1;
+                ERR_UNKNOWN_KIND.inc();
+            }
+            WireError::NonZeroReserved { .. } => {
+                self.non_zero_reserved += 1;
+                ERR_NON_ZERO_RESERVED.inc();
+            }
+            WireError::ChecksumMismatch { .. } => {
+                self.checksum_mismatch += 1;
+                ERR_CHECKSUM_MISMATCH.inc();
+            }
+            WireError::SeqMismatch { .. } => {
+                self.seq_mismatch += 1;
+                ERR_SEQ_MISMATCH.inc();
+            }
+            WireError::PayloadOutOfRange { .. } => {
+                self.payload_out_of_range += 1;
+                ERR_PAYLOAD_OUT_OF_RANGE.inc();
+            }
+        }
+    }
+}
+
+/// Outcome of one [`Collector::ingest_frames`] call (or, via
+/// [`IngestStats::absorb`], a fold over many).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestStats {
+    /// Reports accepted into shard accumulators (first copies only).
+    pub accepted: u64,
+    /// Frames rejected: decode failures, unknown queries, kind mismatches,
+    /// stale epochs, and quarantine drops. Duplicates are *not* rejections
+    /// (they fold to the clean-stream totals) and are counted separately.
+    pub rejected: u64,
+    /// Retransmitted copies folded away by the dedup window.
+    pub duplicates: u64,
+    /// Frames older than the dedup window (counted in `rejected` too).
+    pub stale: u64,
+    /// Corruption events the stream scanner skipped.
+    pub corrupt_frames: u64,
+    /// Times the scanner re-acquired alignment at a non-adjacent offset.
+    pub resyncs: u64,
+    /// Frames dropped because their sender is quarantined (in `rejected`).
+    pub quarantine_dropped: u64,
+    /// Senders newly latched into quarantine during this batch.
+    pub quarantine_latched: u64,
+}
+
+impl IngestStats {
+    /// Folds another stats record into this one (the per-epoch → per-run
+    /// accumulation path).
+    pub fn absorb(&mut self, other: IngestStats) {
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.duplicates += other.duplicates;
+        self.stale += other.stale;
+        self.corrupt_frames += other.corrupt_frames;
+        self.resyncs += other.resyncs;
+        self.quarantine_dropped += other.quarantine_dropped;
+        self.quarantine_latched += other.quarantine_latched;
+    }
+}
+
+/// How many epochs one dedup block covers (window = two blocks).
+const DEDUP_BLOCK: u32 = 64;
+/// Attributable protocol violations before a sender is latched out.
+pub const DEFAULT_QUARANTINE_STRIKES: u32 = 3;
+
+/// What the dedup window decided about a report.
+enum Admit {
+    Fresh,
+    Duplicate,
+    Stale,
+}
+
+/// The dedup window for one `(device, query)` stream: two 64-epoch blocks
+/// of seen-bits. Any interleaving of duplicates and reorderings whose
+/// epochs span at most two blocks folds to the clean stream; epochs older
+/// than both retained blocks are rejected as stale (they can no longer be
+/// distinguished from replays).
+#[derive(Debug, Clone, Copy, Default)]
+struct DedupSlot {
+    blocks: [(u32, u64); 2],
+    used: u8,
+}
+
+impl DedupSlot {
+    fn admit(&mut self, epoch: u32) -> Admit {
+        let block = epoch / DEDUP_BLOCK;
+        let bit = 1u64 << (epoch % DEDUP_BLOCK);
+        for i in 0..usize::from(self.used) {
+            if self.blocks[i].0 == block {
+                if self.blocks[i].1 & bit != 0 {
+                    return Admit::Duplicate;
+                }
+                self.blocks[i].1 |= bit;
+                return Admit::Fresh;
+            }
+        }
+        if usize::from(self.used) < 2 {
+            self.blocks[usize::from(self.used)] = (block, bit);
+            self.used += 1;
+            return Admit::Fresh;
+        }
+        // Both blocks resident: evict the older one, or reject the report
+        // as stale if it predates both.
+        let older = usize::from(self.blocks[1].0 < self.blocks[0].0);
+        if block < self.blocks[older].0 {
+            return Admit::Stale;
+        }
+        self.blocks[older] = (block, bit);
+        Admit::Fresh
+    }
+}
+
+/// One shard's persistent state: accumulators plus the per-device dedup
+/// and quarantine records for the devices that hash to it.
+#[derive(Debug, Clone)]
+struct ShardState {
+    accs: Vec<QueryTotals>,
+    /// Per device, one [`DedupSlot`] per registered query.
+    dedup: HashMap<u32, Vec<DedupSlot>>,
+    /// Attributable-violation strike counts for unlatched devices.
+    strikes: HashMap<u32, u32>,
+    /// Latched (quarantined) senders — permanent, like `HealthFault`.
+    latched: std::collections::HashSet<u32>,
+}
+
+/// A decoded batch item, in stream order. Strikes ride alongside accepted
+/// candidates so each shard sees its devices' violations and reports in
+/// their original interleaving.
+enum Item {
+    /// A well-formed report for registered query index `q`.
+    Report { q: usize, report: Report },
+    /// An attributable protocol violation by `device`.
+    Strike { device: u32 },
+}
+
+impl Item {
+    fn device(&self) -> u32 {
+        match self {
+            Item::Report { report, .. } => report.device,
+            Item::Strike { device } => *device,
+        }
+    }
+}
+
+/// Per-shard result of one batch pass (summed over shards afterwards).
+#[derive(Default, Clone, Copy)]
+struct ShardBatch {
+    accepted: u64,
+    duplicates: u64,
+    stale: u64,
+    quarantine_dropped: u64,
+    quarantine_latched: u64,
+}
+
+/// Seal grade for one collection round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SealStatus {
+    /// Coverage met the quorum threshold.
+    Full,
+    /// Coverage fell below quorum; estimates are still debiased and their
+    /// SE already reflects the realized counts, but consumers should treat
+    /// the round as partial.
+    Degraded {
+        /// Realized coverage (accepted / expected).
+        coverage: f64,
+    },
+}
+
+/// Coverage accounting for one sealed collection round. Built by
+/// [`EpochSeal::evaluate`] — sealing **grades** a shortfall instead of
+/// panicking on it, because the estimators downstream compute stderr and
+/// bias bounds from realized response counts and remain valid (just wider)
+/// under partial coverage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochSeal {
+    /// Reports the round would have produced under a perfect transport.
+    pub expected: u64,
+    /// Reports actually accepted.
+    pub accepted: u64,
+    /// `accepted / expected` (`1.0` for an empty expectation).
+    pub coverage: f64,
+    /// The seal grade against the quorum threshold.
+    pub status: SealStatus,
+}
+
+impl EpochSeal {
+    /// Grades realized coverage against a quorum threshold in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quorum` is not a finite value in `[0, 1]`.
+    pub fn evaluate(expected: u64, accepted: u64, quorum: f64) -> EpochSeal {
+        assert!(
+            quorum.is_finite() && (0.0..=1.0).contains(&quorum),
+            "quorum must be in [0, 1], got {quorum}"
+        );
+        let coverage = if expected == 0 {
+            1.0
+        } else {
+            accepted as f64 / expected as f64
+        };
+        let status = if coverage >= quorum {
+            SealStatus::Full
+        } else {
+            SealStatus::Degraded { coverage }
+        };
+        EpochSeal {
+            expected,
+            accepted,
+            coverage,
+            status,
+        }
+    }
+
+    /// Whether the round met quorum.
+    pub fn is_full(&self) -> bool {
+        matches!(self.status, SealStatus::Full)
+    }
+}
+
+/// Hash-sharded per-query accumulators over privatized report batches,
+/// with idempotent (dedup-windowed) ingest and sender quarantine.
 #[derive(Debug, Clone)]
 pub struct Collector {
     queries: Vec<QueryConfig>,
-    /// `shard_accs[shard][query_index]`.
-    shard_accs: Vec<Vec<QueryTotals>>,
+    shard_states: Vec<ShardState>,
+    strike_limit: u32,
     ingested: u64,
     rejected: u64,
+    wire_errors: WireErrorTally,
     first_error: Option<WireError>,
 }
 
@@ -191,9 +493,92 @@ fn device_hash(device: u32) -> u64 {
     h
 }
 
+/// Whether `bytes` starts a plausible frame: magic matches and the carried
+/// checksum verifies over the body. This is the resync predicate — a
+/// random offset inside a corrupt region passes with probability ≈ 2⁻¹⁶
+/// per candidate, so the scanner re-acquires the true frame boundary.
+fn is_sync_point(bytes: &[u8]) -> bool {
+    if bytes.len() < FRAME_LEN || bytes[0] != MAGIC {
+        return false;
+    }
+    !matches!(
+        Report::decode(bytes),
+        Err(WireError::Truncated { .. }
+            | WireError::BadMagic { .. }
+            | WireError::UnsupportedVersion { .. }
+            | WireError::NonZeroReserved { .. }
+            | WireError::ChecksumMismatch { .. })
+    )
+}
+
+/// Output of the sequential resync scanner.
+struct DecodedStream {
+    items: Vec<Result<Report, WireError>>,
+    corrupt_frames: u64,
+    resyncs: u64,
+}
+
+/// Decodes a byte stream frame by frame, recovering from corruption: a
+/// structurally broken region (bad magic, failed checksum, truncation) is
+/// counted as one corruption event and the scanner hunts forward for the
+/// next offset satisfying [`is_sync_point`]. Semantically invalid but
+/// well-formed frames (bad version/kind/sequence/payload) keep alignment
+/// and are stepped over normally. Pure function of the bytes.
+fn decode_stream(bytes: &[u8]) -> DecodedStream {
+    let mut out = DecodedStream {
+        items: Vec::with_capacity(bytes.len() / FRAME_LEN),
+        corrupt_frames: 0,
+        resyncs: 0,
+    };
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < FRAME_LEN {
+            out.items.push(Err(WireError::Truncated {
+                got: bytes.len() - pos,
+            }));
+            out.corrupt_frames += 1;
+            break;
+        }
+        match Report::decode(&bytes[pos..]) {
+            Ok(r) => {
+                out.items.push(Ok(r));
+                pos += FRAME_LEN;
+            }
+            Err(e) => {
+                out.items.push(Err(e));
+                let structural = matches!(
+                    e,
+                    WireError::BadMagic { .. } | WireError::ChecksumMismatch { .. }
+                );
+                if !structural {
+                    // The frame carried a valid magic and (for semantic
+                    // errors) a valid checksum: alignment is intact.
+                    pos += FRAME_LEN;
+                    continue;
+                }
+                out.corrupt_frames += 1;
+                let next = (pos + 1..bytes.len().saturating_sub(FRAME_LEN - 1))
+                    .find(|&j| bytes[j] == MAGIC && is_sync_point(&bytes[j..]));
+                match next {
+                    Some(j) => {
+                        if j != pos + FRAME_LEN {
+                            out.resyncs += 1;
+                        }
+                        pos = j;
+                    }
+                    // No recoverable frame remains.
+                    None => break,
+                }
+            }
+        }
+    }
+    out
+}
+
 impl Collector {
     /// Creates a collector with `shards` accumulator partitions for the
-    /// given query streams.
+    /// given query streams, latching senders out after
+    /// [`DEFAULT_QUARANTINE_STRIKES`] attributable violations.
     ///
     /// # Panics
     ///
@@ -208,21 +593,40 @@ impl Collector {
                 q.id
             );
         }
-        let shard_accs = (0..shards)
-            .map(|_| queries.iter().map(|q| QueryTotals::new(q.kind)).collect())
+        let shard_states = (0..shards)
+            .map(|_| ShardState {
+                accs: queries.iter().map(|q| QueryTotals::new(q.kind)).collect(),
+                dedup: HashMap::new(),
+                strikes: HashMap::new(),
+                latched: std::collections::HashSet::new(),
+            })
             .collect();
         Collector {
             queries: queries.to_vec(),
-            shard_accs,
+            shard_states,
+            strike_limit: DEFAULT_QUARANTINE_STRIKES,
             ingested: 0,
             rejected: 0,
+            wire_errors: WireErrorTally::default(),
             first_error: None,
         }
     }
 
+    /// Overrides the quarantine strike limit (violations before latch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strikes` is zero (a zero limit would quarantine every
+    /// sender preemptively).
+    pub fn with_quarantine_strikes(mut self, strikes: u32) -> Self {
+        assert!(strikes > 0, "strike limit must be positive");
+        self.strike_limit = strikes;
+        self
+    }
+
     /// Number of accumulator shards.
     pub fn shards(&self) -> usize {
-        self.shard_accs.len()
+        self.shard_states.len()
     }
 
     /// Reports accepted over the collector's lifetime.
@@ -233,6 +637,22 @@ impl Collector {
     /// Frames rejected over the collector's lifetime.
     pub fn frames_rejected(&self) -> u64 {
         self.rejected
+    }
+
+    /// Per-class tallies of every typed wire error seen.
+    pub fn wire_errors(&self) -> WireErrorTally {
+        self.wire_errors
+    }
+
+    /// The senders currently latched into quarantine, ascending.
+    pub fn quarantined_devices(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .shard_states
+            .iter()
+            .flat_map(|s| s.latched.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// The first wire error seen (kept for diagnostics; `None` if every
@@ -252,73 +672,153 @@ impl Collector {
 
     /// Ingests a batch of concatenated wire frames.
     ///
-    /// `bytes` is split at [`FRAME_LEN`] boundaries; each slot decodes to a
-    /// report or a rejection (trailing bytes shorter than one frame are
-    /// rejected as one truncated frame). Decoding fans out over [`ulp_par`]
-    /// in fixed-size chunks, then every shard scans the decoded batch for
-    /// its devices — see the module docs for why this is schedule-proof.
+    /// The fast path decodes at [`FRAME_LEN`] boundaries, fanned out over
+    /// [`ulp_par`] in fixed-size chunks. If *any* frame fails (or the byte
+    /// count is not frame-aligned), the batch is re-decoded by the
+    /// sequential resync scanner, which counts and skips corrupt regions
+    /// instead of letting one flipped bit shadow every later frame. Either
+    /// way the decoded item sequence is a pure function of the bytes.
+    ///
+    /// Each decoded report then passes, inside its owning shard and in
+    /// stream order, through the quarantine latch and the dedup window
+    /// before being absorbed — so duplicated and reordered deliveries fold
+    /// to byte-identical accumulator totals, and persistently-malformed
+    /// senders are latched out after `strike_limit` attributable
+    /// violations.
     pub fn ingest_frames(&mut self, bytes: &[u8]) -> IngestStats {
         let _span = INGEST_SPAN.enter();
-        let whole = bytes.len() / FRAME_LEN;
-        let tail = bytes.len() % FRAME_LEN;
-
-        // Phase 1: decode, in parallel over fixed-size chunks.
-        const DECODE_CHUNK: usize = 16 * 1024;
-        let chunks: Vec<&[u8]> = bytes[..whole * FRAME_LEN]
-            .chunks(DECODE_CHUNK * FRAME_LEN)
-            .collect();
-        let decoded: Vec<Vec<Result<Report, WireError>>> = ulp_par::par_map(&chunks, |chunk| {
-            chunk.chunks(FRAME_LEN).map(Report::decode).collect()
-        });
-
         let mut stats = IngestStats::default();
-        let mut reports: Vec<(usize, Report)> = Vec::with_capacity(whole);
-        for item in decoded.into_iter().flatten() {
-            match item {
+
+        // Phase 1: decode. Parallel aligned fast path; sequential resync
+        // scan the moment anything in the batch is off.
+        const DECODE_CHUNK: usize = 16 * 1024;
+        let aligned = bytes.len().is_multiple_of(FRAME_LEN);
+        let mut decoded: Option<Vec<Result<Report, WireError>>> = None;
+        if aligned {
+            let chunks: Vec<&[u8]> = bytes.chunks(DECODE_CHUNK * FRAME_LEN).collect();
+            let parts: Vec<Vec<Result<Report, WireError>>> = ulp_par::par_map(&chunks, |chunk| {
+                chunk.chunks(FRAME_LEN).map(Report::decode).collect()
+            });
+            let flat: Vec<Result<Report, WireError>> = parts.into_iter().flatten().collect();
+            if flat.iter().all(Result::is_ok) {
+                decoded = Some(flat);
+            }
+        }
+        let items_raw = match decoded {
+            Some(flat) => flat,
+            None => {
+                let stream = decode_stream(bytes);
+                stats.corrupt_frames = stream.corrupt_frames;
+                stats.resyncs = stream.resyncs;
+                stream.items
+            }
+        };
+
+        // Phase 1.5: classify into shard-pass items, tallying errors.
+        let mut items: Vec<Item> = Vec::with_capacity(items_raw.len());
+        for raw in items_raw {
+            match raw {
                 Ok(report) => match self.query_index(&report) {
-                    Some(q) => reports.push((q, report)),
-                    None => stats.rejected += 1,
+                    Some(q) => items.push(Item::Report { q, report }),
+                    None => {
+                        // Unknown query id or kind/query mismatch: the
+                        // frame decoded (checksum-valid), so the sender is
+                        // known and the violation is attributable.
+                        stats.rejected += 1;
+                        items.push(Item::Strike {
+                            device: report.device,
+                        });
+                    }
                 },
                 Err(e) => {
                     stats.rejected += 1;
+                    self.wire_errors.count(&e);
                     self.first_error.get_or_insert(e);
+                    if let Some(device) = e.attributable_device() {
+                        items.push(Item::Strike { device });
+                    }
                 }
             }
         }
-        if tail != 0 {
-            stats.rejected += 1;
-            self.first_error
-                .get_or_insert(WireError::Truncated { got: tail });
-        }
-        stats.accepted = reports.len() as u64;
 
-        // Phase 2: shard accumulation. Each shard owns its accumulators and
-        // scans the whole decoded batch for its devices.
-        let shards = self.shards() as u64;
-        let shard_ids: Vec<u64> = (0..shards).collect();
-        let mut fresh: Vec<Vec<QueryTotals>> = ulp_par::par_map(&shard_ids, |&shard| {
-            let mut accs: Vec<QueryTotals> = self
-                .queries
-                .iter()
-                .map(|q| QueryTotals::new(q.kind))
-                .collect();
-            for (q, report) in &reports {
-                if device_hash(report.device) % shards == shard {
-                    accs[*q].absorb(report.payload);
+        // Phase 2: shard pass. Each shard owns its accumulators, dedup
+        // windows, and quarantine records, and walks the item sequence in
+        // stream order for its own devices. The shard a device belongs to
+        // is a pure function of its id, so this is schedule-free.
+        let shards = self.shard_states.len() as u64;
+        let strike_limit = self.strike_limit;
+        let guards: Vec<std::sync::Mutex<(u64, &mut ShardState)>> = self
+            .shard_states
+            .iter_mut()
+            .enumerate()
+            .map(|(i, s)| std::sync::Mutex::new((i as u64, s)))
+            .collect();
+        let batches: Vec<ShardBatch> = ulp_par::par_map(&guards, |guard| {
+            let mut locked = guard.lock().expect("shard guard poisoned");
+            let (shard, ref mut st) = *locked;
+            let mut batch = ShardBatch::default();
+            let nq = st.accs.len();
+            for item in &items {
+                let device = item.device();
+                if device_hash(device) % shards != shard {
+                    continue;
+                }
+                match item {
+                    Item::Strike { .. } => {
+                        if st.latched.contains(&device) {
+                            continue;
+                        }
+                        let strikes = st.strikes.entry(device).or_insert(0);
+                        *strikes += 1;
+                        if *strikes >= strike_limit {
+                            st.strikes.remove(&device);
+                            st.latched.insert(device);
+                            batch.quarantine_latched += 1;
+                        }
+                    }
+                    Item::Report { q, report } => {
+                        if st.latched.contains(&device) {
+                            batch.quarantine_dropped += 1;
+                            continue;
+                        }
+                        let slots = st
+                            .dedup
+                            .entry(device)
+                            .or_insert_with(|| vec![DedupSlot::default(); nq]);
+                        match slots[*q].admit(report.epoch) {
+                            Admit::Fresh => {
+                                st.accs[*q].absorb(report.payload);
+                                batch.accepted += 1;
+                            }
+                            Admit::Duplicate => batch.duplicates += 1,
+                            Admit::Stale => batch.stale += 1,
+                        }
+                    }
                 }
             }
-            accs
+            batch
         });
-        for (acc, new) in self.shard_accs.iter_mut().zip(&mut fresh) {
-            for (a, b) in acc.iter_mut().zip(new.iter()) {
-                a.merge(b);
-            }
+        drop(guards);
+        for b in batches {
+            stats.accepted += b.accepted;
+            stats.duplicates += b.duplicates;
+            stats.stale += b.stale;
+            stats.quarantine_dropped += b.quarantine_dropped;
+            stats.quarantine_latched += b.quarantine_latched;
         }
+        // Stale and quarantined frames were delivered but not folded.
+        stats.rejected += stats.stale + stats.quarantine_dropped;
 
         self.ingested += stats.accepted;
         self.rejected += stats.rejected;
         INGESTED.add(stats.accepted);
         REJECTED.record_always(stats.rejected);
+        CORRUPT_FRAMES.add(stats.corrupt_frames);
+        RESYNCS.add(stats.resyncs);
+        DUPLICATES.add(stats.duplicates);
+        STALE.add(stats.stale);
+        QUARANTINE_DROPPED.add(stats.quarantine_dropped);
+        QUARANTINE_LATCHED.record_always(stats.quarantine_latched);
         BATCH_SIZE.record(stats.accepted);
         stats
     }
@@ -336,8 +836,8 @@ impl Collector {
             .position(|q| q.id == query_id)
             .unwrap_or_else(|| panic!("query {query_id} not registered"));
         let mut folded = QueryTotals::new(self.queries[idx].kind);
-        for shard in &self.shard_accs {
-            folded.merge(&shard[idx]);
+        for shard in &self.shard_states {
+            folded.merge(&shard.accs[idx]);
             SHARD_MERGES.inc();
         }
         folded
@@ -382,6 +882,15 @@ mod tests {
         }
     }
 
+    fn value_at(device: u32, epoch: u32, v: i32) -> Report {
+        Report {
+            device,
+            query: 0,
+            epoch,
+            payload: Payload::Value(v),
+        }
+    }
+
     #[test]
     fn accumulates_exact_moments_and_tallies() {
         let mut c = Collector::new(2, &[NUMERIC, RR]);
@@ -406,7 +915,7 @@ mod tests {
             stats,
             IngestStats {
                 accepted: 4,
-                rejected: 0
+                ..IngestStats::default()
             }
         );
         let t = c.totals(0);
@@ -443,45 +952,174 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_unknown_and_trailing_frames_are_rejected() {
+    fn corrupt_frames_are_skipped_not_fatal_to_the_batch() {
         let mut c = Collector::new(2, &[NUMERIC]);
         let mut batch = frames(&[value(1, 5)]);
-        // Corrupt frame.
+        // A checksum-corrupted frame in the middle of the stream...
         let mut bad = value(2, 6).encode();
         bad[6] ^= 0xFF;
         batch.extend_from_slice(&bad);
-        // Unknown query id.
-        Report {
-            device: 3,
-            query: 9,
-            epoch: 0,
-            payload: Payload::Value(1),
-        }
-        .encode_into(&mut batch);
-        // Kind mismatch: RR bit on the numeric query.
-        Report {
-            device: 4,
-            query: 0,
-            epoch: 0,
-            payload: Payload::RrBit(true),
-        }
-        .encode_into(&mut batch);
-        // Trailing partial frame.
-        batch.extend_from_slice(&[0xD9, 0x01]);
+        // ...must not shadow the clean frames after it.
+        batch.extend_from_slice(&value(3, 7).encode());
+        batch.extend_from_slice(&value(4, 8).encode());
         let stats = c.ingest_frames(&batch);
-        assert_eq!(
-            stats,
-            IngestStats {
-                accepted: 1,
-                rejected: 4
-            }
-        );
-        assert_eq!(c.frames_rejected(), 4);
+        assert_eq!(stats.accepted, 3);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.corrupt_frames, 1);
+        assert_eq!(stats.resyncs, 0, "aligned corruption needs no resync");
         assert!(matches!(
             c.first_error(),
             Some(WireError::ChecksumMismatch { .. })
         ));
+        assert_eq!(c.wire_errors().checksum_mismatch, 1);
+        assert_eq!(c.totals(0).count, 3);
+    }
+
+    #[test]
+    fn truncated_mid_stream_frame_resyncs_on_the_next_magic() {
+        let mut c = Collector::new(2, &[NUMERIC]);
+        let mut batch = frames(&[value(1, 5)]);
+        // Deliver only the first 11 bytes of one frame: everything after
+        // it shifts off the 20-byte grid.
+        batch.extend_from_slice(&value(2, 6).encode()[..11]);
+        batch.extend_from_slice(&value(3, 7).encode());
+        batch.extend_from_slice(&value(4, 8).encode());
+        let stats = c.ingest_frames(&batch);
+        assert_eq!(stats.accepted, 3, "frames after the cut must survive");
+        assert_eq!(stats.corrupt_frames, 1);
+        assert_eq!(stats.resyncs, 1, "misalignment requires a resync");
+        assert_eq!(c.totals(0).count, 3);
+    }
+
+    #[test]
+    fn trailing_partial_frame_is_one_truncated_rejection() {
+        let mut c = Collector::new(2, &[NUMERIC]);
+        let mut batch = frames(&[value(1, 5)]);
+        batch.extend_from_slice(&[MAGIC, 0x01]);
+        let stats = c.ingest_frames(&batch);
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(c.wire_errors().truncated, 1);
+    }
+
+    #[test]
+    fn duplicates_and_reorderings_fold_to_the_clean_totals() {
+        let clean: Vec<Report> = (0..4).map(|e| value_at(9, e, 10 + e as i32)).collect();
+        let mut reference = Collector::new(2, &[NUMERIC]);
+        reference.ingest_frames(&frames(&clean));
+
+        // Reversed order, every frame delivered twice, one delivered four
+        // times: the window must fold all of it away.
+        let mut noisy: Vec<Report> = clean.iter().rev().copied().collect();
+        noisy.extend(clean.iter().copied());
+        noisy.push(clean[2]);
+        noisy.push(clean[2]);
+        let mut c = Collector::new(2, &[NUMERIC]);
+        let stats = c.ingest_frames(&frames(&noisy));
+        assert_eq!(stats.accepted, 4);
+        assert_eq!(stats.duplicates, 6);
+        assert_eq!(stats.rejected, 0, "duplicates are not rejections");
+        assert_eq!(c.totals(0), reference.totals(0));
+    }
+
+    #[test]
+    fn duplicates_across_batches_are_still_folded() {
+        let mut c = Collector::new(2, &[NUMERIC]);
+        c.ingest_frames(&frames(&[value_at(5, 0, 3)]));
+        let stats = c.ingest_frames(&frames(&[value_at(5, 0, 3)]));
+        assert_eq!((stats.accepted, stats.duplicates), (0, 1));
         assert_eq!(c.totals(0).count, 1);
+    }
+
+    #[test]
+    fn epochs_older_than_the_window_are_stale() {
+        let mut c = Collector::new(1, &[NUMERIC]);
+        // Blocks 2 and 3 occupy the window; block 0 then predates both.
+        c.ingest_frames(&frames(&[value_at(1, 128, 1), value_at(1, 192, 2)]));
+        let stats = c.ingest_frames(&frames(&[value_at(1, 0, 3)]));
+        assert_eq!((stats.accepted, stats.stale, stats.rejected), (0, 1, 1));
+        assert_eq!(c.totals(0).count, 2);
+    }
+
+    #[test]
+    fn persistent_protocol_violations_latch_the_sender() {
+        let mut c = Collector::new(2, &[NUMERIC]);
+        let unknown_query = |epoch: u32| Report {
+            device: 66,
+            query: 9,
+            epoch,
+            payload: Payload::Value(1),
+        };
+        // Three attributable violations (default strike limit) latch the
+        // sender...
+        let stats = c.ingest_frames(&frames(&[
+            unknown_query(0),
+            unknown_query(1),
+            unknown_query(2),
+        ]));
+        assert_eq!(stats.quarantine_latched, 1);
+        assert_eq!(stats.rejected, 3);
+        assert_eq!(c.quarantined_devices(), vec![66]);
+        // ...after which even its *valid* frames are dropped.
+        let stats = c.ingest_frames(&frames(&[value(66, 5), value(67, 6)]));
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.quarantine_dropped, 1);
+        assert_eq!(c.totals(0).count, 1);
+    }
+
+    #[test]
+    fn in_flight_corruption_never_strikes_the_sender() {
+        let mut c = Collector::new(2, &[NUMERIC]);
+        // Ten corrupted frames from the same honest device: checksum
+        // failures are not attributable, so it must never be latched.
+        let mut batch = Vec::new();
+        for e in 0..10 {
+            let mut f = value_at(8, e, 3).encode();
+            f[15] ^= 0x40;
+            batch.extend_from_slice(&f);
+        }
+        c.ingest_frames(&batch);
+        assert!(c.quarantined_devices().is_empty());
+        // The device's clean frames still count.
+        let stats = c.ingest_frames(&frames(&[value_at(8, 11, 3)]));
+        assert_eq!(stats.accepted, 1);
+    }
+
+    #[test]
+    fn sequence_drift_is_an_attributable_strike() {
+        let mut c = Collector::new(2, &[NUMERIC]).with_quarantine_strikes(2);
+        let mut batch = Vec::new();
+        for epoch in 0..2u32 {
+            let mut f = value_at(12, epoch, 1).encode();
+            f[3] = f[3].wrapping_add(1); // a re-randomizing retrier drifts
+            let sum = {
+                // reseal so only the semantic violation remains
+                let mut h: u32 = 0x811C_9DC5;
+                for &b in &f[..18] {
+                    h ^= u32::from(b);
+                    h = h.wrapping_mul(0x0100_0193);
+                }
+                ((h >> 16) ^ (h & 0xFFFF)) as u16
+            };
+            f[18..20].copy_from_slice(&sum.to_le_bytes());
+            batch.extend_from_slice(&f);
+        }
+        let stats = c.ingest_frames(&batch);
+        assert_eq!(stats.quarantine_latched, 1);
+        assert_eq!(c.wire_errors().seq_mismatch, 2);
+        assert_eq!(c.quarantined_devices(), vec![12]);
+    }
+
+    #[test]
+    fn seal_grades_coverage_against_quorum() {
+        let full = EpochSeal::evaluate(100, 95, 0.9);
+        assert!(full.is_full());
+        assert_eq!(full.coverage, 0.95);
+        let degraded = EpochSeal::evaluate(100, 70, 0.9);
+        assert_eq!(degraded.status, SealStatus::Degraded { coverage: 0.70 });
+        assert!(!degraded.is_full());
+        // An empty expectation seals full by convention.
+        assert!(EpochSeal::evaluate(0, 0, 0.9).is_full());
     }
 
     #[test]

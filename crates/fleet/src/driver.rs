@@ -32,7 +32,8 @@ use ldp_eval::GroundTruth;
 use ulp_obs::{Counter, SpanTimer};
 use ulp_rng::{stream_seed, CorrelatedBits, RandomBits, Taus88};
 
-use crate::collector::{Collector, IngestStats, QueryConfig, QueryKind};
+use crate::chaos::{ChaosConfig, DeviceChaos, MAX_DELAY_ROUNDS};
+use crate::collector::{Collector, EpochSeal, IngestStats, QueryConfig, QueryKind, SealStatus};
 use crate::estimator::{Estimate, NoiseModel};
 use crate::wire::{Payload, Report};
 
@@ -83,6 +84,20 @@ pub struct FleetConfig {
     pub chunk: usize,
     /// Budget-control segment multiples.
     pub multiples: Vec<f64>,
+    /// Transport fault injection between devices and collector (`None` =
+    /// perfect wire).
+    pub chaos: Option<ChaosConfig>,
+    /// Retransmissions a device may attempt per unacked report (beyond
+    /// the first send), under exponential backoff. Retries replay the
+    /// *cached* report bytes verbatim — never a fresh randomization.
+    pub retry_budget: u32,
+    /// Coverage threshold below which the run's seal is marked
+    /// [`SealStatus::Degraded`].
+    pub quorum: f64,
+    /// Planted adversarial senders (ids above the population) emitting
+    /// checksum-valid frames for an unregistered query every epoch — the
+    /// quarantine latch must catch them.
+    pub malformed_senders: usize,
 }
 
 impl FleetConfig {
@@ -104,6 +119,10 @@ impl FleetConfig {
             threshold_code: 128,
             chunk: 1024,
             multiples: vec![1.5, 2.0, 2.5, 3.0],
+            chaos: None,
+            retry_budget: 2,
+            quorum: 0.9,
+            malformed_senders: 0,
         }
     }
 }
@@ -205,6 +224,25 @@ pub struct FleetOutcome {
     /// Whether the merged fleet ledger audits clean against the
     /// independently folded composition accountant.
     pub audit_ok: bool,
+    /// FNV-1a digest over every `(device, epoch, charge)` fresh-spend
+    /// record, in device order. Chaos acts only on cached frame bytes, so
+    /// this digest is **bitwise identical with and without transport
+    /// faults** — the retry-path ε-spend witness.
+    pub ledger_digest: u64,
+    /// `(device, epoch)` keys that recorded two fresh-randomization
+    /// charges (expected 0: retries replay cached bytes, never
+    /// re-randomize).
+    pub double_spends: u64,
+    /// Retransmissions attempted fleet-wide (beyond each first send).
+    pub retry_attempts: u64,
+    /// Reports whose retry budget ran out without an ack (the report may
+    /// still have been delivered — only the confirmation was lost).
+    pub reports_unacked: u64,
+    /// Coverage seal over the whole run (expected vs accepted reports,
+    /// graded against the configured quorum).
+    pub seal: EpochSeal,
+    /// Senders the collector latched into quarantine, ascending.
+    pub quarantined: Vec<u32>,
     /// The thresholding window bound `n_th` (codes) the devices ran with.
     pub n_th_k: i64,
 }
@@ -226,16 +264,41 @@ impl FleetOutcome {
                 ),
             }
         }
+        let seal = match self.seal.status {
+            SealStatus::Full => "full".to_string(),
+            SealStatus::Degraded { coverage } => format!("degraded:{:016x}", coverage.to_bits()),
+        };
+        let quarantined = {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for d in &self.quarantined {
+                for b in d.to_le_bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+            h
+        };
         format!(
             "devices={} excluded={} dropped={} accepted={} rejected={}\n\
+             duplicates={} stale={} corrupt_frames={} resyncs={} \
+             quarantine_dropped={} quarantine_latched={}\n\
              mean={} variance={} median={} rr_frequency={} rr_count={}\n\
              truth_mean={:016x} truth_variance={:016x} truth_median={:016x} truth_fraction={:016x}\n\
-             ledger_total={:016x} ledger_entries={} audit_ok={} n_th_k={}\n",
+             ledger_total={:016x} ledger_entries={} audit_ok={} ledger_digest={:016x} \
+             double_spends={}\n\
+             retry_attempts={} reports_unacked={} seal={} seal_expected={} seal_accepted={} \
+             quarantined={}:{:016x} n_th_k={}\n",
             self.devices_simulated,
             self.devices_excluded,
             self.devices_dropped,
             self.ingest.accepted,
             self.ingest.rejected,
+            self.ingest.duplicates,
+            self.ingest.stale,
+            self.ingest.corrupt_frames,
+            self.ingest.resyncs,
+            self.ingest.quarantine_dropped,
+            self.ingest.quarantine_latched,
             est(&self.mean),
             est(&self.variance),
             est(&self.median),
@@ -248,6 +311,15 @@ impl FleetOutcome {
             self.ledger_total.to_bits(),
             self.ledger_entries,
             self.audit_ok,
+            self.ledger_digest,
+            self.double_spends,
+            self.retry_attempts,
+            self.reports_unacked,
+            seal,
+            self.seal.expected,
+            self.seal.accepted,
+            self.quarantined.len(),
+            quarantined,
             self.n_th_k,
         )
     }
@@ -267,14 +339,64 @@ impl FleetOutcome {
 
 /// Per-chunk simulation result, folded on the main thread in chunk order.
 struct ChunkResult {
-    /// `frames[epoch]` holds the chunk's wire bytes for that epoch.
+    /// `frames[round]` holds the chunk's delivered wire bytes for that
+    /// round (a round is an epoch plus the backoff/delay slack after the
+    /// last epoch).
     frames: Vec<Vec<u8>>,
     /// The chunk's device ledgers, merged in device order.
     ledger: BudgetLedger,
     /// Every charge in `ledger`, in record order (for the accountant fold).
     charges: Vec<f64>,
+    /// Every fresh randomization as `(device, epoch, charge)`, in device
+    /// order — the keyed double-spend audit and ε-spend digest input.
+    /// Chaos never touches this: it is produced by the device simulation
+    /// alone.
+    spends: Vec<(u32, u32, f64)>,
     excluded: Vec<u32>,
     dropped: Vec<u32>,
+    /// Retransmissions attempted (beyond each report's first send).
+    retry_attempts: u64,
+    /// Reports whose retry budget expired without an ack.
+    reports_unacked: u64,
+}
+
+/// Delivered-frame buckets for one chunk: reordered frames are staged
+/// per-frame and appended after the round's in-order bytes in *reverse*
+/// arrival order — the displacement the dedup window must be insensitive
+/// to.
+struct RoundBuckets {
+    normal: Vec<Vec<u8>>,
+    displaced: Vec<Vec<Vec<u8>>>,
+}
+
+impl RoundBuckets {
+    fn new(rounds: usize) -> RoundBuckets {
+        RoundBuckets {
+            normal: vec![Vec::new(); rounds],
+            displaced: vec![Vec::new(); rounds],
+        }
+    }
+
+    fn deliver(&mut self, round: usize, bytes: &[u8], displaced: bool) {
+        if displaced {
+            self.displaced[round].push(bytes.to_vec());
+        } else {
+            self.normal[round].extend_from_slice(bytes);
+        }
+    }
+
+    fn finalize(self) -> Vec<Vec<u8>> {
+        self.normal
+            .into_iter()
+            .zip(self.displaced)
+            .map(|(mut n, d)| {
+                for frame in d.into_iter().rev() {
+                    n.extend_from_slice(&frame);
+                }
+                n
+            })
+            .collect()
+    }
 }
 
 /// The simulated fleet: configuration plus the derived noise model.
@@ -307,8 +429,25 @@ impl FleetDriver {
         if cfg.chunk == 0 {
             return Err(FleetError::Config("chunk size must be positive"));
         }
-        if cfg.devices > u32::MAX as usize {
-            return Err(FleetError::Config("device ids must fit in u32"));
+        if cfg
+            .devices
+            .checked_add(cfg.malformed_senders)
+            .is_none_or(|n| n > u32::MAX as usize)
+        {
+            return Err(FleetError::Config(
+                "device ids (population + malformed senders) must fit in u32",
+            ));
+        }
+        if cfg.retry_budget > 6 {
+            return Err(FleetError::Config("retry budget must be at most 6"));
+        }
+        if !(cfg.quorum.is_finite() && (0.0..=1.0).contains(&cfg.quorum)) {
+            return Err(FleetError::Config("quorum must be in [0, 1]"));
+        }
+        if let Some(chaos) = &cfg.chaos {
+            chaos
+                .validate()
+                .map_err(|_| FleetError::Config("chaos fault class out of range"))?;
         }
         let max_code = 1i64 << cfg.adc_bits;
         if !(0..=max_code).contains(&cfg.threshold_code) {
@@ -384,13 +523,41 @@ impl FleetDriver {
         for r in chunk_results {
             chunks.push(r?);
         }
+
+        // Planted malformed senders: checksum-valid frames for an
+        // unregistered query, enough per epoch to trip the default strike
+        // limit in the very first batch. Their ids sit above the
+        // population, so they touch no truth and no ledger.
+        let malformed: Vec<Vec<u8>> = (0..cfg.epochs)
+            .map(|epoch| {
+                let mut bytes = Vec::new();
+                for m in 0..cfg.malformed_senders {
+                    let id = (cfg.devices + m) as u32;
+                    for burst in 0..4 {
+                        Report {
+                            device: id,
+                            query: 0x7FFF,
+                            epoch,
+                            payload: Payload::Value(burst),
+                        }
+                        .encode_into(&mut bytes);
+                    }
+                }
+                bytes
+            })
+            .collect();
+
+        let rounds = self.rounds();
         let mut ingest = IngestStats::default();
-        for epoch in 0..cfg.epochs as usize {
+        for round in 0..rounds {
             let _span = EPOCH_SPAN.enter();
             for chunk in &chunks {
-                let stats = collector.ingest_frames(&chunk.frames[epoch]);
-                ingest.accepted += stats.accepted;
-                ingest.rejected += stats.rejected;
+                ingest.absorb(collector.ingest_frames(&chunk.frames[round]));
+            }
+            if let Some(bytes) = malformed.get(round) {
+                if !bytes.is_empty() {
+                    ingest.absorb(collector.ingest_frames(bytes));
+                }
             }
         }
 
@@ -398,13 +565,41 @@ impl FleetDriver {
         let mut accountant = CompositionLedger::new();
         let mut excluded: Vec<u32> = Vec::new();
         let mut dropped = 0usize;
+        let mut retry_attempts = 0u64;
+        let mut reports_unacked = 0u64;
+        // The keyed replay: every fresh randomization, re-recorded under
+        // its (device, epoch) key. A retry path that re-privatized would
+        // charge one key twice and surface here as a typed DoubleSpend —
+        // never as silent extra accumulation.
+        let mut keyed = BudgetLedger::new();
+        let mut double_spends = 0u64;
+        let mut ledger_digest: u64 = 0xCBF2_9CE4_8422_2325;
         for chunk in &chunks {
             fleet_ledger.merge(&chunk.ledger);
             for &c in &chunk.charges {
                 accountant.record(c);
             }
+            for &(device, epoch, charge) in &chunk.spends {
+                if keyed
+                    .record_spend(u64::from(device), u64::from(epoch), charge)
+                    .is_err()
+                {
+                    double_spends += 1;
+                }
+                for b in device
+                    .to_le_bytes()
+                    .into_iter()
+                    .chain(epoch.to_le_bytes())
+                    .chain(charge.to_bits().to_le_bytes())
+                {
+                    ledger_digest ^= u64::from(b);
+                    ledger_digest = ledger_digest.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
             excluded.extend_from_slice(&chunk.excluded);
             dropped += chunk.dropped.len();
+            retry_attempts += chunk.retry_attempts;
+            reports_unacked += chunk.reports_unacked;
         }
         let audit_ok = fleet_ledger.audit(&accountant).is_ok();
         DEVICES.add(cfg.devices as u64);
@@ -440,6 +635,13 @@ impl FleetDriver {
             .count() as f64
             / n;
 
+        // Coverage seal: expected is what a perfect transport would have
+        // delivered from the included population; estimators downstream
+        // already use realized counts, so a shortfall widens SE instead of
+        // breaking anything — the seal just grades it.
+        let expected = 2 * cfg.epochs as u64 * (cfg.devices - excluded.len()) as u64;
+        let seal = EpochSeal::evaluate(expected, ingest.accepted, cfg.quorum);
+
         let values = collector.totals(VALUE_QUERY);
         let bits = collector.totals(RR_QUERY);
         Ok(FleetOutcome {
@@ -459,12 +661,66 @@ impl FleetDriver {
             ledger_total: fleet_ledger.total(),
             ledger_entries: fleet_ledger.len(),
             audit_ok,
+            ledger_digest,
+            double_spends,
+            retry_attempts,
+            reports_unacked,
+            seal,
+            quarantined: collector.quarantined_devices(),
             n_th_k: self.model.n_th_k(),
         })
     }
 
+    /// Delivery rounds per run: the configured epochs plus, under chaos,
+    /// the slack the last epoch's backoff and delivery delays can reach
+    /// into.
+    fn rounds(&self) -> usize {
+        let cfg = &self.cfg;
+        let slack = if cfg.chaos.is_some() {
+            (1usize << cfg.retry_budget) - 1 + MAX_DELAY_ROUNDS as usize
+        } else {
+            0
+        };
+        cfg.epochs as usize + slack
+    }
+
+    /// Sends one cached report through the uplink: the first attempt plus
+    /// up to `retry_budget` retransmissions of the *same bytes* under
+    /// exponential backoff (attempt `a` departs at `epoch + 2^a − 1`).
+    /// Returns `(extra_attempts, acked)`.
+    fn transmit(
+        &self,
+        chaos: Option<&mut DeviceChaos>,
+        frame: &[u8; crate::wire::FRAME_LEN],
+        epoch: usize,
+        buckets: &mut RoundBuckets,
+    ) -> (u64, bool) {
+        let Some(chaos) = chaos else {
+            // Perfect wire: one attempt, delivered in its own epoch.
+            buckets.deliver(epoch, frame, false);
+            return (0, true);
+        };
+        let mut extra = 0u64;
+        for attempt in 0..=self.cfg.retry_budget {
+            if attempt > 0 {
+                extra += 1;
+            }
+            let send_round = epoch + (1usize << attempt) - 1;
+            let outcome = chaos.attempt(frame);
+            if let Some(d) = outcome.delivery {
+                buckets.deliver(send_round + d.delay_rounds as usize, &d.bytes, d.displaced);
+            }
+            if outcome.acked {
+                return (extra, true);
+            }
+        }
+        (extra, false)
+    }
+
     /// Simulates devices `[start, end)`: boot each through the hardware
-    /// command sequence and emit its per-epoch wire frames.
+    /// command sequence, privatize **at most once** per `(query, epoch)`,
+    /// and push the cached report bytes through the (possibly chaotic)
+    /// uplink.
     fn simulate_chunk(
         &self,
         start: u32,
@@ -474,12 +730,17 @@ impl FleetDriver {
     ) -> Result<ChunkResult, FleetError> {
         let cfg = &self.cfg;
         let epochs = cfg.epochs as usize;
+        let rounds = self.rounds();
+        let mut buckets = RoundBuckets::new(rounds);
         let mut out = ChunkResult {
-            frames: vec![Vec::new(); epochs],
+            frames: Vec::new(),
             ledger: BudgetLedger::new(),
             charges: Vec::new(),
+            spends: Vec::new(),
             excluded: Vec::new(),
             dropped: Vec::new(),
+            retry_attempts: 0,
+            reports_unacked: 0,
         };
         for id in start..end {
             let x_code = codes_k[id as usize];
@@ -529,17 +790,24 @@ impl FleetDriver {
             dev.issue(Command::SetThreshold, 0)?; // resampling → thresholding
             let mut rr_rng = Taus88::from_seed(stream_seed(cfg.seed, &[u64::from(id), 2]));
             let above = x_code >= cfg.threshold_code;
+            // The transport state is per-device and seeded from the chaos
+            // seed alone, so the fault pattern is independent of chunk
+            // partition and thread schedule.
+            let mut chaos = cfg.chaos.as_ref().map(|c| DeviceChaos::new(c, id));
             for epoch in 0..epochs {
-                match dev.noise_value(x_code) {
-                    Ok((y, _cycles)) => {
-                        Report {
-                            device: id,
-                            query: VALUE_QUERY,
-                            epoch: epoch as u32,
-                            payload: Payload::Value(y as i32),
-                        }
-                        .encode_into(&mut out.frames[epoch]);
+                // Privatize AT MOST ONCE per (query, epoch): the encoded
+                // frames below are the cached bytes every retransmission
+                // replays verbatim. A fresh ledger charge is keyed by
+                // (device, epoch) for the double-spend audit.
+                let before = dev.ledger().len();
+                let value_frame = match dev.noise_value(x_code) {
+                    Ok((y, _cycles)) => Report {
+                        device: id,
+                        query: VALUE_QUERY,
+                        epoch: epoch as u32,
+                        payload: Payload::Value(y as i32),
                     }
+                    .encode(),
                     // Fail-safe paths (runtime health trip, budget halt):
                     // the device stops reporting; the fleet records it.
                     Err(DpBoxError::UrngHealthFault(_)) | Err(DpBoxError::BudgetExhausted) => {
@@ -547,18 +815,28 @@ impl FleetDriver {
                         break;
                     }
                     Err(e) => return Err(e.into()),
+                };
+                if dev.ledger().len() > before {
+                    let entry = dev.ledger().entries()[before];
+                    out.spends.push((id, epoch as u32, entry.charge));
                 }
-                Report {
+                let rr_frame = Report {
                     device: id,
                     query: RR_QUERY,
                     epoch: epoch as u32,
                     payload: Payload::RrBit(rr.privatize(above, &mut rr_rng)),
                 }
-                .encode_into(&mut out.frames[epoch]);
+                .encode();
+                for frame in [&value_frame, &rr_frame] {
+                    let (extra, acked) = self.transmit(chaos.as_mut(), frame, epoch, &mut buckets);
+                    out.retry_attempts += extra;
+                    out.reports_unacked += u64::from(!acked);
+                }
             }
             out.charges.extend(dev.accountant().losses());
             out.ledger.merge(dev.ledger());
         }
+        out.frames = buckets.finalize();
         Ok(out)
     }
 }
@@ -629,6 +907,96 @@ mod tests {
         assert_eq!(out.ingest.accepted, 0);
         assert_eq!(out.ledger_entries, 0);
         assert!(out.mean.is_none());
+    }
+
+    #[test]
+    fn clean_runs_seal_full_with_no_retries() {
+        let out = FleetDriver::new(small_cfg(200)).unwrap().run().unwrap();
+        assert!(out.seal.is_full());
+        assert_eq!(out.seal.coverage, 1.0);
+        assert_eq!(out.retry_attempts, 0);
+        assert_eq!(out.reports_unacked, 0);
+        assert_eq!(out.double_spends, 0);
+        assert!(out.quarantined.is_empty());
+    }
+
+    #[test]
+    fn chaos_preserves_the_ledger_digest_bitwise() {
+        use crate::chaos::{ChaosConfig, FaultClass};
+        let quiet = FleetDriver::new(small_cfg(300)).unwrap().run().unwrap();
+        let chaotic = FleetDriver::new(FleetConfig {
+            chaos: Some(ChaosConfig {
+                drop: FaultClass::bursty(0.1, 4.0),
+                duplicate: FaultClass::flat(0.1),
+                corrupt: FaultClass::flat(0.05),
+                reorder: FaultClass::flat(0.05),
+                delay: FaultClass::flat(0.05),
+                truncate: FaultClass::flat(0.02),
+                ..ChaosConfig::quiet(0xC0FFEE)
+            }),
+            ..small_cfg(300)
+        })
+        .unwrap()
+        .run()
+        .unwrap();
+        // Retries replay cached bytes: ε-spend is bitwise identical with
+        // and without transport faults.
+        assert_eq!(quiet.ledger_digest, chaotic.ledger_digest);
+        assert_eq!(quiet.ledger_total.to_bits(), chaotic.ledger_total.to_bits());
+        assert_eq!(quiet.ledger_entries, chaotic.ledger_entries);
+        assert_eq!(chaotic.double_spends, 0);
+        assert!(chaotic.audit_ok);
+        // The faults actually fired and the dedup window folded the
+        // retransmissions away.
+        assert!(chaotic.retry_attempts > 0);
+        assert!(chaotic.ingest.duplicates > 0);
+        assert!(chaotic.ingest.corrupt_frames > 0);
+        // Truths are transport-independent.
+        assert_eq!(quiet.truth_mean.to_bits(), chaotic.truth_mean.to_bits());
+        assert_eq!(quiet.devices_excluded, chaotic.devices_excluded);
+    }
+
+    #[test]
+    fn malformed_senders_are_latched_without_touching_estimates() {
+        let clean = FleetDriver::new(small_cfg(200)).unwrap().run().unwrap();
+        let out = FleetDriver::new(FleetConfig {
+            malformed_senders: 3,
+            ..small_cfg(200)
+        })
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(out.quarantined, vec![200, 201, 202]);
+        assert_eq!(out.ingest.quarantine_latched, 3);
+        // Their garbage never reaches an accumulator: every estimate is
+        // bit-identical to the clean run.
+        assert_eq!(clean.mean, out.mean);
+        assert_eq!(clean.rr_frequency, out.rr_frequency);
+        assert_eq!(clean.ingest.accepted, out.ingest.accepted);
+    }
+
+    #[test]
+    fn heavy_loss_degrades_the_seal_instead_of_panicking() {
+        use crate::chaos::{ChaosConfig, FaultClass};
+        let out = FleetDriver::new(FleetConfig {
+            chaos: Some(ChaosConfig {
+                drop: FaultClass::bursty(0.5, 8.0),
+                ..ChaosConfig::quiet(13)
+            }),
+            retry_budget: 0,
+            ..small_cfg(300)
+        })
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(!out.seal.is_full(), "50% drop with no retries must degrade");
+        let SealStatus::Degraded { coverage } = out.seal.status else {
+            panic!("expected a degraded seal");
+        };
+        assert!(coverage < 0.9 && coverage > 0.2, "coverage {coverage}");
+        // Estimates still come out, debiased, with SE from realized counts.
+        let mean = out.mean.expect("estimates survive degraded coverage");
+        assert!(mean.value.is_finite() && mean.stderr > 0.0);
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //!   through a collector, with the per-device privacy ledgers folded into
 //!   one auditable fleet ledger;
 //! * [`sweep`] — the accuracy sweep gating `|estimate − truth|` against
-//!   `3·SE + bias_bound` across population sizes.
+//!   `3·SE + bias_bound` across population sizes;
+//! * [`chaos`] — seeded, deterministic lossy-transport fault injection
+//!   (drop, duplicate, reorder, corrupt, truncate, delay in correlated
+//!   bursts), driving the replay-safe retry and idempotent-ingest paths.
 //!
 //! Everything is deterministic by construction: device streams are
 //! [`ulp_rng::stream_seed`]-derived, parallelism partitions by data (never
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod collector;
 pub mod driver;
 pub mod estimator;
@@ -39,9 +43,16 @@ pub mod sketch;
 pub mod sweep;
 pub mod wire;
 
-pub use collector::{Collector, IngestStats, QueryConfig, QueryKind, QueryTotals};
+pub use chaos::{
+    chaos_seed_from_env, Attempt, ChaosConfig, ChaosConfigError, Delivery, DeviceChaos, FaultClass,
+    FaultKind, CHAOS_SEED_ENV, MAX_DELAY_ROUNDS,
+};
+pub use collector::{
+    Collector, EpochSeal, IngestStats, QueryConfig, QueryKind, QueryTotals, SealStatus,
+    WireErrorTally, DEFAULT_QUARANTINE_STRIKES,
+};
 pub use driver::{FleetConfig, FleetDriver, FleetError, FleetOutcome, RR_QUERY, VALUE_QUERY};
 pub use estimator::{Estimate, NoiseModel};
 pub use sketch::GridSketch;
 pub use sweep::{fleet_sweep, render_sweep, FleetSweepRow, GateResult};
-pub use wire::{Payload, Report, WireError, FRAME_LEN, MAGIC, VERSION};
+pub use wire::{Payload, Report, WireError, FRAME_LEN, MAGIC, VERSION, VERSION_LEGACY};

@@ -11,21 +11,42 @@
 //! | off | size | field |
 //! |-----|------|-------|
 //! | 0   | 1    | magic `0xD9` |
-//! | 1   | 1    | version (`1`) |
+//! | 1   | 1    | version (`1` legacy, `2` current) |
 //! | 2   | 1    | payload kind (`0` = FxP value, `1` = RR bit) |
-//! | 3   | 1    | reserved, must be `0` |
+//! | 3   | 1    | v1: reserved, must be `0`; v2: sequence number |
 //! | 4   | 4    | device id, u32 LE |
 //! | 8   | 2    | query id, u16 LE |
 //! | 10  | 4    | epoch, u32 LE |
 //! | 14  | 4    | payload, i32 LE (RR frames: `0` or `1`) |
 //! | 18  | 2    | checksum: FNV-1a of bytes `0..18`, folded to 16 bits, LE |
+//!
+//! # The v2 sequence number
+//!
+//! Version 2 turns the reserved byte into a per-query-stream **sequence
+//! number**: the low 8 bits of the device's send counter for that stream,
+//! which — because a device privatizes *at most once* per `(query, epoch)`
+//! and retransmits cached bytes verbatim — is exactly `epoch mod 256`.
+//! The decoder enforces that identity. A sender whose retry path
+//! re-randomizes (re-privatizing and re-encoding instead of replaying the
+//! cached frame) drifts its counter off the epoch and is flagged with a
+//! typed, device-attributed [`WireError::SeqMismatch`] — the collector's
+//! cheapest detector for the repeated-sampling privacy leak.
+//!
+//! Errors that occur *after* the checksum verifies (`SeqMismatch`,
+//! `UnknownKind`, `PayloadOutOfRange`) carry the sender's device id: the
+//! frame body is integrity-checked, so the id is trustworthy and the
+//! collector can count strikes against that sender (the quarantine path).
+//! Pre-checksum errors carry no id — a corrupt frame's device field is
+//! noise.
 
 use core::fmt;
 
 /// Frame magic byte (first byte of every report frame).
 pub const MAGIC: u8 = 0xD9;
-/// Current wire-format version.
-pub const VERSION: u8 = 1;
+/// Current wire-format version (sequence-numbered frames).
+pub const VERSION: u8 = 2;
+/// The legacy wire version (reserved byte must be zero) still decoded.
+pub const VERSION_LEGACY: u8 = 1;
 /// Encoded size of one report frame, in bytes.
 pub const FRAME_LEN: usize = 20;
 
@@ -67,6 +88,26 @@ pub struct Report {
     pub payload: Payload,
 }
 
+impl Report {
+    /// Builds a report for `(device, query, epoch)`; the v2 sequence
+    /// number is derived from the epoch at encode time.
+    pub fn new(device: u32, query: u16, epoch: u32, payload: Payload) -> Report {
+        Report {
+            device,
+            query,
+            epoch,
+            payload,
+        }
+    }
+
+    /// The sequence number a conforming privatize-once sender stamps on
+    /// this report: the low 8 bits of its per-stream send counter, which
+    /// equals `epoch mod 256`.
+    pub fn seq(&self) -> u8 {
+        (self.epoch & 0xFF) as u8
+    }
+}
+
 /// Why a frame was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
@@ -85,13 +126,16 @@ pub enum WireError {
         /// The version found.
         found: u8,
     },
-    /// The kind byte names no known payload type.
+    /// The kind byte names no known payload type. Post-checksum, so the
+    /// sender id is trustworthy.
     UnknownKind {
         /// The kind byte found.
         found: u8,
+        /// The sender (integrity-checked).
+        device: u32,
     },
-    /// The reserved byte was non-zero (a forward-compatibility guard:
-    /// current encoders always write `0`).
+    /// A v1 frame's reserved byte was non-zero (a forward-compatibility
+    /// guard: v1 encoders always write `0`).
     NonZeroReserved {
         /// The byte found.
         found: u8,
@@ -103,11 +147,41 @@ pub enum WireError {
         /// Checksum computed over bytes `0..18`.
         computed: u16,
     },
-    /// An RR frame carried a payload other than `0`/`1`.
+    /// A v2 frame's sequence number disagrees with its epoch — the
+    /// signature of a sender that regenerated a report instead of
+    /// replaying its cached bytes. Post-checksum, so the sender id is
+    /// trustworthy.
+    SeqMismatch {
+        /// Sequence number carried by the frame.
+        seq: u8,
+        /// Epoch carried by the frame (`seq` must equal `epoch mod 256`).
+        epoch: u32,
+        /// The sender (integrity-checked).
+        device: u32,
+    },
+    /// An RR frame carried a payload other than `0`/`1`. Post-checksum,
+    /// so the sender id is trustworthy.
     PayloadOutOfRange {
         /// The payload found.
         found: i32,
+        /// The sender (integrity-checked).
+        device: u32,
     },
+}
+
+impl WireError {
+    /// The sender id, for errors found *after* the checksum verified —
+    /// the frame body is integrity-checked, so the id can be trusted and
+    /// strikes can be attributed (the quarantine path). `None` for
+    /// pre-checksum errors, where the device field may itself be corrupt.
+    pub fn attributable_device(&self) -> Option<u32> {
+        match *self {
+            WireError::UnknownKind { device, .. }
+            | WireError::SeqMismatch { device, .. }
+            | WireError::PayloadOutOfRange { device, .. } => Some(device),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for WireError {
@@ -120,18 +194,31 @@ impl fmt::Display for WireError {
                 write!(f, "bad magic byte {found:#04x} (expected {MAGIC:#04x})")
             }
             WireError::UnsupportedVersion { found } => {
-                write!(f, "unsupported wire version {found} (speak {VERSION})")
+                write!(
+                    f,
+                    "unsupported wire version {found} (speak {VERSION_LEGACY} and {VERSION})"
+                )
             }
-            WireError::UnknownKind { found } => write!(f, "unknown payload kind {found}"),
+            WireError::UnknownKind { found, device } => {
+                write!(f, "unknown payload kind {found} from device {device}")
+            }
             WireError::NonZeroReserved { found } => {
-                write!(f, "reserved byte must be 0, got {found:#04x}")
+                write!(f, "reserved byte must be 0 in v1 frames, got {found:#04x}")
             }
             WireError::ChecksumMismatch { stored, computed } => write!(
                 f,
                 "checksum mismatch: frame carries {stored:#06x}, body hashes to {computed:#06x}"
             ),
-            WireError::PayloadOutOfRange { found } => {
-                write!(f, "RR payload must be 0 or 1, got {found}")
+            WireError::SeqMismatch { seq, epoch, device } => write!(
+                f,
+                "sequence {seq} disagrees with epoch {epoch} (mod 256) from device {device}: \
+                 sender is not replaying cached reports"
+            ),
+            WireError::PayloadOutOfRange { found, device } => {
+                write!(
+                    f,
+                    "RR payload must be 0 or 1, got {found} from device {device}"
+                )
             }
         }
     }
@@ -153,13 +240,13 @@ fn checksum(body: &[u8]) -> u16 {
 }
 
 impl Report {
-    /// Encodes the report as one [`FRAME_LEN`]-byte frame.
+    /// Encodes the report as one [`FRAME_LEN`]-byte v2 frame.
     pub fn encode(&self) -> [u8; FRAME_LEN] {
         let mut frame = [0u8; FRAME_LEN];
         frame[0] = MAGIC;
         frame[1] = VERSION;
         frame[2] = self.payload.kind();
-        frame[3] = 0;
+        frame[3] = self.seq();
         frame[4..8].copy_from_slice(&self.device.to_le_bytes());
         frame[8..10].copy_from_slice(&self.query.to_le_bytes());
         frame[10..14].copy_from_slice(&self.epoch.to_le_bytes());
@@ -179,8 +266,8 @@ impl Report {
     /// # Errors
     ///
     /// A typed [`WireError`] naming the first integrity violation found:
-    /// truncation, magic, version, kind, reserved byte, checksum, or RR
-    /// payload range, checked in that order.
+    /// truncation, magic, version, reserved byte (v1), checksum, sequence
+    /// (v2), kind, or RR payload range, checked in that order.
     pub fn decode(bytes: &[u8]) -> Result<Report, WireError> {
         if bytes.len() < FRAME_LEN {
             return Err(WireError::Truncated { got: bytes.len() });
@@ -189,10 +276,10 @@ impl Report {
         if frame[0] != MAGIC {
             return Err(WireError::BadMagic { found: frame[0] });
         }
-        if frame[1] != VERSION {
+        if frame[1] != VERSION && frame[1] != VERSION_LEGACY {
             return Err(WireError::UnsupportedVersion { found: frame[1] });
         }
-        if frame[3] != 0 {
+        if frame[1] == VERSION_LEGACY && frame[3] != 0 {
             return Err(WireError::NonZeroReserved { found: frame[3] });
         }
         let stored = u16::from_le_bytes([frame[18], frame[19]]);
@@ -200,20 +287,41 @@ impl Report {
         if stored != computed {
             return Err(WireError::ChecksumMismatch { stored, computed });
         }
+        // The body is integrity-checked from here on: the device id is
+        // trustworthy and errors below can be attributed to the sender.
+        let device = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        let epoch = u32::from_le_bytes([frame[10], frame[11], frame[12], frame[13]]);
+        if frame[1] == VERSION && frame[3] != (epoch & 0xFF) as u8 {
+            return Err(WireError::SeqMismatch {
+                seq: frame[3],
+                epoch,
+                device,
+            });
+        }
         let raw = i32::from_le_bytes([frame[14], frame[15], frame[16], frame[17]]);
         let payload = match frame[2] {
             0 => Payload::Value(raw),
             1 => match raw {
                 0 => Payload::RrBit(false),
                 1 => Payload::RrBit(true),
-                other => return Err(WireError::PayloadOutOfRange { found: other }),
+                other => {
+                    return Err(WireError::PayloadOutOfRange {
+                        found: other,
+                        device,
+                    })
+                }
             },
-            other => return Err(WireError::UnknownKind { found: other }),
+            other => {
+                return Err(WireError::UnknownKind {
+                    found: other,
+                    device,
+                })
+            }
         };
         Ok(Report {
-            device: u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]),
+            device,
             query: u16::from_le_bytes([frame[8], frame[9]]),
-            epoch: u32::from_le_bytes([frame[10], frame[11], frame[12], frame[13]]),
+            epoch,
             payload,
         })
     }
@@ -232,6 +340,12 @@ mod tests {
         }
     }
 
+    /// Re-seals bytes `0..18` with a fresh checksum (forging helper).
+    fn reseal(frame: &mut [u8; FRAME_LEN]) {
+        let sum = checksum(&frame[..18]);
+        frame[18..20].copy_from_slice(&sum.to_le_bytes());
+    }
+
     #[test]
     fn roundtrip_value_and_rr() {
         let r = report();
@@ -243,6 +357,50 @@ mod tests {
             };
             assert_eq!(Report::decode(&r.encode()).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn encoder_stamps_epoch_low_byte_as_sequence() {
+        for epoch in [0u32, 1, 255, 256, 300, 0xFFFF_FFFF] {
+            let r = Report { epoch, ..report() };
+            let frame = r.encode();
+            assert_eq!(frame[1], VERSION);
+            assert_eq!(frame[3], (epoch & 0xFF) as u8);
+            assert_eq!(Report::decode(&frame).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn legacy_v1_frames_still_decode() {
+        let r = report();
+        let mut frame = r.encode();
+        frame[1] = VERSION_LEGACY;
+        frame[3] = 0; // v1 reserved byte
+        reseal(&mut frame);
+        assert_eq!(Report::decode(&frame).unwrap(), r);
+        // ... but a non-zero reserved byte is rejected before the checksum.
+        frame[3] = 5;
+        assert_eq!(
+            Report::decode(&frame),
+            Err(WireError::NonZeroReserved { found: 5 })
+        );
+    }
+
+    #[test]
+    fn sequence_epoch_disagreement_is_attributed_to_the_sender() {
+        let mut frame = report().encode();
+        frame[3] = frame[3].wrapping_add(1); // a re-randomizing sender's drift
+        reseal(&mut frame);
+        let err = Report::decode(&frame).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::SeqMismatch {
+                seq: 43,
+                epoch: 42,
+                device: 0xDEAD_BEEF
+            }
+        );
+        assert_eq!(err.attributable_device(), Some(0xDEAD_BEEF));
     }
 
     #[test]
@@ -262,9 +420,15 @@ mod tests {
             for bit in 0..8 {
                 let mut corrupt = frame;
                 corrupt[byte] ^= 1 << bit;
-                assert!(
-                    Report::decode(&corrupt).is_err(),
-                    "flip of byte {byte} bit {bit} must not decode"
+                let err = Report::decode(&corrupt).expect_err("bit flip must not decode");
+                // In-flight corruption is never attributed to the sender:
+                // only post-checksum (sender-authored) violations carry an
+                // id, and a flipped bit always fails before or at the
+                // checksum.
+                assert_eq!(
+                    err.attributable_device(),
+                    None,
+                    "flip of byte {byte} bit {bit} must not be attributable"
                 );
             }
         }
@@ -288,13 +452,15 @@ mod tests {
         }
         .encode();
         // Forge payload = 2 and re-seal the checksum: the range check must
-        // still reject it.
+        // still reject it, and — being sender-authored — attribute it.
         frame[14..18].copy_from_slice(&2i32.to_le_bytes());
-        let sum = checksum(&frame[..18]);
-        frame[18..20].copy_from_slice(&sum.to_le_bytes());
+        reseal(&mut frame);
         assert_eq!(
             Report::decode(&frame),
-            Err(WireError::PayloadOutOfRange { found: 2 })
+            Err(WireError::PayloadOutOfRange {
+                found: 2,
+                device: 0xDEAD_BEEF
+            })
         );
     }
 }

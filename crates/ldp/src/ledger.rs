@@ -10,6 +10,7 @@
 //! produced, is a mismatch, not a tolerance call.
 
 use core::fmt;
+use std::collections::HashMap;
 
 use ulp_obs::Counter;
 
@@ -20,6 +21,11 @@ static AUDITS_OK: Counter = Counter::new("ldp.ledger.audits_ok");
 /// Failed audits — recorded even at metrics level `off`: a ledger that
 /// disagrees with its accountant is a broken privacy invariant.
 static AUDIT_FAILURES: Counter = Counter::new("ldp.ledger.audit_failures");
+/// Rejected duplicate fresh-randomization charges — recorded even at
+/// metrics level `off`: a second spend for the same `(device, query)` is
+/// exactly the repeated-sampling privacy leak the replay-safe retry path
+/// exists to prevent.
+static DOUBLE_SPENDS: Counter = Counter::new("ldp.ledger.double_spends");
 
 /// One audited privacy charge.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,7 +58,38 @@ pub struct LedgerEntry {
 pub struct BudgetLedger {
     entries: Vec<LedgerEntry>,
     total: f64,
+    // Keys already charged through `record_spend`; `HashMap` equality is
+    // order-independent, so the derived `PartialEq` stays meaningful.
+    spends: HashMap<(u64, u64), f64>,
 }
+
+/// A rejected second fresh-randomization charge for a `(device, query)`
+/// pair — the finite-precision analogue of a repeated-sampling leak: a
+/// retry path that re-privatizes instead of replaying cached bytes would
+/// consume budget twice for one answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DoubleSpend {
+    /// The device whose budget was charged twice.
+    pub device: u64,
+    /// The query charged twice for that device.
+    pub query: u64,
+    /// The ε recorded by the first (accepted) charge.
+    pub first: f64,
+    /// The ε the rejected second charge attempted to record.
+    pub second: f64,
+}
+
+impl fmt::Display for DoubleSpend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "double spend: device {} query {} already charged ε = {}, rejected second charge ε = {}",
+            self.device, self.query, self.first, self.second
+        )
+    }
+}
+
+impl std::error::Error for DoubleSpend {}
 
 /// The first divergence found by [`BudgetLedger::audit`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -132,6 +169,50 @@ impl BudgetLedger {
             charge,
             total_after: self.total,
         });
+    }
+
+    /// Appends one charge keyed by the `(device, query)` pair that earned
+    /// it, rejecting a second fresh-randomization charge for the same key.
+    ///
+    /// [`BudgetLedger::record`] trusts its caller to charge each
+    /// randomization once; this variant *verifies* it. The fleet retry
+    /// audit replays every device's fresh charges through this method — a
+    /// device whose retry path re-randomized (instead of retransmitting
+    /// cached bytes) shows up as a typed [`DoubleSpend`], never as silent
+    /// extra accumulation.
+    ///
+    /// # Errors
+    ///
+    /// [`DoubleSpend`] if this key was already charged; the ledger is left
+    /// unchanged (the duplicate is *not* accumulated).
+    ///
+    /// # Panics
+    ///
+    /// As [`BudgetLedger::record`], for a non-finite or negative charge.
+    pub fn record_spend(
+        &mut self,
+        device: u64,
+        query: u64,
+        charge: f64,
+    ) -> Result<(), DoubleSpend> {
+        if let Some(&first) = self.spends.get(&(device, query)) {
+            DOUBLE_SPENDS.record_always(1);
+            return Err(DoubleSpend {
+                device,
+                query,
+                first,
+                second: charge,
+            });
+        }
+        self.record(charge);
+        self.spends.insert((device, query), charge);
+        Ok(())
+    }
+
+    /// Number of distinct `(device, query)` keys charged through
+    /// [`BudgetLedger::record_spend`].
+    pub fn spend_keys(&self) -> usize {
+        self.spends.len()
     }
 
     /// Folds another ledger into this one by replaying its charges, in
@@ -367,6 +448,44 @@ mod tests {
     #[should_panic(expected = "privacy charge must be finite")]
     fn extend_rejects_garbage_like_record() {
         BudgetLedger::new().extend([0.5, f64::NEG_INFINITY]);
+    }
+
+    #[test]
+    fn double_spend_is_a_typed_error_and_not_accumulated() {
+        let mut ledger = BudgetLedger::new();
+        ledger.record_spend(7, 0, 0.5).unwrap();
+        ledger.record_spend(7, 1, 0.25).unwrap();
+        ledger.record_spend(8, 0, 0.5).unwrap();
+        // A replayed *cached* report never reaches the ledger; a second
+        // fresh charge for an already-charged key must be rejected whole.
+        let err = ledger.record_spend(7, 1, 0.125).unwrap_err();
+        assert_eq!(
+            err,
+            DoubleSpend {
+                device: 7,
+                query: 1,
+                first: 0.25,
+                second: 0.125
+            }
+        );
+        // Rejected means rejected: total, entry count, and key count are
+        // exactly what the three clean spends left behind.
+        assert_eq!(ledger.len(), 3);
+        assert_eq!(ledger.spend_keys(), 3);
+        assert_eq!(ledger.total(), 1.25);
+        let msg = err.to_string();
+        assert!(msg.contains("device 7") && msg.contains("query 1"), "{msg}");
+    }
+
+    #[test]
+    fn keyed_spends_audit_like_plain_records() {
+        let mut ledger = BudgetLedger::new();
+        let mut acct = CompositionLedger::new();
+        for (d, q, eps) in [(0u64, 0u64, 0.1), (0, 1, 0.2), (1, 0, 0.1)] {
+            ledger.record_spend(d, q, eps).unwrap();
+            acct.record(eps);
+        }
+        ledger.audit(&acct).unwrap();
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub use composition::CompositionLedger;
 pub use discrete_mech::DiscreteLaplaceMechanism;
 pub use error::LdpError;
 pub use kary::KaryRandomizedResponse;
-pub use ledger::{AuditMismatch, BudgetLedger, LedgerEntry};
+pub use ledger::{AuditMismatch, BudgetLedger, DoubleSpend, LedgerEntry};
 pub use loss::{
     conditional, loss_profile, worst_case_loss_exhaustive, worst_case_loss_extremes,
     ConditionalDist, LimitMode, PrivacyLoss,

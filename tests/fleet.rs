@@ -64,7 +64,7 @@ proptest! {
     }
 
     #[test]
-    fn future_versions_are_rejected(report in arb_report(), version in 2u8..=255) {
+    fn future_versions_are_rejected(report in arb_report(), version in 3u8..=255) {
         let mut frame = report.encode();
         frame[1] = version;
         prop_assert_eq!(
