@@ -4,32 +4,76 @@
 //! fixed population, across collector shard counts), timing the full
 //! pipeline — device simulation, wire encoding, sharded ingest, estimation,
 //! ledger audit — and writes a machine-readable JSON report (default
-//! `BENCH_fleet.json`).
+//! `BENCH_fleet.json`, schema `ulp-ldp/bench_fleet/v2`).
 //!
 //! Each cell records:
 //!
-//! * throughput (reports ingested per second);
+//! * throughput (reports ingested per second), plus the collector-side
+//!   phase breakdown — decode, accumulate, fold — attributed from the
+//!   `fleet.collector.*` span timers, with decode-only and
+//!   accumulate-only throughput derived from the same deltas;
+//! * the columnar-decode counters (`fleet.decode.batch_frames`,
+//!   `fleet.decode.fallback_chunks`) showing how much of the stream rode
+//!   the parallel fast path vs the sequential resync scanner;
 //! * the [`FleetOutcome`] determinism digest — rerunning with a different
-//!   `ULP_PAR_THREADS` must reproduce every digest bit-for-bit;
+//!   `ULP_PAR_THREADS` or `ULP_FLEET_INGEST_PATH` must reproduce every
+//!   digest bit-for-bit;
 //! * the accuracy gates: mean, RR frequency, and RR count must land within
 //!   `3·SE + bias_bound` of ground truth. A gate failure aborts the run —
 //!   a benchmark that quietly reports wrong estimates is worse than none.
+//!
+//! Full (non-smoke) reports also carry a `target` block grading the
+//! 10⁵-device cell against the 1M reports/sec goal, with the documented
+//! fallback for single-core hosts: ≥5× the v1 scalar-ingest baseline.
 //!
 //! Flags:
 //!
 //! * `--smoke` — tiny populations (CI-friendly, seconds not minutes);
 //! * `--out <path>` — where to write the JSON report;
+//! * `--reference` — force the scalar reference ingest path (shorthand
+//!   for `ULP_FLEET_INGEST_PATH=reference`);
+//! * `--compare <baseline.json>` — exit non-zero if any cell present in
+//!   both reports lost more than 25% of its reports/sec;
 //! * `--metrics` — embed the process-wide [`ulp_obs`] snapshot in the JSON
-//!   report (raises the level to `full` unless `ULP_METRICS` pins it).
+//!   report.
 //!
 //! `ULP_*` environment knobs are validated at startup: a set-but-malformed
 //! value exits with status 2 naming the variable — never a silent fallback.
+//!
+//! Throughput is the best of three timed runs at the ambient metrics
+//! level (host noise only ever slows a run down); the phase breakdown
+//! comes from a separate untimed warm-up run at level `full`. All runs
+//! of a cell must produce one digest — instrumentation and repetition
+//! never perturb the pipeline.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use ulp_fleet::{render_sweep, FleetConfig, FleetDriver, FleetOutcome, FleetSweepRow, GateResult};
+use ldp_core::SamplerPath;
+use ulp_fleet::{
+    decode_counter_totals, ingest_phase_totals, render_sweep, FleetConfig, FleetDriver,
+    FleetOutcome, FleetSweepRow, GateResult, IngestPath,
+};
 use ulp_obs::MetricsLevel;
+
+/// The scalar-ingest `n100000` throughput from the committed v1 baseline
+/// (`BENCH_fleet.json` before the columnar rework), on the single-core
+/// reference host. The single-core fallback target is 5× this figure.
+const V1_BASELINE_RPS: f64 = 127_668.3;
+/// The headline multi-core ingest-throughput goal.
+const TARGET_RPS: f64 = 1_000_000.0;
+
+/// Collector-side phase attribution for one cell: deltas of the
+/// process-wide `fleet.collector.*` spans and `fleet.decode.*` counters
+/// across the cell's run.
+#[derive(Clone, Copy, Default)]
+struct PhaseDelta {
+    decode_s: f64,
+    accumulate_s: f64,
+    fold_s: f64,
+    batch_frames: u64,
+    fallback_chunks: u64,
+}
 
 struct Cell {
     name: String,
@@ -37,12 +81,23 @@ struct Cell {
     shards: usize,
     epochs: u32,
     seconds: f64,
+    phases: PhaseDelta,
     outcome: FleetOutcome,
 }
 
 impl Cell {
     fn reports_per_sec(&self) -> f64 {
         self.outcome.ingest.accepted as f64 / self.seconds.max(1e-9)
+    }
+
+    /// Reports per second through one phase alone (0 when the phase was
+    /// not timed, i.e. metrics below `full`).
+    fn phase_rps(&self, phase_seconds: f64) -> f64 {
+        if phase_seconds > 0.0 {
+            self.outcome.ingest.accepted as f64 / phase_seconds
+        } else {
+            0.0
+        }
     }
 
     /// The three gated estimators, lined up against ground truth.
@@ -80,25 +135,75 @@ impl Cell {
     }
 }
 
+/// One driver run bracketed by span/counter snapshots, returning the
+/// phase attribution deltas alongside the outcome.
+fn instrumented_run(name: &str, driver: &FleetDriver) -> (FleetOutcome, PhaseDelta) {
+    let spans0 = ingest_phase_totals();
+    let counters0 = decode_counter_totals();
+    let outcome = driver.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+    let spans1 = ingest_phase_totals();
+    let counters1 = decode_counter_totals();
+    let phases = PhaseDelta {
+        decode_s: (spans1.decode_ns - spans0.decode_ns) as f64 * 1e-9,
+        accumulate_s: (spans1.accumulate_ns - spans0.accumulate_ns) as f64 * 1e-9,
+        fold_s: (spans1.fold_ns - spans0.fold_ns) as f64 * 1e-9,
+        batch_frames: counters1.batch_frames - counters0.batch_frames,
+        fallback_chunks: counters1.fallback_chunks - counters0.fallback_chunks,
+    };
+    (outcome, phases)
+}
+
 fn run_cell(name: String, cfg: FleetConfig) -> Cell {
     let (devices, shards, epochs) = (cfg.devices, cfg.shards, cfg.epochs);
     let driver = FleetDriver::new(cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
-    let start = Instant::now();
-    let outcome = driver.run().unwrap_or_else(|e| panic!("{name}: {e}"));
-    let seconds = start.elapsed().as_secs_f64();
+
+    // Phase-attribution pass, first: spans only record at `full`, so the
+    // level is raised for one untimed run. Running it before the timing
+    // pass also serves as warm-up — allocator arenas and page mappings
+    // are hot when the clock starts, so cells are comparable regardless
+    // of sweep order.
+    let ambient = ulp_obs::level();
+    ulp_obs::set_level(MetricsLevel::Full);
+    let (profiled, phases) = instrumented_run(&name, &driver);
+    ulp_obs::set_level(ambient);
+
+    // Timing passes at the ambient metrics level: the throughput figures
+    // reflect the configured operating point, not instrumented overhead.
+    // Best-of-3 — on a shared host, scheduler and frequency noise only
+    // ever slows a run down, so the minimum is the honest estimate.
+    let mut outcome = None;
+    let mut seconds = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let run = driver.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+        seconds = seconds.min(start.elapsed().as_secs_f64());
+        // Instrumentation must never perturb the pipeline, and reruns
+        // must be bit-identical.
+        assert_eq!(
+            run.digest(),
+            profiled.digest(),
+            "{name}: outcome digest diverged across repeat runs"
+        );
+        outcome = Some(run);
+    }
+    let outcome = outcome.expect("at least one timing pass");
     let cell = Cell {
         name,
         devices,
         shards,
         epochs,
         seconds,
+        phases,
         outcome,
     };
     eprintln!(
-        "  {:<10} {seconds:>8.3}s  {:>9} reports  {:>10.0} rep/s  digest {:016x}",
+        "  {:<10} {seconds:>8.3}s  {:>9} reports  {:>10.0} rep/s  \
+         (decode {:.3}s, accumulate {:.3}s)  digest {:016x}",
         cell.name,
         cell.outcome.ingest.accepted,
         cell.reports_per_sec(),
+        cell.phases.decode_s,
+        cell.phases.accumulate_s,
         cell.outcome.digest(),
     );
     assert!(
@@ -119,16 +224,39 @@ fn run_cell(name: String, cfg: FleetConfig) -> Cell {
     cell
 }
 
-fn render_json(threads: usize, smoke: bool, cells: &[Cell], metrics: Option<&str>) -> String {
+fn render_json(
+    threads: usize,
+    smoke: bool,
+    ingest_path: &str,
+    sampler_path: &str,
+    cells: &[Cell],
+    target: Option<&Cell>,
+    metrics: Option<&str>,
+) -> String {
     let total: f64 = cells.iter().map(|c| c.seconds).sum();
     let total_reports: u64 = cells.iter().map(|c| c.outcome.ingest.accepted).sum();
     let mut out = String::new();
     out.push_str("{\n");
-    writeln!(out, "  \"schema\": \"ulp-ldp/bench_fleet/v1\",").unwrap();
+    writeln!(out, "  \"schema\": \"ulp-ldp/bench_fleet/v2\",").unwrap();
     writeln!(out, "  \"threads\": {threads},").unwrap();
     writeln!(out, "  \"smoke\": {smoke},").unwrap();
+    writeln!(out, "  \"ingest_path\": \"{ingest_path}\",").unwrap();
+    writeln!(out, "  \"sampler_path\": \"{sampler_path}\",").unwrap();
     writeln!(out, "  \"total_seconds\": {total:.3},").unwrap();
     writeln!(out, "  \"total_reports\": {total_reports},").unwrap();
+    if let Some(c) = target {
+        let rps = c.reports_per_sec();
+        writeln!(
+            out,
+            "  \"target\": {{\"cell\": \"{}\", \"reports_per_sec\": {rps:.1}, \
+             \"target_rps\": {TARGET_RPS:.1}, \"fallback_baseline_rps\": {V1_BASELINE_RPS:.1}, \
+             \"speedup_vs_v1\": {:.2}, \"met\": {}}},",
+            c.name,
+            rps / V1_BASELINE_RPS,
+            rps >= TARGET_RPS || rps >= 5.0 * V1_BASELINE_RPS,
+        )
+        .unwrap();
+    }
     out.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let sep = if i + 1 < cells.len() { "," } else { "" };
@@ -148,7 +276,12 @@ fn render_json(threads: usize, smoke: bool, cells: &[Cell], metrics: Option<&str
             out,
             "    {{\"name\": \"{}\", \"devices\": {}, \"shards\": {}, \"epochs\": {}, \
              \"seconds\": {:.3}, \"reports\": {}, \"rejected\": {}, \"excluded\": {}, \
-             \"reports_per_sec\": {:.1}, \"digest\": \"{:016x}\", \"audit_ok\": {}, \
+             \"reports_per_sec\": {:.1}, \
+             \"decode_seconds\": {:.6}, \"accumulate_seconds\": {:.6}, \
+             \"fold_seconds\": {:.6}, \"decode_reports_per_sec\": {:.1}, \
+             \"accumulate_reports_per_sec\": {:.1}, \
+             \"batch_frames\": {}, \"fallback_chunks\": {}, \
+             \"digest\": \"{:016x}\", \"audit_ok\": {}, \
              \"mean\": {}, \"frequency\": {}, \"count\": {}}}{sep}",
             c.name,
             c.devices,
@@ -159,6 +292,13 @@ fn render_json(threads: usize, smoke: bool, cells: &[Cell], metrics: Option<&str
             c.outcome.ingest.rejected,
             c.outcome.devices_excluded,
             c.reports_per_sec(),
+            c.phases.decode_s,
+            c.phases.accumulate_s,
+            c.phases.fold_s,
+            c.phase_rps(c.phases.decode_s),
+            c.phase_rps(c.phases.accumulate_s),
+            c.phases.batch_frames,
+            c.phases.fallback_chunks,
             c.outcome.digest(),
             c.outcome.audit_ok,
             gate_json(&mean),
@@ -178,20 +318,96 @@ fn render_json(threads: usize, smoke: bool, cells: &[Cell], metrics: Option<&str
     out
 }
 
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(key)? + key.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// `(name, reports_per_sec, seconds)` for every cell line in a v1 or v2
+/// report (both carry the three keys in each cell object).
+fn parse_baseline(text: &str) -> Vec<(String, f64, f64)> {
+    text.lines()
+        .filter(|l| l.trim_start().starts_with("{\"name\":"))
+        .filter_map(|l| {
+            Some((
+                extract_str(l, "\"name\": \"")?,
+                extract_num(l, "\"reports_per_sec\": ")?,
+                extract_num(l, "\"seconds\": ")?,
+            ))
+        })
+        .collect()
+}
+
+/// Prints the per-cell throughput deltas and returns `true` if any cell
+/// present in both reports lost more than 25% of its reports/sec.
+fn compare_against(baseline_path: &str, cells: &[Cell]) -> bool {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path:?}: {e}"));
+    let baseline = parse_baseline(&text);
+    assert!(
+        !baseline.is_empty(),
+        "baseline {baseline_path:?} contains no cells"
+    );
+    eprintln!("compare vs {baseline_path}:");
+    // Sub-50ms cells are timer/jitter noise, not throughput signal; report
+    // them but keep them out of the pass/fail decision.
+    const GATE_FLOOR_SECS: f64 = 0.05;
+    let mut regressed = false;
+    for c in cells {
+        let Some((_, old, old_secs)) = baseline.iter().find(|(n, _, _)| *n == c.name) else {
+            eprintln!("  {:<10} (not in baseline)", c.name);
+            continue;
+        };
+        let new = c.reports_per_sec();
+        let ratio = new / old.max(1e-9);
+        let gated = c.seconds >= GATE_FLOOR_SECS && *old_secs >= GATE_FLOOR_SECS;
+        let flag = if !gated {
+            "  (below timing floor, not gated)"
+        } else if ratio < 0.75 {
+            regressed = true;
+            "  REGRESSION (>25%)"
+        } else {
+            ""
+        };
+        eprintln!(
+            "  {:<10} {old:>10.1} -> {new:>10.1} rep/s  ({:+.1}%){flag}",
+            c.name,
+            (ratio - 1.0) * 100.0,
+        );
+    }
+    regressed
+}
+
 fn main() {
     let mut smoke = false;
     let mut metrics = false;
     let mut out_path = String::from("BENCH_fleet.json");
+    let mut compare_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--metrics" => metrics = true,
             "--out" => out_path = args.next().expect("--out needs a path"),
-            other => panic!("unknown flag {other:?} (expected --smoke, --metrics, --out <path>)"),
+            "--reference" => std::env::set_var(ulp_fleet::INGEST_PATH_ENV, "reference"),
+            "--compare" => compare_path = Some(args.next().expect("--compare needs a path")),
+            other => panic!(
+                "unknown flag {other:?} (expected --smoke, --metrics, --out <path>, \
+                 --reference, or --compare <baseline.json>)"
+            ),
         }
     }
 
+    // Validate every ULP_* knob up front: a typo exits with a clear message
+    // naming the variable instead of silently selecting a default.
     let level = match MetricsLevel::from_env() {
         Ok(l) => l,
         Err(e) => {
@@ -199,6 +415,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // `--metrics` with no explicit ULP_METRICS raises the level to `full`
+    // so the embedded snapshot actually contains data. (The per-cell phase
+    // breakdown does not need this: it comes from a dedicated
+    // instrumented re-run per cell, whatever the ambient level.)
     let level = if metrics && std::env::var_os(ulp_obs::METRICS_ENV).is_none() {
         MetricsLevel::Full
     } else {
@@ -212,9 +432,25 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let ingest_path = match IngestPath::from_env() {
+        Ok(IngestPath::Columnar) => "columnar",
+        Ok(IngestPath::Reference) => "reference",
+        Err(e) => {
+            eprintln!("bench_fleet: {e}");
+            std::process::exit(2);
+        }
+    };
+    let sampler_path = match SamplerPath::from_env() {
+        Ok(SamplerPath::Fast) => "fast",
+        Ok(SamplerPath::Reference) => "reference",
+        Err(e) => {
+            eprintln!("bench_fleet: {e}");
+            std::process::exit(2);
+        }
+    };
     eprintln!(
         "bench_fleet: {} mode, {threads} worker thread(s) (ULP_PAR_THREADS to override), \
-         metrics {}",
+         {ingest_path} ingest path, {sampler_path} sampler path, metrics {}",
         if smoke { "smoke" } else { "full" },
         level.name(),
     );
@@ -266,12 +502,44 @@ fn main() {
     let rows: Vec<FleetSweepRow> = cells.iter().map(Cell::sweep_row).collect();
     eprintln!("{}", render_sweep(&rows));
 
+    // Grade the headline cell in full mode (smoke populations are too
+    // small to say anything about steady-state throughput).
+    let target = (!smoke).then(|| {
+        cells
+            .iter()
+            .find(|c| c.name == "n100000")
+            .expect("full sweep includes the n100000 cell")
+    });
+    if let Some(c) = target {
+        let rps = c.reports_per_sec();
+        eprintln!(
+            "target n100000: {rps:.0} rep/s ({}x the v1 scalar baseline; goal {TARGET_RPS:.0} \
+             or 5x baseline single-core)",
+            (rps / V1_BASELINE_RPS).round(),
+        );
+    }
+
     let metrics_report = if metrics {
         Some(ulp_obs::snapshot().to_json())
     } else {
         None
     };
-    let json = render_json(threads, smoke, &cells, metrics_report.as_deref());
+    let json = render_json(
+        threads,
+        smoke,
+        ingest_path,
+        sampler_path,
+        &cells,
+        target,
+        metrics_report.as_deref(),
+    );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path:?}: {e}"));
     eprintln!("wrote {out_path}");
+
+    if let Some(path) = compare_path {
+        if compare_against(&path, &cells) {
+            eprintln!("bench_fleet: throughput regression detected");
+            std::process::exit(1);
+        }
+    }
 }

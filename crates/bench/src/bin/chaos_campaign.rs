@@ -36,9 +36,10 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use ldp_core::SamplerPath;
 use ulp_fleet::{
     chaos_seed_from_env, ChaosConfig, FaultClass, FleetConfig, FleetDriver, FleetOutcome,
-    GateResult, SealStatus,
+    GateResult, IngestPath, SealStatus,
 };
 
 /// Default chaos seed when `ULP_CHAOS_SEED` is unset.
@@ -317,6 +318,16 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // The driver reads both path knobs at construction; validating them
+    // here keeps the exit-2 contract (name the variable, never default).
+    if let Err(e) = IngestPath::from_env() {
+        eprintln!("chaos_campaign: {e}");
+        std::process::exit(2);
+    }
+    if let Err(e) = SamplerPath::from_env() {
+        eprintln!("chaos_campaign: {e}");
+        std::process::exit(2);
+    }
 
     let devices = devices.unwrap_or(if smoke { 2_000 } else { 100_000 });
     let epochs = epochs.unwrap_or(2);

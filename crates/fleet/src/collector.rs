@@ -50,10 +50,10 @@
 
 use std::collections::HashMap;
 
-use ulp_obs::{Counter, Histogram, SpanTimer};
+use ulp_obs::{parse_env, Counter, EnvError, Histogram, SpanTimer};
 
 use crate::sketch::GridSketch;
-use crate::wire::{Payload, Report, WireError, FRAME_LEN, MAGIC};
+use crate::wire::{decode_stream, ColumnarBatch, Payload, Report, WireError, FRAME_LEN};
 
 /// Reports accepted into shard accumulators, process-wide.
 static INGESTED: Counter = Counter::new("fleet.reports.ingested");
@@ -77,8 +77,37 @@ static QUARANTINE_DROPPED: Counter = Counter::new("fleet.quarantine.dropped");
 static SHARD_MERGES: Counter = Counter::new("fleet.shard.merges");
 /// Wall-clock of each ingested batch.
 static INGEST_SPAN: SpanTimer = SpanTimer::new("fleet.collector.ingest");
+/// Wall-clock of the decode phase of each batch.
+static DECODE_SPAN: SpanTimer = SpanTimer::new("fleet.collector.decode");
+/// Wall-clock of the accumulate (shard pass) phase of each batch.
+static ACCUMULATE_SPAN: SpanTimer = SpanTimer::new("fleet.collector.accumulate");
+/// Wall-clock of each [`Collector::totals`] shard fold.
+static FOLD_SPAN: SpanTimer = SpanTimer::new("fleet.collector.fold");
 /// Reports per ingested batch.
 static BATCH_SIZE: Histogram = Histogram::new("fleet.collector.batch_reports", "reports");
+
+/// Cumulative process-wide ingest phase timings, read via
+/// [`ingest_phase_totals`]. Spans record only at `ULP_METRICS=full`;
+/// below that every field stays zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestPhaseTotals {
+    /// Nanoseconds decoding wire bytes into reports/columns.
+    pub decode_ns: u64,
+    /// Nanoseconds in the shard pass (shuffle + dedup + absorb).
+    pub accumulate_ns: u64,
+    /// Nanoseconds folding shard accumulators in [`Collector::totals`].
+    pub fold_ns: u64,
+}
+
+/// Snapshots the cumulative ingest phase timers. Benchmarks subtract two
+/// snapshots to attribute a region's decode/accumulate/fold split.
+pub fn ingest_phase_totals() -> IngestPhaseTotals {
+    IngestPhaseTotals {
+        decode_ns: DECODE_SPAN.total_ns(),
+        accumulate_ns: ACCUMULATE_SPAN.total_ns(),
+        fold_ns: FOLD_SPAN.total_ns(),
+    }
+}
 
 /// Typed per-class wire-error counters (the `fleet.wire.err.*` family).
 static ERR_TRUNCATED: Counter = Counter::new("fleet.wire.err.truncated");
@@ -314,6 +343,64 @@ const DEDUP_BLOCK: u32 = 64;
 /// Attributable protocol violations before a sender is latched out.
 pub const DEFAULT_QUARANTINE_STRIKES: u32 = 3;
 
+/// Environment variable selecting the collector ingest path.
+pub const INGEST_PATH_ENV: &str = "ULP_FLEET_INGEST_PATH";
+
+/// Which ingest implementation [`Collector::ingest_frames`] runs. The two
+/// paths produce **byte-identical** totals, stats, and digests for every
+/// input — the reference path exists for differential testing, the
+/// columnar path for throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestPath {
+    /// Columnar batch pipeline (the default): parallel struct-of-arrays
+    /// decode with sequential fallback for structurally-broken chunks,
+    /// then per-shard bucketed accumulation in canonical chunk order.
+    #[default]
+    Columnar,
+    /// The scalar pipeline: per-frame decode (parallel only when the whole
+    /// batch is clean), then every shard filter-scans the full item list.
+    Reference,
+}
+
+impl IngestPath {
+    /// Parses a raw value: `columnar` or `reference` (case-insensitive).
+    /// `None` (unset) selects [`IngestPath::Columnar`] — the documented
+    /// default.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError`] for anything else — a misspelling must never silently
+    /// select a path (the `ULP_SAMPLER_PATH` strictness rule).
+    pub fn parse(raw: Option<&str>) -> Result<Self, EnvError> {
+        let Some(raw) = raw else {
+            return Ok(IngestPath::Columnar);
+        };
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "columnar" => Ok(IngestPath::Columnar),
+            "reference" => Ok(IngestPath::Reference),
+            _ => Err(EnvError {
+                var: INGEST_PATH_ENV,
+                value: raw.to_string(),
+                expected: "columnar | reference",
+            }),
+        }
+    }
+
+    /// Reads the path from [`INGEST_PATH_ENV`] (unset selects
+    /// [`IngestPath::Columnar`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError`] on a set-but-unrecognized value — never a silent
+    /// fallback.
+    pub fn from_env() -> Result<Self, EnvError> {
+        Ok(parse_env(INGEST_PATH_ENV, "columnar | reference", |s| {
+            IngestPath::parse(Some(s)).ok()
+        })?
+        .unwrap_or_default())
+    }
+}
+
 /// What the dedup window decided about a report.
 enum Admit {
     Fresh,
@@ -377,6 +464,7 @@ struct ShardState {
 /// A decoded batch item, in stream order. Strikes ride alongside accepted
 /// candidates so each shard sees its devices' violations and reports in
 /// their original interleaving.
+#[derive(Clone, Copy)]
 enum Item {
     /// A well-formed report for registered query index `q`.
     Report { q: usize, report: Report },
@@ -476,6 +564,7 @@ pub struct Collector {
     queries: Vec<QueryConfig>,
     shard_states: Vec<ShardState>,
     strike_limit: u32,
+    ingest_path: IngestPath,
     ingested: u64,
     rejected: u64,
     wire_errors: WireErrorTally,
@@ -491,88 +580,6 @@ fn device_hash(device: u32) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
-}
-
-/// Whether `bytes` starts a plausible frame: magic matches and the carried
-/// checksum verifies over the body. This is the resync predicate — a
-/// random offset inside a corrupt region passes with probability ≈ 2⁻¹⁶
-/// per candidate, so the scanner re-acquires the true frame boundary.
-fn is_sync_point(bytes: &[u8]) -> bool {
-    if bytes.len() < FRAME_LEN || bytes[0] != MAGIC {
-        return false;
-    }
-    !matches!(
-        Report::decode(bytes),
-        Err(WireError::Truncated { .. }
-            | WireError::BadMagic { .. }
-            | WireError::UnsupportedVersion { .. }
-            | WireError::NonZeroReserved { .. }
-            | WireError::ChecksumMismatch { .. })
-    )
-}
-
-/// Output of the sequential resync scanner.
-struct DecodedStream {
-    items: Vec<Result<Report, WireError>>,
-    corrupt_frames: u64,
-    resyncs: u64,
-}
-
-/// Decodes a byte stream frame by frame, recovering from corruption: a
-/// structurally broken region (bad magic, failed checksum, truncation) is
-/// counted as one corruption event and the scanner hunts forward for the
-/// next offset satisfying [`is_sync_point`]. Semantically invalid but
-/// well-formed frames (bad version/kind/sequence/payload) keep alignment
-/// and are stepped over normally. Pure function of the bytes.
-fn decode_stream(bytes: &[u8]) -> DecodedStream {
-    let mut out = DecodedStream {
-        items: Vec::with_capacity(bytes.len() / FRAME_LEN),
-        corrupt_frames: 0,
-        resyncs: 0,
-    };
-    let mut pos = 0usize;
-    while pos < bytes.len() {
-        if bytes.len() - pos < FRAME_LEN {
-            out.items.push(Err(WireError::Truncated {
-                got: bytes.len() - pos,
-            }));
-            out.corrupt_frames += 1;
-            break;
-        }
-        match Report::decode(&bytes[pos..]) {
-            Ok(r) => {
-                out.items.push(Ok(r));
-                pos += FRAME_LEN;
-            }
-            Err(e) => {
-                out.items.push(Err(e));
-                let structural = matches!(
-                    e,
-                    WireError::BadMagic { .. } | WireError::ChecksumMismatch { .. }
-                );
-                if !structural {
-                    // The frame carried a valid magic and (for semantic
-                    // errors) a valid checksum: alignment is intact.
-                    pos += FRAME_LEN;
-                    continue;
-                }
-                out.corrupt_frames += 1;
-                let next = (pos + 1..bytes.len().saturating_sub(FRAME_LEN - 1))
-                    .find(|&j| bytes[j] == MAGIC && is_sync_point(&bytes[j..]));
-                match next {
-                    Some(j) => {
-                        if j != pos + FRAME_LEN {
-                            out.resyncs += 1;
-                        }
-                        pos = j;
-                    }
-                    // No recoverable frame remains.
-                    None => break,
-                }
-            }
-        }
-    }
-    out
 }
 
 impl Collector {
@@ -605,6 +612,7 @@ impl Collector {
             queries: queries.to_vec(),
             shard_states,
             strike_limit: DEFAULT_QUARANTINE_STRIKES,
+            ingest_path: IngestPath::default(),
             ingested: 0,
             rejected: 0,
             wire_errors: WireErrorTally::default(),
@@ -622,6 +630,19 @@ impl Collector {
         assert!(strikes > 0, "strike limit must be positive");
         self.strike_limit = strikes;
         self
+    }
+
+    /// Overrides the ingest path (default [`IngestPath::Columnar`]). Both
+    /// paths produce byte-identical results; the reference path exists for
+    /// differential testing.
+    pub fn with_ingest_path(mut self, path: IngestPath) -> Self {
+        self.ingest_path = path;
+        self
+    }
+
+    /// The ingest path this collector runs.
+    pub fn ingest_path(&self) -> IngestPath {
+        self.ingest_path
     }
 
     /// Number of accumulator shards.
@@ -672,50 +693,48 @@ impl Collector {
 
     /// Ingests a batch of concatenated wire frames.
     ///
-    /// The fast path decodes at [`FRAME_LEN`] boundaries, fanned out over
-    /// [`ulp_par`] in fixed-size chunks. If *any* frame fails (or the byte
-    /// count is not frame-aligned), the batch is re-decoded by the
-    /// sequential resync scanner, which counts and skips corrupt regions
-    /// instead of letting one flipped bit shadow every later frame. Either
-    /// way the decoded item sequence is a pure function of the bytes.
+    /// Decode recovers from corruption (the stream resync rules of
+    /// [`decode_stream`]), then each decoded report passes, inside its
+    /// owning shard and in stream order, through the quarantine latch and
+    /// the dedup window before being absorbed — so duplicated and
+    /// reordered deliveries fold to byte-identical accumulator totals, and
+    /// persistently-malformed senders are latched out after `strike_limit`
+    /// attributable violations.
     ///
-    /// Each decoded report then passes, inside its owning shard and in
-    /// stream order, through the quarantine latch and the dedup window
-    /// before being absorbed — so duplicated and reordered deliveries fold
-    /// to byte-identical accumulator totals, and persistently-malformed
-    /// senders are latched out after `strike_limit` attributable
-    /// violations.
+    /// Runs the pipeline selected by [`Collector::with_ingest_path`]: the
+    /// columnar batch path (default) or the scalar reference path. The two
+    /// produce **byte-identical** stats, totals, and quarantine state for
+    /// every input.
     pub fn ingest_frames(&mut self, bytes: &[u8]) -> IngestStats {
         let _span = INGEST_SPAN.enter();
-        let mut stats = IngestStats::default();
-
-        // Phase 1: decode. Parallel aligned fast path; sequential resync
-        // scan the moment anything in the batch is off.
-        const DECODE_CHUNK: usize = 16 * 1024;
-        let aligned = bytes.len().is_multiple_of(FRAME_LEN);
-        let mut decoded: Option<Vec<Result<Report, WireError>>> = None;
-        if aligned {
-            let chunks: Vec<&[u8]> = bytes.chunks(DECODE_CHUNK * FRAME_LEN).collect();
-            let parts: Vec<Vec<Result<Report, WireError>>> = ulp_par::par_map(&chunks, |chunk| {
-                chunk.chunks(FRAME_LEN).map(Report::decode).collect()
-            });
-            let flat: Vec<Result<Report, WireError>> = parts.into_iter().flatten().collect();
-            if flat.iter().all(Result::is_ok) {
-                decoded = Some(flat);
-            }
-        }
-        let items_raw = match decoded {
-            Some(flat) => flat,
-            None => {
-                let stream = decode_stream(bytes);
-                stats.corrupt_frames = stream.corrupt_frames;
-                stats.resyncs = stream.resyncs;
-                stream.items
-            }
+        let stats = match self.ingest_path {
+            IngestPath::Columnar => self.ingest_columnar(bytes),
+            IngestPath::Reference => self.ingest_reference(bytes),
         };
+        self.ingested += stats.accepted;
+        self.rejected += stats.rejected;
+        INGESTED.add(stats.accepted);
+        REJECTED.record_always(stats.rejected);
+        CORRUPT_FRAMES.add(stats.corrupt_frames);
+        RESYNCS.add(stats.resyncs);
+        DUPLICATES.add(stats.duplicates);
+        STALE.add(stats.stale);
+        QUARANTINE_DROPPED.add(stats.quarantine_dropped);
+        QUARANTINE_LATCHED.record_always(stats.quarantine_latched);
+        BATCH_SIZE.record(stats.accepted);
+        stats
+    }
 
-        // Phase 1.5: classify into shard-pass items, tallying errors.
-        let mut items: Vec<Item> = Vec::with_capacity(items_raw.len());
+    /// Classifies decoded items into shard-pass items in stream order,
+    /// tallying decode errors and unknown-query rejections. Shared by both
+    /// ingest paths — the strike/report interleaving each shard sees is
+    /// produced here, so the paths cannot diverge on it.
+    fn classify(
+        &mut self,
+        items_raw: impl IntoIterator<Item = Result<Report, WireError>>,
+        stats: &mut IngestStats,
+    ) -> Vec<Item> {
+        let mut items: Vec<Item> = Vec::new();
         for raw in items_raw {
             match raw {
                 Ok(report) => match self.query_index(&report) {
@@ -740,11 +759,105 @@ impl Collector {
                 }
             }
         }
+        items
+    }
+
+    /// Applies one item to its owning shard: the quarantine latch, strike
+    /// counting, the dedup window, and accumulator absorption. The single
+    /// definition of per-item semantics — both ingest paths route every
+    /// item through here, in the same per-shard order.
+    fn apply_item(st: &mut ShardState, strike_limit: u32, item: &Item, batch: &mut ShardBatch) {
+        let device = item.device();
+        match item {
+            Item::Strike { .. } => {
+                if st.latched.contains(&device) {
+                    return;
+                }
+                let strikes = st.strikes.entry(device).or_insert(0);
+                *strikes += 1;
+                if *strikes >= strike_limit {
+                    st.strikes.remove(&device);
+                    st.latched.insert(device);
+                    batch.quarantine_latched += 1;
+                }
+            }
+            Item::Report { q, report } => {
+                if st.latched.contains(&device) {
+                    batch.quarantine_dropped += 1;
+                    return;
+                }
+                let nq = st.accs.len();
+                let slots = st
+                    .dedup
+                    .entry(device)
+                    .or_insert_with(|| vec![DedupSlot::default(); nq]);
+                match slots[*q].admit(report.epoch) {
+                    Admit::Fresh => {
+                        st.accs[*q].absorb(report.payload);
+                        batch.accepted += 1;
+                    }
+                    Admit::Duplicate => batch.duplicates += 1,
+                    Admit::Stale => batch.stale += 1,
+                }
+            }
+        }
+    }
+
+    /// Folds per-shard batch results into the call's stats.
+    fn fold_shard_batches(stats: &mut IngestStats, batches: Vec<ShardBatch>) {
+        for b in batches {
+            stats.accepted += b.accepted;
+            stats.duplicates += b.duplicates;
+            stats.stale += b.stale;
+            stats.quarantine_dropped += b.quarantine_dropped;
+            stats.quarantine_latched += b.quarantine_latched;
+        }
+        // Stale and quarantined frames were delivered but not folded.
+        stats.rejected += stats.stale + stats.quarantine_dropped;
+    }
+
+    /// The scalar reference pipeline (kept selectable for differential
+    /// testing): per-frame decode — parallel only when the whole batch is
+    /// aligned and clean — then every shard filter-scans the full item
+    /// list for its own devices.
+    fn ingest_reference(&mut self, bytes: &[u8]) -> IngestStats {
+        let mut stats = IngestStats::default();
+
+        // Phase 1: decode. Parallel aligned fast path; sequential resync
+        // scan the moment anything in the batch is off.
+        let decode_span = DECODE_SPAN.enter();
+        const DECODE_CHUNK: usize = 16 * 1024;
+        let aligned = bytes.len().is_multiple_of(FRAME_LEN);
+        let mut decoded: Option<Vec<Result<Report, WireError>>> = None;
+        if aligned {
+            let chunks: Vec<&[u8]> = bytes.chunks(DECODE_CHUNK * FRAME_LEN).collect();
+            let parts: Vec<Vec<Result<Report, WireError>>> = ulp_par::par_map(&chunks, |chunk| {
+                chunk.chunks(FRAME_LEN).map(Report::decode).collect()
+            });
+            let flat: Vec<Result<Report, WireError>> = parts.into_iter().flatten().collect();
+            if flat.iter().all(Result::is_ok) {
+                decoded = Some(flat);
+            }
+        }
+        let items_raw = match decoded {
+            Some(flat) => flat,
+            None => {
+                let stream = decode_stream(bytes);
+                stats.corrupt_frames = stream.corrupt_frames;
+                stats.resyncs = stream.resyncs;
+                stream.items
+            }
+        };
+        drop(decode_span);
+
+        // Phase 1.5: classify into shard-pass items, tallying errors.
+        let items = self.classify(items_raw, &mut stats);
 
         // Phase 2: shard pass. Each shard owns its accumulators, dedup
         // windows, and quarantine records, and walks the item sequence in
         // stream order for its own devices. The shard a device belongs to
         // is a pure function of its id, so this is schedule-free.
+        let accumulate_span = ACCUMULATE_SPAN.enter();
         let shards = self.shard_states.len() as u64;
         let strike_limit = self.strike_limit;
         let guards: Vec<std::sync::Mutex<(u64, &mut ShardState)>> = self
@@ -757,69 +870,90 @@ impl Collector {
             let mut locked = guard.lock().expect("shard guard poisoned");
             let (shard, ref mut st) = *locked;
             let mut batch = ShardBatch::default();
-            let nq = st.accs.len();
             for item in &items {
-                let device = item.device();
-                if device_hash(device) % shards != shard {
+                if device_hash(item.device()) % shards != shard {
                     continue;
                 }
-                match item {
-                    Item::Strike { .. } => {
-                        if st.latched.contains(&device) {
-                            continue;
-                        }
-                        let strikes = st.strikes.entry(device).or_insert(0);
-                        *strikes += 1;
-                        if *strikes >= strike_limit {
-                            st.strikes.remove(&device);
-                            st.latched.insert(device);
-                            batch.quarantine_latched += 1;
-                        }
-                    }
-                    Item::Report { q, report } => {
-                        if st.latched.contains(&device) {
-                            batch.quarantine_dropped += 1;
-                            continue;
-                        }
-                        let slots = st
-                            .dedup
-                            .entry(device)
-                            .or_insert_with(|| vec![DedupSlot::default(); nq]);
-                        match slots[*q].admit(report.epoch) {
-                            Admit::Fresh => {
-                                st.accs[*q].absorb(report.payload);
-                                batch.accepted += 1;
-                            }
-                            Admit::Duplicate => batch.duplicates += 1,
-                            Admit::Stale => batch.stale += 1,
-                        }
-                    }
+                Self::apply_item(st, strike_limit, item, &mut batch);
+            }
+            batch
+        });
+        drop(guards);
+        drop(accumulate_span);
+        Self::fold_shard_batches(&mut stats, batches);
+        stats
+    }
+
+    /// The columnar pipeline: struct-of-arrays batch decode
+    /// ([`ColumnarBatch::decode`] — parallel chunks, sequential fallback
+    /// only around structural errors), then a parallel stable bucket
+    /// shuffle partitioning items by owning shard, then contention-free
+    /// per-shard accumulation.
+    ///
+    /// # Why the result is byte-identical to the reference path
+    ///
+    /// Decode produces the same item sequence, `corrupt_frames`, and
+    /// `resyncs` as [`decode_stream`] for *any* bytes (see
+    /// [`ColumnarBatch`]); classification is shared code; and the bucket
+    /// shuffle is stable (chunk-major, stream order within a chunk), so
+    /// the item subsequence each shard consumes — through the same
+    /// [`Collector::apply_item`] — equals the reference path's filter
+    /// scan. Every accumulator, dedup window, and quarantine latch
+    /// therefore evolves through identical states.
+    fn ingest_columnar(&mut self, bytes: &[u8]) -> IngestStats {
+        let mut stats = IngestStats::default();
+
+        // Phase 1: columnar decode.
+        let decode_span = DECODE_SPAN.enter();
+        let batch = ColumnarBatch::decode(bytes);
+        stats.corrupt_frames = batch.corrupt_frames;
+        stats.resyncs = batch.resyncs;
+        drop(decode_span);
+
+        // Phase 1.5: classify in stream order (shared with the reference
+        // path).
+        let items = self.classify(batch.iter(), &mut stats);
+
+        // Phase 2a: stable bucket shuffle. Parallel over fixed item
+        // chunks, each producing per-shard buckets; concatenating one
+        // shard's buckets in chunk order reconstructs that shard's
+        // stream-order subsequence. Pure function of the items — no
+        // schedule dependence.
+        let accumulate_span = ACCUMULATE_SPAN.enter();
+        const BUCKET_CHUNK: usize = 16 * 1024;
+        let shards = self.shard_states.len();
+        let item_chunks: Vec<&[Item]> = items.chunks(BUCKET_CHUNK).collect();
+        let bucketed: Vec<Vec<Vec<Item>>> = ulp_par::par_map(&item_chunks, |chunk| {
+            let mut buckets: Vec<Vec<Item>> = vec![Vec::new(); shards];
+            for item in *chunk {
+                buckets[(device_hash(item.device()) % shards as u64) as usize].push(*item);
+            }
+            buckets
+        });
+
+        // Phase 2b: contention-free per-shard accumulation. Each shard
+        // walks only its own buckets, in canonical shard-then-chunk order.
+        let strike_limit = self.strike_limit;
+        let guards: Vec<std::sync::Mutex<(usize, &mut ShardState)>> = self
+            .shard_states
+            .iter_mut()
+            .enumerate()
+            .map(|(i, s)| std::sync::Mutex::new((i, s)))
+            .collect();
+        let batches: Vec<ShardBatch> = ulp_par::par_map(&guards, |guard| {
+            let mut locked = guard.lock().expect("shard guard poisoned");
+            let (shard, ref mut st) = *locked;
+            let mut batch = ShardBatch::default();
+            for chunk_buckets in &bucketed {
+                for item in &chunk_buckets[shard] {
+                    Self::apply_item(st, strike_limit, item, &mut batch);
                 }
             }
             batch
         });
         drop(guards);
-        for b in batches {
-            stats.accepted += b.accepted;
-            stats.duplicates += b.duplicates;
-            stats.stale += b.stale;
-            stats.quarantine_dropped += b.quarantine_dropped;
-            stats.quarantine_latched += b.quarantine_latched;
-        }
-        // Stale and quarantined frames were delivered but not folded.
-        stats.rejected += stats.stale + stats.quarantine_dropped;
-
-        self.ingested += stats.accepted;
-        self.rejected += stats.rejected;
-        INGESTED.add(stats.accepted);
-        REJECTED.record_always(stats.rejected);
-        CORRUPT_FRAMES.add(stats.corrupt_frames);
-        RESYNCS.add(stats.resyncs);
-        DUPLICATES.add(stats.duplicates);
-        STALE.add(stats.stale);
-        QUARANTINE_DROPPED.add(stats.quarantine_dropped);
-        QUARANTINE_LATCHED.record_always(stats.quarantine_latched);
-        BATCH_SIZE.record(stats.accepted);
+        drop(accumulate_span);
+        Self::fold_shard_batches(&mut stats, batches);
         stats
     }
 
@@ -830,6 +964,7 @@ impl Collector {
     ///
     /// Panics if `query_id` was not registered.
     pub fn totals(&self, query_id: u16) -> QueryTotals {
+        let _span = FOLD_SPAN.enter();
         let idx = self
             .queries
             .iter()
@@ -852,6 +987,7 @@ impl Collector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::MAGIC;
 
     const NUMERIC: QueryConfig = QueryConfig {
         id: 0,
@@ -1126,5 +1262,96 @@ mod tests {
     #[should_panic(expected = "duplicate query id")]
     fn duplicate_query_ids_panic() {
         Collector::new(1, &[RR, RR]);
+    }
+
+    /// A deliberately hostile stream: clean reports over several epochs,
+    /// duplicates, stale epochs, unknown-query strikes (enough to latch),
+    /// structural corruption forcing resyncs, and a truncated tail.
+    fn hostile_stream() -> Vec<u8> {
+        let mut batch = Vec::new();
+        for epoch in 0..6u32 {
+            for device in 0..300u32 {
+                let r = if device % 5 == 0 {
+                    Report {
+                        device,
+                        query: 1,
+                        epoch,
+                        payload: Payload::RrBit(device % 2 == 0),
+                    }
+                } else {
+                    value_at(device, epoch, (device as i32 % 41) - 20)
+                };
+                r.encode_into(&mut batch);
+                if device % 17 == 0 {
+                    r.encode_into(&mut batch); // duplicate delivery
+                }
+            }
+            // A persistent violator: unknown query id, checksum-valid.
+            Report {
+                device: 9000,
+                query: 77,
+                epoch,
+                payload: Payload::Value(1),
+            }
+            .encode_into(&mut batch);
+            // Out-of-window stale replay.
+            value_at(3, 0, 5).encode_into(&mut batch);
+        }
+        // Structural damage: a smashed magic and a smashed checksum.
+        batch[40 * FRAME_LEN] ^= 0xFF;
+        let n = batch.len();
+        batch[n - 50 * FRAME_LEN + 18] ^= 0x01;
+        // Truncated tail.
+        batch.extend_from_slice(&value_at(1, 5, 2).encode()[..7]);
+        batch
+    }
+
+    #[test]
+    fn columnar_and_reference_paths_are_byte_identical() {
+        let batch = hostile_stream();
+        for shards in [1usize, 3, 8] {
+            let mut reference = Collector::new(shards, &[NUMERIC, RR])
+                .with_quarantine_strikes(3)
+                .with_ingest_path(IngestPath::Reference);
+            let mut columnar = Collector::new(shards, &[NUMERIC, RR])
+                .with_quarantine_strikes(3)
+                .with_ingest_path(IngestPath::Columnar);
+            // Split the stream mid-frame so state carries across calls on
+            // both paths identically.
+            let cut = batch.len() / 2 - 3;
+            let r1 = reference.ingest_frames(&batch[..cut]);
+            let c1 = columnar.ingest_frames(&batch[..cut]);
+            assert_eq!(r1, c1);
+            let r2 = reference.ingest_frames(&batch[cut..]);
+            let c2 = columnar.ingest_frames(&batch[cut..]);
+            assert_eq!(r2, c2);
+            assert_eq!(reference.totals(0), columnar.totals(0));
+            assert_eq!(reference.totals(1), columnar.totals(1));
+            assert_eq!(reference.reports_ingested(), columnar.reports_ingested());
+            assert_eq!(reference.frames_rejected(), columnar.frames_rejected());
+            assert_eq!(reference.wire_errors(), columnar.wire_errors());
+            assert_eq!(reference.first_error(), columnar.first_error());
+            assert_eq!(
+                reference.quarantined_devices(),
+                columnar.quarantined_devices()
+            );
+            assert!(r1.accepted > 0, "hostile stream must still accept frames");
+        }
+    }
+
+    #[test]
+    fn ingest_path_parses_strictly() {
+        assert_eq!(IngestPath::parse(None), Ok(IngestPath::Columnar));
+        assert_eq!(
+            IngestPath::parse(Some("columnar")),
+            Ok(IngestPath::Columnar)
+        );
+        assert_eq!(
+            IngestPath::parse(Some(" Reference ")),
+            Ok(IngestPath::Reference)
+        );
+        let err = IngestPath::parse(Some("fast")).unwrap_err();
+        assert_eq!(err.var, INGEST_PATH_ENV);
+        assert_eq!(err.expected, "columnar | reference");
     }
 }

@@ -26,14 +26,19 @@
 use core::fmt;
 
 use dp_box::{Command, DpBox, DpBoxConfig, DpBoxError, HealthConfig, Phase};
-use ldp_core::{BudgetLedger, CompositionLedger, LdpError, RandomizedResponse};
+use ldp_core::{
+    BudgetController, BudgetLedger, CompositionLedger, LdpError, QuantizedRange,
+    RandomizedResponse, SamplerPath,
+};
 use ldp_datasets::DatasetSpec;
 use ldp_eval::GroundTruth;
 use ulp_obs::{Counter, SpanTimer};
-use ulp_rng::{stream_seed, CorrelatedBits, RandomBits, Taus88};
+use ulp_rng::{stream_seed, CorrelatedBits, FxpLaplace, RandomBits, Taus88, UrngHealth};
 
 use crate::chaos::{ChaosConfig, DeviceChaos, MAX_DELAY_ROUNDS};
-use crate::collector::{Collector, EpochSeal, IngestStats, QueryConfig, QueryKind, SealStatus};
+use crate::collector::{
+    Collector, EpochSeal, IngestPath, IngestStats, QueryConfig, QueryKind, SealStatus,
+};
 use crate::estimator::{Estimate, NoiseModel};
 use crate::wire::{Payload, Report};
 
@@ -405,6 +410,21 @@ pub struct FleetDriver {
     cfg: FleetConfig,
     model: NoiseModel,
     max_code: i64,
+    /// Device-side generation engine, from `ULP_SAMPLER_PATH`:
+    /// [`SamplerPath::Fast`] (default) batches each device's noising through
+    /// [`BudgetController::respond_index_batch`] over the cached alias table
+    /// (the exact output PMF at O(1) per draw); [`SamplerPath::Reference`]
+    /// steps a full [`DpBox`] FSM per device. Both run the identical
+    /// power-on self-test, exclusion, RR streams, and chaos transport —
+    /// only the value-noise draws (and hence per-run digests) differ
+    /// between engines. Within one engine every determinism guarantee
+    /// (thread/shard/chunk invariance) holds unchanged.
+    path: SamplerPath,
+    /// Collector-side ingest pipeline, from `ULP_FLEET_INGEST_PATH`:
+    /// [`IngestPath::Columnar`] (default) or [`IngestPath::Reference`].
+    /// Unlike the sampler path, the two ingest paths are byte-identical —
+    /// totals, digests, and the ledger do not depend on this choice.
+    ingest_path: IngestPath,
 }
 
 impl FleetDriver {
@@ -461,10 +481,14 @@ impl FleetDriver {
             max_code,
             &cfg.multiples,
         )?;
+        let path = SamplerPath::from_env()?;
+        let ingest_path = IngestPath::from_env().map_err(LdpError::from)?;
         Ok(FleetDriver {
             cfg,
             model,
             max_code,
+            path,
+            ingest_path,
         })
     }
 
@@ -499,7 +523,10 @@ impl FleetDriver {
         let chunk_results: Vec<Result<ChunkResult, FleetError>> =
             ulp_par::par_map(&chunk_starts, |&start| {
                 let end = (start as usize + cfg.chunk).min(cfg.devices) as u32;
-                self.simulate_chunk(start, end, &truth.codes_k, rr)
+                match self.path {
+                    SamplerPath::Fast => self.simulate_chunk_fast(start, end, &truth.codes_k, rr),
+                    SamplerPath::Reference => self.simulate_chunk(start, end, &truth.codes_k, rr),
+                }
             });
 
         // Stream epochs through the collector, fold ledgers chunk-major.
@@ -518,7 +545,8 @@ impl FleetDriver {
                     kind: QueryKind::RrBit,
                 },
             ],
-        );
+        )
+        .with_ingest_path(self.ingest_path);
         let mut chunks = Vec::with_capacity(chunk_results.len());
         for r in chunk_results {
             chunks.push(r?);
@@ -547,17 +575,25 @@ impl FleetDriver {
             })
             .collect();
 
+        // One concatenated batch per round (chunk order, malformed senders
+        // last): the round's whole traffic reaches the collector as a
+        // single stream, so the batch decoder sees realistic fan-in instead
+        // of per-chunk slivers. Concatenation order is schedule-independent,
+        // so determinism is unchanged.
         let rounds = self.rounds();
         let mut ingest = IngestStats::default();
+        let mut round_bytes = Vec::new();
         for round in 0..rounds {
             let _span = EPOCH_SPAN.enter();
+            round_bytes.clear();
             for chunk in &chunks {
-                ingest.absorb(collector.ingest_frames(&chunk.frames[round]));
+                round_bytes.extend_from_slice(&chunk.frames[round]);
             }
             if let Some(bytes) = malformed.get(round) {
-                if !bytes.is_empty() {
-                    ingest.absorb(collector.ingest_frames(bytes));
-                }
+                round_bytes.extend_from_slice(bytes);
+            }
+            if !round_bytes.is_empty() {
+                ingest.absorb(collector.ingest_frames(&round_bytes));
             }
         }
 
@@ -835,6 +871,120 @@ impl FleetDriver {
             }
             out.charges.extend(dev.accountant().losses());
             out.ledger.merge(dev.ledger());
+        }
+        out.frames = buckets.finalize();
+        Ok(out)
+    }
+
+    /// The batched generation engine: same power-on self-test, exclusion
+    /// decisions, RR bit streams, and chaos transport as
+    /// [`FleetDriver::simulate_chunk`], but each device's value noising runs
+    /// through [`BudgetController::respond_index_batch`] over the cached
+    /// alias table — the exact output PMF at O(1) per draw instead of the
+    /// cycle-faithful CORDIC datapath. Budget semantics are identical to
+    /// the device FSM: fresh outputs charge the ledger per
+    /// `(device, epoch)`, exhaustion replays the cached report for free,
+    /// and a halt with nothing cached drops the device.
+    fn simulate_chunk_fast(
+        &self,
+        start: u32,
+        end: u32,
+        codes_k: &[i64],
+        rr: RandomizedResponse,
+    ) -> Result<ChunkResult, FleetError> {
+        let cfg = &self.cfg;
+        let epochs = cfg.epochs as usize;
+        let rounds = self.rounds();
+        let mut buckets = RoundBuckets::new(rounds);
+        let mut out = ChunkResult {
+            frames: Vec::new(),
+            ledger: BudgetLedger::new(),
+            charges: Vec::new(),
+            spends: Vec::new(),
+            excluded: Vec::new(),
+            dropped: Vec::new(),
+            retry_attempts: 0,
+            reports_unacked: 0,
+        };
+        let health_cfg =
+            HealthConfig::new(40, 64, 4).map_err(|e| FleetError::Device(DpBoxError::Rng(e)))?;
+        let sampler = FxpLaplace::analytic(self.model.lap_config());
+        let range = QuantizedRange::new(0, self.max_code, 1.0)?;
+        // `frac_bits = 0`: one raw budget grid unit is one nat, exactly the
+        // conversion `DpBox` applies to the initialization-phase
+        // `SetEpsilon` overload.
+        let budget_nats = cfg.budget_raw as f64;
+        let mut xs = vec![0i64; epochs];
+        let mut ys = vec![0i64; epochs];
+        for id in start..end {
+            let x_code = codes_k[id as usize];
+            let faulty =
+                stream_seed(cfg.seed, &[u64::from(id), 7]) % 1000 < u64::from(cfg.faulty_per_mille);
+            let mut urng = if faulty {
+                FleetUrng::Faulty(CorrelatedBits::new(
+                    Taus88::from_seed(stream_seed(cfg.seed, &[u64::from(id), 1])),
+                    1,
+                    230,
+                ))
+            } else {
+                FleetUrng::Healthy(Taus88::from_seed(stream_seed(
+                    cfg.seed,
+                    &[u64::from(id), 0],
+                )))
+            };
+            // Power-on self-test: the same monitor, configuration, and
+            // word budget as the reference engine's `ResetHealth` path, so
+            // the excluded set is identical between engines.
+            let mut health = UrngHealth::new(health_cfg);
+            if health.startup(&mut urng).is_err() {
+                out.excluded.push(id);
+                continue;
+            }
+            let mut ctrl = BudgetController::new(self.model.table().clone(), range, budget_nats)?;
+            xs.fill(x_code);
+            let served = match ctrl.respond_index_batch(&xs, &sampler, &mut urng, &mut ys) {
+                Ok(outcome) => outcome.served as usize,
+                // Halt with nothing cached (only reachable at entry 0):
+                // the device stops before emitting anything, exactly like
+                // the FSM's fail-safe path.
+                Err(LdpError::BudgetExhausted) => {
+                    out.dropped.push(id);
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            // Fresh charges land in the ledger one per served epoch, in
+            // epoch order — the same (device, epoch, charge) records the
+            // reference engine extracts from the device FSM's ledger.
+            for (e, entry) in ctrl.ledger().entries().iter().take(served).enumerate() {
+                out.spends.push((id, e as u32, entry.charge));
+            }
+            let mut rr_rng = Taus88::from_seed(stream_seed(cfg.seed, &[u64::from(id), 2]));
+            let above = x_code >= cfg.threshold_code;
+            let mut chaos = cfg.chaos.as_ref().map(|c| DeviceChaos::new(c, id));
+            for (epoch, &y) in ys.iter().enumerate() {
+                let value_frame = Report {
+                    device: id,
+                    query: VALUE_QUERY,
+                    epoch: epoch as u32,
+                    payload: Payload::Value(y as i32),
+                }
+                .encode();
+                let rr_frame = Report {
+                    device: id,
+                    query: RR_QUERY,
+                    epoch: epoch as u32,
+                    payload: Payload::RrBit(rr.privatize(above, &mut rr_rng)),
+                }
+                .encode();
+                for frame in [&value_frame, &rr_frame] {
+                    let (extra, acked) = self.transmit(chaos.as_mut(), frame, epoch, &mut buckets);
+                    out.retry_attempts += extra;
+                    out.reports_unacked += u64::from(!acked);
+                }
+            }
+            out.charges.extend(ctrl.accountant().losses());
+            out.ledger.merge(ctrl.ledger());
         }
         out.frames = buckets.finalize();
         Ok(out)

@@ -56,6 +56,8 @@ pub struct Estimate {
 #[derive(Debug, Clone)]
 pub struct NoiseModel {
     pmf: FxpNoisePmf,
+    /// Sampler configuration the PMF and segment table were built from.
+    lap_cfg: FxpLaplaceConfig,
     /// PMF of a zero-threshold DP-Box over a one-step binary grid at the
     /// same ε — the mechanism behind the RR threshold bits.
     rr_pmf: FxpNoisePmf,
@@ -146,6 +148,7 @@ impl NoiseModel {
 
         let mut model = NoiseModel {
             pmf,
+            lap_cfg,
             rr_pmf,
             table,
             min_k,
@@ -185,6 +188,12 @@ impl NoiseModel {
     /// The budget-control segment table (shared with the device context).
     pub fn table(&self) -> &SegmentTable {
         &self.table
+    }
+
+    /// The sampler configuration ([`FxpLaplaceConfig`]) the model mirrors,
+    /// for building a device-equivalent sampler on the collector side.
+    pub fn lap_config(&self) -> FxpLaplaceConfig {
+        self.lap_cfg
     }
 
     /// Outermost threshold `n_th` in codes: reports are clamped to

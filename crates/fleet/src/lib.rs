@@ -10,10 +10,14 @@
 //!
 //! * [`wire`] — a compact versioned report frame (magic, version, device,
 //!   query, epoch, payload, checksum) with typed rejection of corrupt or
-//!   truncated frames;
+//!   truncated frames, plus a columnar struct-of-arrays batch decoder
+//!   ([`ColumnarBatch`]) proven byte-equivalent to the sequential resync
+//!   scanner on arbitrary input;
 //! * [`collector`] — hash-sharded per-query moment accumulators plus an
-//!   exact grid quantile [`sketch`], ingesting report batches in parallel
-//!   with bit-identical totals at any thread or shard count;
+//!   exact grid quantile [`sketch`], ingesting report batches through a
+//!   columnar decode → stable bucket shuffle → contention-free per-shard
+//!   accumulate pipeline with bit-identical totals at any thread or shard
+//!   count (and vs the scalar reference path, `ULP_FLEET_INGEST_PATH`);
 //! * [`estimator`] — debiased estimators (mean, variance, median, RR
 //!   frequency and count) built on the sampler's *exact* output PMF, each
 //!   returning an analytic standard error and, where proven, a
@@ -48,11 +52,15 @@ pub use chaos::{
     FaultKind, CHAOS_SEED_ENV, MAX_DELAY_ROUNDS,
 };
 pub use collector::{
-    Collector, EpochSeal, IngestStats, QueryConfig, QueryKind, QueryTotals, SealStatus,
-    WireErrorTally, DEFAULT_QUARANTINE_STRIKES,
+    ingest_phase_totals, Collector, EpochSeal, IngestPath, IngestPhaseTotals, IngestStats,
+    QueryConfig, QueryKind, QueryTotals, SealStatus, WireErrorTally, DEFAULT_QUARANTINE_STRIKES,
+    INGEST_PATH_ENV,
 };
 pub use driver::{FleetConfig, FleetDriver, FleetError, FleetOutcome, RR_QUERY, VALUE_QUERY};
 pub use estimator::{Estimate, NoiseModel};
 pub use sketch::GridSketch;
 pub use sweep::{fleet_sweep, render_sweep, FleetSweepRow, GateResult};
-pub use wire::{Payload, Report, WireError, FRAME_LEN, MAGIC, VERSION, VERSION_LEGACY};
+pub use wire::{
+    decode_counter_totals, decode_stream, ColumnarBatch, DecodeCounterTotals, DecodedStream,
+    Payload, Report, WireError, FRAME_LEN, MAGIC, VERSION, VERSION_LEGACY,
+};

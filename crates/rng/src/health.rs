@@ -220,11 +220,21 @@ pub struct UrngHealth {
     cfg: HealthConfig,
     rct_cutoff: u32,
     apt_cutoff: u64,
-    /// Current run length of identical values, per bit lane.
-    runs: [u32; 32],
+    /// Current run length of identical values, per bit lane, packed eight
+    /// byte lanes per word (`bit`'s run lives in byte `bit % 8` of
+    /// `runs8[bit / 8]`). A healthy run never reaches the cutoff
+    /// (≤ `1 + 60`), so a byte lane cannot overflow and the whole
+    /// repetition-count update is four branchless lane-parallel adds
+    /// instead of a 32-iteration loop — this is the hot path of every
+    /// monitored URNG draw.
+    runs8: [u64; 4],
+    /// Per-byte-lane `0x80 − rct_cutoff`: adding it to a packed run makes
+    /// the lane's MSB the "run reached the cutoff" flag.
+    rct_add: u64,
     last: u32,
-    /// Last `max_lag` words, indexed by `words % max_lag`.
-    history: [u32; 8],
+    /// The previous `max_lag` words as a shift register: `prev[l]` is the
+    /// word drawn `l + 1` observations ago.
+    prev: [u32; 8],
     /// Words into the current APT/lag window.
     window_pos: u32,
     /// Ones in the current window.
@@ -238,6 +248,20 @@ pub struct UrngHealth {
     alarm: Option<HealthAlarm>,
 }
 
+/// Per-byte-lane `0x01` (the lane-parallel "+1").
+const LANE_LSB: u64 = 0x0101_0101_0101_0101;
+/// Per-byte-lane MSB (the lane-parallel carry/flag bit).
+const LANE_MSB: u64 = 0x8080_8080_8080_8080;
+
+/// Expands the low 8 bits of `b` into byte lanes: lane `j` is `0xFF` when
+/// bit `j` is set and `0x00` otherwise.
+#[inline]
+fn byte_mask(b: u64) -> u64 {
+    let spread = b.wrapping_mul(LANE_LSB) & 0x8040_2010_0804_0201;
+    let msb = spread.wrapping_add(!LANE_MSB) & LANE_MSB;
+    (msb >> 7).wrapping_mul(0xFF)
+}
+
 impl UrngHealth {
     /// Creates a monitor with the given configuration.
     pub fn new(cfg: HealthConfig) -> Self {
@@ -245,9 +269,11 @@ impl UrngHealth {
             cfg,
             rct_cutoff: cfg.rct_cutoff(),
             apt_cutoff: cfg.balance_cutoff(u64::from(cfg.apt_window) * 32),
-            runs: [0; 32],
+            runs8: [0; 4],
+            // `rct_cutoff ≤ 61 < 0x80`, so the flag offset fits a byte lane.
+            rct_add: LANE_LSB * (0x80 - u64::from(cfg.rct_cutoff())),
             last: 0,
-            history: [0; 8],
+            prev: [0; 8],
             window_pos: 0,
             ones: 0,
             agreements: [0; 8],
@@ -293,48 +319,57 @@ impl UrngHealth {
         }
         let index = self.words;
 
-        // Repetition count, per bit lane. On the first word every lane
-        // starts a run of one.
+        // Repetition count, per bit lane, lane-parallel: where the bit
+        // repeated the packed run survives and gains one, elsewhere it
+        // restarts at one. A lane whose new run reaches the cutoff sets
+        // its flag MSB; the first flagged lane (lowest bit position, as in
+        // the per-bit formulation) names the alarm. On the first word
+        // every lane starts a run of one.
         if index == 0 {
-            self.runs = [1; 32];
+            self.runs8 = [LANE_LSB; 4];
         } else {
-            let same = !(word ^ self.last);
-            for (bit, run) in self.runs.iter_mut().enumerate() {
-                if (same >> bit) & 1 == 1 {
-                    *run += 1;
-                    if *run >= self.rct_cutoff {
-                        let alarm = HealthAlarm {
-                            test: HealthTest::RepetitionCount {
-                                bit: bit as u8,
-                                run: *run,
-                            },
-                            word_index: index,
-                        };
-                        self.words += 1;
-                        self.alarm = Some(alarm);
-                        ALARMS.record_always(1);
-                        return Err(alarm);
-                    }
-                } else {
-                    *run = 1;
+            let same = u64::from(!(word ^ self.last));
+            let mut trip: Option<u8> = None;
+            for (g, runs) in self.runs8.iter_mut().enumerate() {
+                let next = (*runs & byte_mask((same >> (8 * g)) & 0xFF)) + LANE_LSB;
+                *runs = next;
+                let hit = next.wrapping_add(self.rct_add) & LANE_MSB;
+                if hit != 0 && trip.is_none() {
+                    trip = Some(g as u8 * 8 + (hit.trailing_zeros() / 8) as u8);
                 }
+            }
+            if let Some(bit) = trip {
+                // A run below the cutoff gains at most one per word, so the
+                // tripping run is exactly the cutoff.
+                let alarm = HealthAlarm {
+                    test: HealthTest::RepetitionCount {
+                        bit,
+                        run: self.rct_cutoff,
+                    },
+                    word_index: index,
+                };
+                self.words += 1;
+                self.alarm = Some(alarm);
+                ALARMS.record_always(1);
+                return Err(alarm);
             }
         }
         self.last = word;
 
-        // Window accumulators: ones count and lagged agreements.
+        // Window accumulators: ones count and lagged agreements against the
+        // shift register of the last `max_lag` words.
         self.ones += u64::from(word.count_ones());
-        let max_lag = u64::from(self.cfg.max_lag);
-        for lag in 1..=max_lag {
-            if index >= lag {
-                let prev = self.history[((index - lag) % max_lag) as usize];
-                let slot = (lag - 1) as usize;
-                self.agreements[slot] += u64::from((!(word ^ prev)).count_ones());
-                self.lag_pairs[slot] += 32;
-            }
+        let max_lag = usize::from(self.cfg.max_lag);
+        let lags = max_lag.min(usize::try_from(index).unwrap_or(max_lag));
+        for (slot, &prev) in self.prev.iter().enumerate().take(lags) {
+            self.agreements[slot] += u64::from((!(word ^ prev)).count_ones());
+            self.lag_pairs[slot] += 32;
         }
         if max_lag > 0 {
-            self.history[(index % max_lag) as usize] = word;
+            for l in (1..max_lag).rev() {
+                self.prev[l] = self.prev[l - 1];
+            }
+            self.prev[0] = word;
         }
         self.words += 1;
         self.window_pos += 1;
@@ -637,6 +672,187 @@ mod tests {
             alarm.word_index,
             u64::from(HealthConfig::default().rct_cutoff()) - 1
         );
+    }
+
+    /// Per-bit scalar formulation of the monitor, kept verbatim as the
+    /// reference the lane-parallel implementation must match word-for-word.
+    struct ScalarHealth {
+        cfg: HealthConfig,
+        rct_cutoff: u32,
+        apt_cutoff: u64,
+        runs: [u32; 32],
+        last: u32,
+        history: [u32; 8],
+        window_pos: u32,
+        ones: u64,
+        agreements: [u64; 8],
+        lag_pairs: [u64; 8],
+        words: u64,
+        alarm: Option<HealthAlarm>,
+    }
+
+    impl ScalarHealth {
+        fn new(cfg: HealthConfig) -> Self {
+            ScalarHealth {
+                cfg,
+                rct_cutoff: cfg.rct_cutoff(),
+                apt_cutoff: cfg.balance_cutoff(u64::from(cfg.apt_window) * 32),
+                runs: [0; 32],
+                last: 0,
+                history: [0; 8],
+                window_pos: 0,
+                ones: 0,
+                agreements: [0; 8],
+                lag_pairs: [0; 8],
+                words: 0,
+                alarm: None,
+            }
+        }
+
+        fn observe(&mut self, word: u32) -> Result<(), HealthAlarm> {
+            if let Some(alarm) = self.alarm {
+                return Err(alarm);
+            }
+            let index = self.words;
+            if index == 0 {
+                self.runs = [1; 32];
+            } else {
+                let same = !(word ^ self.last);
+                for (bit, run) in self.runs.iter_mut().enumerate() {
+                    if (same >> bit) & 1 == 1 {
+                        *run += 1;
+                        if *run >= self.rct_cutoff {
+                            let alarm = HealthAlarm {
+                                test: HealthTest::RepetitionCount {
+                                    bit: bit as u8,
+                                    run: *run,
+                                },
+                                word_index: index,
+                            };
+                            self.words += 1;
+                            self.alarm = Some(alarm);
+                            return Err(alarm);
+                        }
+                    } else {
+                        *run = 1;
+                    }
+                }
+            }
+            self.last = word;
+            self.ones += u64::from(word.count_ones());
+            let max_lag = u64::from(self.cfg.max_lag);
+            for lag in 1..=max_lag {
+                if index >= lag {
+                    let prev = self.history[((index - lag) % max_lag) as usize];
+                    let slot = (lag - 1) as usize;
+                    self.agreements[slot] += u64::from((!(word ^ prev)).count_ones());
+                    self.lag_pairs[slot] += 32;
+                }
+            }
+            if max_lag > 0 {
+                self.history[(index % max_lag) as usize] = word;
+            }
+            self.words += 1;
+            self.window_pos += 1;
+            if self.window_pos == self.cfg.apt_window {
+                if let Err(alarm) = self.close_window(index) {
+                    self.alarm = Some(alarm);
+                    return Err(alarm);
+                }
+            }
+            Ok(())
+        }
+
+        fn close_window(&mut self, index: u64) -> Result<(), HealthAlarm> {
+            let window_bits = u64::from(self.cfg.apt_window) * 32;
+            let deviation = self.ones.abs_diff(window_bits / 2);
+            if deviation >= self.apt_cutoff {
+                return Err(HealthAlarm {
+                    test: HealthTest::AdaptiveProportion {
+                        ones: self.ones,
+                        window_bits,
+                    },
+                    word_index: index,
+                });
+            }
+            for lag in 1..=usize::from(self.cfg.max_lag) {
+                let pairs = self.lag_pairs[lag - 1];
+                if pairs == 0 {
+                    continue;
+                }
+                let agreements = self.agreements[lag - 1];
+                if agreements.abs_diff(pairs / 2) >= self.cfg.balance_cutoff(pairs) {
+                    return Err(HealthAlarm {
+                        test: HealthTest::LagCorrelation {
+                            lag: lag as u8,
+                            agreements,
+                            window_bits: pairs,
+                        },
+                        word_index: index,
+                    });
+                }
+            }
+            self.ones = 0;
+            self.agreements = [0; 8];
+            self.lag_pairs = [0; 8];
+            self.window_pos = 0;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn lane_parallel_observe_matches_the_scalar_reference() {
+        let configs = [
+            HealthConfig::new(40, 64, 4).unwrap(),
+            HealthConfig::new(4, 64, 8).unwrap(),
+            HealthConfig::new(60, 128, 1).unwrap(),
+            HealthConfig::new(20, 64, 0).unwrap(),
+        ];
+        // Streams covering the healthy path, every RCT trip shape, lag
+        // correlation, broad bias, and pathological periodic words.
+        let streams: Vec<Vec<u32>> = vec![
+            Vec::new(),
+            (0..4096).map(|_| 0xDEAD_BEEF).collect(),
+            {
+                let mut rng = Taus88::from_seed(11);
+                (0..4096).map(|_| rng.next_u32()).collect()
+            },
+            {
+                let mut src = StuckAtBits::new(Taus88::from_seed(13), 31, false);
+                (0..4096).map(|_| src.next_u32()).collect()
+            },
+            {
+                let mut src = StuckAtBits::new(Taus88::from_seed(17), 0, true);
+                (0..4096).map(|_| src.next_u32()).collect()
+            },
+            {
+                let mut src = CorrelatedBits::new(Taus88::from_seed(19), 2, 128);
+                (0..4096).map(|_| src.next_u32()).collect()
+            },
+            {
+                let mut src = BiasedBits::new(Taus88::from_seed(23), 48);
+                (0..4096).map(|_| src.next_u32()).collect()
+            },
+            (0..4096u32)
+                .map(|i| if i % 2 == 0 { 0xAAAA_AAAA } else { 0x5555_5555 })
+                .collect(),
+        ];
+        for cfg in configs {
+            for stream in &streams {
+                let mut fast = UrngHealth::new(cfg);
+                let mut scalar = ScalarHealth::new(cfg);
+                for (i, &word) in stream.iter().enumerate() {
+                    assert_eq!(
+                        fast.observe(word),
+                        scalar.observe(word),
+                        "divergence at word {i} (cfg alpha_exp {})",
+                        cfg.alpha_exp
+                    );
+                }
+                assert_eq!(fast.words(), scalar.words);
+                assert_eq!(fast.alarm().copied(), scalar.alarm);
+            }
+        }
     }
 
     #[test]

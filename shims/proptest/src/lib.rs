@@ -288,6 +288,49 @@ pub mod strategy {
             _marker: core::marker::PhantomData,
         }
     }
+
+    /// A type-erased union arm: a weight and a boxed generator.
+    type UnionArm<T> = (u32, Box<dyn Fn(&mut TestRng) -> T>);
+
+    /// Weighted choice among strategies sharing a value type; built by
+    /// [`prop_oneof!`](crate::prop_oneof). Arms are type-erased so they
+    /// may be heterogeneous strategy types, as in upstream proptest.
+    pub struct Union<T> {
+        arms: Vec<UnionArm<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// An empty union; generation panics until an arm is added.
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Union { arms: Vec::new() }
+        }
+
+        /// Adds an arm picked with probability `weight / total_weight`.
+        pub fn arm<S: Strategy<Value = T> + 'static>(mut self, weight: u32, strat: S) -> Self {
+            assert!(weight > 0, "prop_oneof arm weight must be positive");
+            self.arms
+                .push((weight, Box::new(move |rng| strat.generate(rng))));
+            self
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof needs at least one arm");
+            let mut pick = rng.below(u128::from(total)) as u64;
+            for (w, gen) in &self.arms {
+                if pick < u64::from(*w) {
+                    return gen(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            unreachable!("weighted pick exceeded total weight")
+        }
+    }
 }
 
 /// Collection strategies (`proptest::collection::vec`).
@@ -371,7 +414,21 @@ pub mod prelude {
     pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::TestCaseError;
     pub use crate::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Weighted (`3 => strat`) or uniform (`strat`) choice among strategies
+/// with a common value type: `prop_oneof![2 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.arm($weight, $strat))+
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.arm(1, $strat))+
+    };
 }
 
 /// Defines property tests: `proptest! { #[test] fn p(x in strat) { … } }`.
@@ -508,6 +565,18 @@ mod tests {
         fn assume_skips_cases(x in 0u32..100) {
             prop_assume!(x % 2 == 0);
             prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_draws_from_every_arm(v in collection::vec(
+            prop_oneof![3 => Just(0u8), 1 => 10u8..20, 1 => (20u8..30).prop_map(|x| x)],
+            64..65,
+        )) {
+            prop_assert!(v.iter().all(|&x| x == 0 || (10..30).contains(&x)));
+            // 64 draws with weights 3:1:1 — overwhelmingly likely to hit
+            // both the constant arm and a ranged arm.
+            prop_assert!(v.contains(&0));
+            prop_assert!(v.iter().any(|&x| x != 0));
         }
     }
 

@@ -136,10 +136,11 @@ fn chaos_cfg() -> FleetConfig {
     }
 }
 
-/// Child half of the chaos thread-determinism test: prints the digest of a
-/// fixed fault-injected fleet run under the parent's `ULP_PAR_THREADS`.
+/// Child half of the chaos determinism matrix: prints the digest of a
+/// fixed fault-injected fleet run under the parent's `ULP_PAR_THREADS` /
+/// `ULP_FLEET_INGEST_PATH`.
 #[test]
-#[ignore = "helper re-executed by chaos_digest_identical_at_1_and_4_threads"]
+#[ignore = "helper re-executed by chaos_digest_identical_across_threads_and_ingest_paths"]
 fn chaos_thread_digest_child() {
     let out = FleetDriver::new(chaos_cfg()).unwrap().run().unwrap();
     println!("CHAOS_FLEET_DIGEST={:016x}", out.digest());
@@ -147,11 +148,13 @@ fn chaos_thread_digest_child() {
 
 /// The fault pattern is a pure function of `(chaos seed, device, attempt)`,
 /// so the full outcome — totals, retries, quarantine, seal — must be
-/// bit-identical at any worker-thread count.
+/// bit-identical at any worker-thread count, and the columnar ingest path
+/// must match the scalar reference path even under 10% drop / 10%
+/// duplicate / 5% corrupt transport.
 #[test]
-fn chaos_digest_identical_at_1_and_4_threads() {
+fn chaos_digest_identical_across_threads_and_ingest_paths() {
     let exe = std::env::current_exe().expect("test binary path");
-    let digest_at = |threads: &str| -> String {
+    let digest_at = |threads: &str, path: &str| -> String {
         let output = std::process::Command::new(&exe)
             .args([
                 "chaos_thread_digest_child",
@@ -160,11 +163,12 @@ fn chaos_digest_identical_at_1_and_4_threads() {
                 "--nocapture",
             ])
             .env("ULP_PAR_THREADS", threads)
+            .env("ULP_FLEET_INGEST_PATH", path)
             .output()
             .expect("re-exec test binary");
         assert!(
             output.status.success(),
-            "child run failed at {threads} threads: {}",
+            "child run failed at {threads} threads on the {path} path: {}",
             String::from_utf8_lossy(&output.stderr)
         );
         let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
@@ -176,12 +180,14 @@ fn chaos_digest_identical_at_1_and_4_threads() {
             .take_while(char::is_ascii_hexdigit)
             .collect()
     };
-    let serial = digest_at("1");
-    let parallel = digest_at("4");
-    assert_eq!(
-        serial, parallel,
-        "chaotic fleet outcome must be bit-identical at 1 vs 4 threads"
-    );
+    let baseline = digest_at("1", "reference");
+    for (threads, path) in [("1", "columnar"), ("4", "columnar"), ("4", "reference")] {
+        assert_eq!(
+            digest_at(threads, path),
+            baseline,
+            "chaotic fleet outcome must be bit-identical at {threads} threads on the {path} path"
+        );
+    }
 }
 
 /// End-to-end replay-safety audit: a lossy run spends exactly the budget of

@@ -81,10 +81,11 @@ fn digest_cfg() -> FleetConfig {
     }
 }
 
-/// Child half of the thread-count determinism test: prints the digest of a
-/// fixed fleet run under whatever `ULP_PAR_THREADS` the parent set.
+/// Child half of the determinism matrix: prints the digest of a fixed
+/// fleet run under whatever `ULP_PAR_THREADS` / `ULP_FLEET_INGEST_PATH`
+/// the parent set.
 #[test]
-#[ignore = "helper re-executed by digest_identical_at_1_and_4_threads"]
+#[ignore = "helper re-executed by digest_identical_across_threads_and_ingest_paths"]
 fn thread_digest_child() {
     let out = FleetDriver::new(digest_cfg()).unwrap().run().unwrap();
     println!("FLEET_DIGEST={:016x}", out.digest());
@@ -92,19 +93,22 @@ fn thread_digest_child() {
 
 /// `ulp_par::threads()` latches once per process, so thread-count variation
 /// needs fresh processes: re-exec this test binary filtered to the child
-/// helper with `ULP_PAR_THREADS` pinned to 1 and 4.
+/// helper across a (threads × ingest path) matrix. Every cell — 1 or 4
+/// workers, columnar or scalar-reference ingest — must produce the same
+/// outcome digest bit for bit.
 #[test]
-fn digest_identical_at_1_and_4_threads() {
+fn digest_identical_across_threads_and_ingest_paths() {
     let exe = std::env::current_exe().expect("test binary path");
-    let digest_at = |threads: &str| -> String {
+    let digest_at = |threads: &str, path: &str| -> String {
         let output = std::process::Command::new(&exe)
             .args(["thread_digest_child", "--exact", "--ignored", "--nocapture"])
             .env("ULP_PAR_THREADS", threads)
+            .env("ULP_FLEET_INGEST_PATH", path)
             .output()
             .expect("re-exec test binary");
         assert!(
             output.status.success(),
-            "child run failed at {threads} threads: {}",
+            "child run failed at {threads} threads on the {path} path: {}",
             String::from_utf8_lossy(&output.stderr)
         );
         // libtest may emit the digest on the same line as its own "test …"
@@ -118,12 +122,14 @@ fn digest_identical_at_1_and_4_threads() {
             .take_while(char::is_ascii_hexdigit)
             .collect()
     };
-    let serial = digest_at("1");
-    let parallel = digest_at("4");
-    assert_eq!(
-        serial, parallel,
-        "fleet outcome must be bit-identical at 1 vs 4 threads"
-    );
+    let baseline = digest_at("1", "reference");
+    for (threads, path) in [("1", "columnar"), ("4", "columnar"), ("4", "reference")] {
+        assert_eq!(
+            digest_at(threads, path),
+            baseline,
+            "fleet outcome must be bit-identical at {threads} threads on the {path} ingest path"
+        );
+    }
 }
 
 #[test]
