@@ -4,27 +4,28 @@
 //! fixed population, across collector shard counts), timing the full
 //! pipeline — device simulation, wire encoding, sharded ingest, estimation,
 //! ledger audit — and writes a machine-readable JSON report (default
-//! `BENCH_fleet.json`, schema `ulp-ldp/bench_fleet/v2`).
+//! `BENCH_fleet.json`, schema `ulp-ldp/bench_fleet/v3`).
 //!
 //! Each cell records:
 //!
-//! * throughput (reports ingested per second), plus the collector-side
-//!   phase breakdown — decode, accumulate, fold — attributed from the
-//!   `fleet.collector.*` span timers, with decode-only and
-//!   accumulate-only throughput derived from the same deltas;
+//! * throughput (reports ingested per second), plus the phase breakdown —
+//!   device simulation (`fleet.driver.simulate`), decode, accumulate,
+//!   fold — attributed from the span timers, with sim-only, decode-only,
+//!   and accumulate-only throughput derived from the same deltas;
 //! * the columnar-decode counters (`fleet.decode.batch_frames`,
 //!   `fleet.decode.fallback_chunks`) showing how much of the stream rode
 //!   the parallel fast path vs the sequential resync scanner;
 //! * the [`FleetOutcome`] determinism digest — rerunning with a different
-//!   `ULP_PAR_THREADS` or `ULP_FLEET_INGEST_PATH` must reproduce every
-//!   digest bit-for-bit;
+//!   `ULP_PAR_THREADS`, `ULP_FLEET_INGEST_PATH`, or `ULP_DEVICE_ENGINE`
+//!   must reproduce every digest bit-for-bit;
 //! * the accuracy gates: mean, RR frequency, and RR count must land within
 //!   `3·SE + bias_bound` of ground truth. A gate failure aborts the run —
 //!   a benchmark that quietly reports wrong estimates is worse than none.
 //!
 //! Full (non-smoke) reports also carry a `target` block grading the
-//! 10⁵-device cell against the 1M reports/sec goal, with the documented
-//! fallback for single-core hosts: ≥5× the v1 scalar-ingest baseline.
+//! 10⁶-device cell against the 1M reports/sec end-to-end goal (no
+//! single-core fallback: the batch device engine plus flat-table
+//! accumulate is expected to clear it on one core).
 //!
 //! Flags:
 //!
@@ -49,25 +50,26 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use ldp_core::SamplerPath;
 use ulp_fleet::{
-    decode_counter_totals, ingest_phase_totals, render_sweep, FleetConfig, FleetDriver,
-    FleetOutcome, FleetSweepRow, GateResult, IngestPath,
+    decode_counter_totals, ingest_phase_totals, render_sweep, sim_phase_ns, DeviceEngine,
+    FleetConfig, FleetDriver, FleetOutcome, FleetSweepRow, GateResult, IngestPath,
 };
 use ulp_obs::MetricsLevel;
 
-/// The scalar-ingest `n100000` throughput from the committed v1 baseline
-/// (`BENCH_fleet.json` before the columnar rework), on the single-core
-/// reference host. The single-core fallback target is 5× this figure.
-const V1_BASELINE_RPS: f64 = 127_668.3;
-/// The headline multi-core ingest-throughput goal.
+/// The `n1000000` end-to-end throughput from the committed v2 baseline
+/// (`BENCH_fleet.json` before the batch device engine and flat-table
+/// accumulate), on the single-core reference host. Reported for context
+/// alongside the absolute target.
+const V2_BASELINE_RPS: f64 = 683_323.7;
+/// The headline end-to-end throughput goal for the 10⁶-device cell.
 const TARGET_RPS: f64 = 1_000_000.0;
 
-/// Collector-side phase attribution for one cell: deltas of the
-/// process-wide `fleet.collector.*` spans and `fleet.decode.*` counters
-/// across the cell's run.
+/// Phase attribution for one cell: deltas of the process-wide
+/// `fleet.driver.simulate` / `fleet.collector.*` spans and
+/// `fleet.decode.*` counters across the cell's run.
 #[derive(Clone, Copy, Default)]
 struct PhaseDelta {
+    sim_s: f64,
     decode_s: f64,
     accumulate_s: f64,
     fold_s: f64,
@@ -138,12 +140,15 @@ impl Cell {
 /// One driver run bracketed by span/counter snapshots, returning the
 /// phase attribution deltas alongside the outcome.
 fn instrumented_run(name: &str, driver: &FleetDriver) -> (FleetOutcome, PhaseDelta) {
+    let sim0 = sim_phase_ns();
     let spans0 = ingest_phase_totals();
     let counters0 = decode_counter_totals();
     let outcome = driver.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+    let sim1 = sim_phase_ns();
     let spans1 = ingest_phase_totals();
     let counters1 = decode_counter_totals();
     let phases = PhaseDelta {
+        sim_s: (sim1 - sim0) as f64 * 1e-9,
         decode_s: (spans1.decode_ns - spans0.decode_ns) as f64 * 1e-9,
         accumulate_s: (spans1.accumulate_ns - spans0.accumulate_ns) as f64 * 1e-9,
         fold_s: (spans1.fold_ns - spans0.fold_ns) as f64 * 1e-9,
@@ -198,10 +203,11 @@ fn run_cell(name: String, cfg: FleetConfig) -> Cell {
     };
     eprintln!(
         "  {:<10} {seconds:>8.3}s  {:>9} reports  {:>10.0} rep/s  \
-         (decode {:.3}s, accumulate {:.3}s)  digest {:016x}",
+         (sim {:.3}s, decode {:.3}s, accumulate {:.3}s)  digest {:016x}",
         cell.name,
         cell.outcome.ingest.accepted,
         cell.reports_per_sec(),
+        cell.phases.sim_s,
         cell.phases.decode_s,
         cell.phases.accumulate_s,
         cell.outcome.digest(),
@@ -228,7 +234,7 @@ fn render_json(
     threads: usize,
     smoke: bool,
     ingest_path: &str,
-    sampler_path: &str,
+    device_engine: &str,
     cells: &[Cell],
     target: Option<&Cell>,
     metrics: Option<&str>,
@@ -237,11 +243,11 @@ fn render_json(
     let total_reports: u64 = cells.iter().map(|c| c.outcome.ingest.accepted).sum();
     let mut out = String::new();
     out.push_str("{\n");
-    writeln!(out, "  \"schema\": \"ulp-ldp/bench_fleet/v2\",").unwrap();
+    writeln!(out, "  \"schema\": \"ulp-ldp/bench_fleet/v3\",").unwrap();
     writeln!(out, "  \"threads\": {threads},").unwrap();
     writeln!(out, "  \"smoke\": {smoke},").unwrap();
     writeln!(out, "  \"ingest_path\": \"{ingest_path}\",").unwrap();
-    writeln!(out, "  \"sampler_path\": \"{sampler_path}\",").unwrap();
+    writeln!(out, "  \"device_engine\": \"{device_engine}\",").unwrap();
     writeln!(out, "  \"total_seconds\": {total:.3},").unwrap();
     writeln!(out, "  \"total_reports\": {total_reports},").unwrap();
     if let Some(c) = target {
@@ -249,11 +255,11 @@ fn render_json(
         writeln!(
             out,
             "  \"target\": {{\"cell\": \"{}\", \"reports_per_sec\": {rps:.1}, \
-             \"target_rps\": {TARGET_RPS:.1}, \"fallback_baseline_rps\": {V1_BASELINE_RPS:.1}, \
-             \"speedup_vs_v1\": {:.2}, \"met\": {}}},",
+             \"target_rps\": {TARGET_RPS:.1}, \"v2_baseline_rps\": {V2_BASELINE_RPS:.1}, \
+             \"speedup_vs_v2\": {:.2}, \"met\": {}}},",
             c.name,
-            rps / V1_BASELINE_RPS,
-            rps >= TARGET_RPS || rps >= 5.0 * V1_BASELINE_RPS,
+            rps / V2_BASELINE_RPS,
+            rps >= TARGET_RPS,
         )
         .unwrap();
     }
@@ -277,8 +283,10 @@ fn render_json(
             "    {{\"name\": \"{}\", \"devices\": {}, \"shards\": {}, \"epochs\": {}, \
              \"seconds\": {:.3}, \"reports\": {}, \"rejected\": {}, \"excluded\": {}, \
              \"reports_per_sec\": {:.1}, \
+             \"sim_seconds\": {:.6}, \
              \"decode_seconds\": {:.6}, \"accumulate_seconds\": {:.6}, \
-             \"fold_seconds\": {:.6}, \"decode_reports_per_sec\": {:.1}, \
+             \"fold_seconds\": {:.6}, \"sim_reports_per_sec\": {:.1}, \
+             \"decode_reports_per_sec\": {:.1}, \
              \"accumulate_reports_per_sec\": {:.1}, \
              \"batch_frames\": {}, \"fallback_chunks\": {}, \
              \"digest\": \"{:016x}\", \"audit_ok\": {}, \
@@ -292,9 +300,11 @@ fn render_json(
             c.outcome.ingest.rejected,
             c.outcome.devices_excluded,
             c.reports_per_sec(),
+            c.phases.sim_s,
             c.phases.decode_s,
             c.phases.accumulate_s,
             c.phases.fold_s,
+            c.phase_rps(c.phases.sim_s),
             c.phase_rps(c.phases.decode_s),
             c.phase_rps(c.phases.accumulate_s),
             c.phases.batch_frames,
@@ -331,8 +341,8 @@ fn extract_str(line: &str, key: &str) -> Option<String> {
     Some(rest[..rest.find('"')?].to_string())
 }
 
-/// `(name, reports_per_sec, seconds)` for every cell line in a v1 or v2
-/// report (both carry the three keys in each cell object).
+/// `(name, reports_per_sec, seconds)` for every cell line in a v1, v2,
+/// or v3 report (all carry the three keys in each cell object).
 fn parse_baseline(text: &str) -> Vec<(String, f64, f64)> {
     text.lines()
         .filter(|l| l.trim_start().starts_with("{\"name\":"))
@@ -440,9 +450,9 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let sampler_path = match SamplerPath::from_env() {
-        Ok(SamplerPath::Fast) => "fast",
-        Ok(SamplerPath::Reference) => "reference",
+    let device_engine = match DeviceEngine::from_env() {
+        Ok(DeviceEngine::Batch) => "batch",
+        Ok(DeviceEngine::Reference) => "reference",
         Err(e) => {
             eprintln!("bench_fleet: {e}");
             std::process::exit(2);
@@ -450,7 +460,7 @@ fn main() {
     };
     eprintln!(
         "bench_fleet: {} mode, {threads} worker thread(s) (ULP_PAR_THREADS to override), \
-         {ingest_path} ingest path, {sampler_path} sampler path, metrics {}",
+         {ingest_path} ingest path, {device_engine} device engine, metrics {}",
         if smoke { "smoke" } else { "full" },
         level.name(),
     );
@@ -507,15 +517,15 @@ fn main() {
     let target = (!smoke).then(|| {
         cells
             .iter()
-            .find(|c| c.name == "n100000")
-            .expect("full sweep includes the n100000 cell")
+            .find(|c| c.name == "n1000000")
+            .expect("full sweep includes the n1000000 cell")
     });
     if let Some(c) = target {
         let rps = c.reports_per_sec();
         eprintln!(
-            "target n100000: {rps:.0} rep/s ({}x the v1 scalar baseline; goal {TARGET_RPS:.0} \
-             or 5x baseline single-core)",
-            (rps / V1_BASELINE_RPS).round(),
+            "target n1000000: {rps:.0} rep/s ({:.2}x the v2 baseline; goal {TARGET_RPS:.0} \
+             end-to-end)",
+            rps / V2_BASELINE_RPS,
         );
     }
 
@@ -528,7 +538,7 @@ fn main() {
         threads,
         smoke,
         ingest_path,
-        sampler_path,
+        device_engine,
         &cells,
         target,
         metrics_report.as_deref(),

@@ -36,10 +36,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use ldp_core::SamplerPath;
 use ulp_fleet::{
-    chaos_seed_from_env, ChaosConfig, FaultClass, FleetConfig, FleetDriver, FleetOutcome,
-    GateResult, IngestPath, SealStatus,
+    chaos_seed_from_env, ChaosConfig, DeviceEngine, FaultClass, FleetConfig, FleetDriver,
+    FleetOutcome, GateResult, IngestPath, SealStatus,
 };
 
 /// Default chaos seed when `ULP_CHAOS_SEED` is unset.
@@ -318,13 +317,13 @@ fn main() {
             std::process::exit(2);
         }
     };
-    // The driver reads both path knobs at construction; validating them
-    // here keeps the exit-2 contract (name the variable, never default).
+    // The driver reads both knobs at construction; validating them here
+    // keeps the exit-2 contract (name the variable, never default).
     if let Err(e) = IngestPath::from_env() {
         eprintln!("chaos_campaign: {e}");
         std::process::exit(2);
     }
-    if let Err(e) = SamplerPath::from_env() {
+    if let Err(e) = DeviceEngine::from_env() {
         eprintln!("chaos_campaign: {e}");
         std::process::exit(2);
     }

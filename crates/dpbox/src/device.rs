@@ -128,8 +128,9 @@ struct StagedSample {
     neg_ln_raw: i64,
 }
 
-/// Fraction bits of the CORDIC logarithm output inside the pipeline.
-const LOG_FRAC: u8 = 24;
+/// Fraction bits of the CORDIC logarithm output inside the pipeline
+/// (shared with the batch engine in [`crate::array`]).
+pub(crate) const LOG_FRAC: u8 = 24;
 
 /// The DP-Box hardware module.
 ///

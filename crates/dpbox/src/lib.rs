@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod array;
 mod command;
 mod device;
 mod energy;
@@ -43,6 +44,7 @@ mod error;
 mod trace;
 mod vcd;
 
+pub use array::{DeviceArray, DeviceArrayConfig, LaneOutcome};
 pub use command::{Command, DecodeCommandError};
 pub use device::{DpBox, DpBoxConfig, DpBoxStats, Phase};
 pub use energy::{EnergyModel, Implementation};

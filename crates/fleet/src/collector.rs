@@ -450,6 +450,14 @@ impl DedupSlot {
 
 /// One shard's persistent state: accumulators plus the per-device dedup
 /// and quarantine records for the devices that hash to it.
+///
+/// Device ids below `flat_cap` index directly into the flat tables —
+/// the accumulate inner loop then touches no hash map at all. Ids at or
+/// above the cap (forged ids recovered from a corrupted stream, or a
+/// collector built without [`Collector::with_device_capacity`]) take the
+/// hash-map fallback. Both routes run the identical admit/strike/latch
+/// logic, so which route a device takes is unobservable in the stats,
+/// totals, and quarantine state.
 #[derive(Debug, Clone)]
 struct ShardState {
     accs: Vec<QueryTotals>,
@@ -459,6 +467,14 @@ struct ShardState {
     strikes: HashMap<u32, u32>,
     /// Latched (quarantined) senders — permanent, like `HealthFault`.
     latched: std::collections::HashSet<u32>,
+    /// Device ids below this take the flat-table route (0 = never).
+    flat_cap: u32,
+    /// `flat_cap × nq` dedup windows, row-major by device.
+    flat_dedup: Vec<DedupSlot>,
+    /// Strike counts for unlatched devices below the cap.
+    flat_strikes: Vec<u32>,
+    /// Latch flags for devices below the cap.
+    flat_latched: Vec<bool>,
 }
 
 /// A decoded batch item, in stream order. Strikes ride alongside accepted
@@ -606,6 +622,10 @@ impl Collector {
                 dedup: HashMap::new(),
                 strikes: HashMap::new(),
                 latched: std::collections::HashSet::new(),
+                flat_cap: 0,
+                flat_dedup: Vec::new(),
+                flat_strikes: Vec::new(),
+                flat_latched: Vec::new(),
             })
             .collect();
         Collector {
@@ -629,6 +649,37 @@ impl Collector {
     pub fn with_quarantine_strikes(mut self, strikes: u32) -> Self {
         assert!(strikes > 0, "strike limit must be positive");
         self.strike_limit = strikes;
+        self
+    }
+
+    /// Pre-sizes a flat device-indexed fast path for the per-device dedup,
+    /// strike, and quarantine state covering ids below `cap`.
+    ///
+    /// The accumulate inner loop is dominated by per-(device, query) hash
+    /// lookups once populations reach ~10⁶ devices; ids below the cap
+    /// index straight into flat per-shard tables allocated here instead.
+    /// Ids at or above the cap (e.g. forged ids recovered from a corrupted
+    /// stream) fall back to the hash maps. Both routes run the same
+    /// admit/strike/latch code, so stats, totals, `Duplicate`/`Stale`
+    /// counters, and quarantine state are byte-identical at any `cap` —
+    /// only the lookup cost changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frames were already ingested (the fresh flat tables
+    /// would shadow accumulated per-device state).
+    pub fn with_device_capacity(mut self, cap: u32) -> Self {
+        assert!(
+            self.ingested == 0 && self.rejected == 0,
+            "device capacity must be set before the first ingest"
+        );
+        let nq = self.queries.len();
+        for st in &mut self.shard_states {
+            st.flat_cap = cap;
+            st.flat_dedup = vec![DedupSlot::default(); cap as usize * nq];
+            st.flat_strikes = vec![0; cap as usize];
+            st.flat_latched = vec![false; cap as usize];
+        }
         self
     }
 
@@ -672,6 +723,15 @@ impl Collector {
             .iter()
             .flat_map(|s| s.latched.iter().copied())
             .collect();
+        for s in &self.shard_states {
+            out.extend(
+                s.flat_latched
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &latched)| latched)
+                    .map(|(d, _)| d as u32),
+            );
+        }
         out.sort_unstable();
         out
     }
@@ -768,6 +828,40 @@ impl Collector {
     /// item through here, in the same per-shard order.
     fn apply_item(st: &mut ShardState, strike_limit: u32, item: &Item, batch: &mut ShardBatch) {
         let device = item.device();
+        if device < st.flat_cap {
+            // Flat route: direct indexing, no hashing. Mirrors the
+            // fallback arm below statement-for-statement.
+            let d = device as usize;
+            match item {
+                Item::Strike { .. } => {
+                    if st.flat_latched[d] {
+                        return;
+                    }
+                    st.flat_strikes[d] += 1;
+                    if st.flat_strikes[d] >= strike_limit {
+                        st.flat_strikes[d] = 0;
+                        st.flat_latched[d] = true;
+                        batch.quarantine_latched += 1;
+                    }
+                }
+                Item::Report { q, report } => {
+                    if st.flat_latched[d] {
+                        batch.quarantine_dropped += 1;
+                        return;
+                    }
+                    let nq = st.accs.len();
+                    match st.flat_dedup[d * nq + *q].admit(report.epoch) {
+                        Admit::Fresh => {
+                            st.accs[*q].absorb(report.payload);
+                            batch.accepted += 1;
+                        }
+                        Admit::Duplicate => batch.duplicates += 1,
+                        Admit::Stale => batch.stale += 1,
+                    }
+                }
+            }
+            return;
+        }
         match item {
             Item::Strike { .. } => {
                 if st.latched.contains(&device) {
@@ -1337,6 +1431,53 @@ mod tests {
             );
             assert!(r1.accepted > 0, "hostile stream must still accept frames");
         }
+    }
+
+    #[test]
+    fn flat_device_tables_match_the_hash_fallback() {
+        let batch = hostile_stream();
+        for path in [IngestPath::Columnar, IngestPath::Reference] {
+            let mut hashed = Collector::new(3, &[NUMERIC, RR])
+                .with_quarantine_strikes(3)
+                .with_ingest_path(path);
+            // Cap 512 covers the 300-device population but not the 9000
+            // violator, so the flat route and the hash fallback run side
+            // by side in the same pass.
+            let mut flat = Collector::new(3, &[NUMERIC, RR])
+                .with_quarantine_strikes(3)
+                .with_ingest_path(path)
+                .with_device_capacity(512);
+            let cut = batch.len() / 2 - 3;
+            assert_eq!(
+                hashed.ingest_frames(&batch[..cut]),
+                flat.ingest_frames(&batch[..cut])
+            );
+            assert_eq!(
+                hashed.ingest_frames(&batch[cut..]),
+                flat.ingest_frames(&batch[cut..])
+            );
+            assert_eq!(hashed.totals(0), flat.totals(0));
+            assert_eq!(hashed.totals(1), flat.totals(1));
+            assert_eq!(hashed.reports_ingested(), flat.reports_ingested());
+            assert_eq!(hashed.frames_rejected(), flat.frames_rejected());
+            assert_eq!(hashed.wire_errors(), flat.wire_errors());
+            assert_eq!(hashed.quarantined_devices(), flat.quarantined_devices());
+        }
+        // A cap past every sender keeps the violator latch on the flat
+        // route too.
+        let mut all_flat = Collector::new(2, &[NUMERIC, RR])
+            .with_quarantine_strikes(3)
+            .with_device_capacity(10_000);
+        all_flat.ingest_frames(&batch);
+        assert!(all_flat.quarantined_devices().contains(&9000));
+    }
+
+    #[test]
+    #[should_panic(expected = "device capacity must be set before the first ingest")]
+    fn device_capacity_after_ingest_panics() {
+        let mut c = Collector::new(1, &[NUMERIC]);
+        c.ingest_frames(&frames(&[value(1, 2)]));
+        let _ = c.with_device_capacity(16);
     }
 
     #[test]

@@ -25,15 +25,15 @@
 
 use core::fmt;
 
-use dp_box::{Command, DpBox, DpBoxConfig, DpBoxError, HealthConfig, Phase};
-use ldp_core::{
-    BudgetController, BudgetLedger, CompositionLedger, LdpError, QuantizedRange,
-    RandomizedResponse, SamplerPath,
+use dp_box::{
+    Command, DeviceArray, DeviceArrayConfig, DpBox, DpBoxConfig, DpBoxError, HealthConfig,
+    LaneOutcome, Phase,
 };
+use ldp_core::{BudgetLedger, CompositionLedger, LdpError, RandomizedResponse};
 use ldp_datasets::DatasetSpec;
 use ldp_eval::GroundTruth;
-use ulp_obs::{Counter, SpanTimer};
-use ulp_rng::{stream_seed, CorrelatedBits, FxpLaplace, RandomBits, Taus88, UrngHealth};
+use ulp_obs::{parse_env, Counter, EnvError, SpanTimer};
+use ulp_rng::{stream_seed, CorrelatedBits, RandomBits, Taus88};
 
 use crate::chaos::{ChaosConfig, DeviceChaos, MAX_DELAY_ROUNDS};
 use crate::collector::{
@@ -49,6 +49,73 @@ static DEVICES: Counter = Counter::new("fleet.devices.simulated");
 static EXCLUDED: Counter = Counter::new("fleet.devices.excluded");
 /// Wall-clock of each streamed epoch (simulation + ingest).
 static EPOCH_SPAN: SpanTimer = SpanTimer::new("fleet.driver.epoch");
+/// Wall-clock of the device-simulation fan-out (boot + noising + framing,
+/// before any collector ingest).
+static SIM_SPAN: SpanTimer = SpanTimer::new("fleet.driver.simulate");
+
+/// Nanoseconds spent in device simulation process-wide (recorded at
+/// metrics level `full` only — the hook `bench_fleet` splits per-cell wall
+/// time with).
+pub fn sim_phase_ns() -> u64 {
+    SIM_SPAN.total_ns()
+}
+
+/// Environment variable selecting the per-device simulation engine.
+pub const DEVICE_ENGINE_ENV: &str = "ULP_DEVICE_ENGINE";
+
+/// Which engine [`FleetDriver::run`] simulates devices with. The two
+/// engines produce **bit-identical** outcomes, ledgers, and digests for
+/// every configuration — the reference engine steps one [`DpBox`] FSM per
+/// device and exists for differential testing; the batch engine advances a
+/// [`DeviceArray`] per chunk for throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeviceEngine {
+    /// Struct-of-arrays lockstep simulation (the default): one
+    /// [`DeviceArray`] per chunk, faulty-URNG devices on a scalar sidecar.
+    #[default]
+    Batch,
+    /// One full [`DpBox`] FSM per device.
+    Reference,
+}
+
+impl DeviceEngine {
+    /// Parses a raw value: `batch` or `reference` (case-insensitive).
+    /// `None` (unset) selects [`DeviceEngine::Batch`] — the documented
+    /// default.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError`] for anything else — a misspelling must never silently
+    /// select an engine (the `ULP_SAMPLER_PATH` strictness rule).
+    pub fn parse(raw: Option<&str>) -> Result<Self, EnvError> {
+        let Some(raw) = raw else {
+            return Ok(DeviceEngine::Batch);
+        };
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "batch" => Ok(DeviceEngine::Batch),
+            "reference" => Ok(DeviceEngine::Reference),
+            _ => Err(EnvError {
+                var: DEVICE_ENGINE_ENV,
+                value: raw.to_string(),
+                expected: "batch | reference",
+            }),
+        }
+    }
+
+    /// Reads the engine from [`DEVICE_ENGINE_ENV`] (unset selects
+    /// [`DeviceEngine::Batch`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError`] on a set-but-unrecognized value — never a silent
+    /// fallback.
+    pub fn from_env() -> Result<Self, EnvError> {
+        Ok(parse_env(DEVICE_ENGINE_ENV, "batch | reference", |s| {
+            DeviceEngine::parse(Some(s)).ok()
+        })?
+        .unwrap_or_default())
+    }
+}
 
 /// Wire query id carrying fixed-point noised values.
 pub const VALUE_QUERY: u16 = 0;
@@ -410,16 +477,13 @@ pub struct FleetDriver {
     cfg: FleetConfig,
     model: NoiseModel,
     max_code: i64,
-    /// Device-side generation engine, from `ULP_SAMPLER_PATH`:
-    /// [`SamplerPath::Fast`] (default) batches each device's noising through
-    /// [`BudgetController::respond_index_batch`] over the cached alias table
-    /// (the exact output PMF at O(1) per draw); [`SamplerPath::Reference`]
-    /// steps a full [`DpBox`] FSM per device. Both run the identical
-    /// power-on self-test, exclusion, RR streams, and chaos transport —
-    /// only the value-noise draws (and hence per-run digests) differ
-    /// between engines. Within one engine every determinism guarantee
-    /// (thread/shard/chunk invariance) holds unchanged.
-    path: SamplerPath,
+    /// Device-side simulation engine, from `ULP_DEVICE_ENGINE`:
+    /// [`DeviceEngine::Batch`] (default) advances one [`DeviceArray`] per
+    /// chunk in lockstep; [`DeviceEngine::Reference`] steps a full
+    /// [`DpBox`] FSM per device. The two engines are bit-identical — every
+    /// RNG stream, report byte, ledger entry, and digest matches — so the
+    /// choice is purely a throughput/differential-testing knob.
+    engine: DeviceEngine,
     /// Collector-side ingest pipeline, from `ULP_FLEET_INGEST_PATH`:
     /// [`IngestPath::Columnar`] (default) or [`IngestPath::Reference`].
     /// Unlike the sampler path, the two ingest paths are byte-identical —
@@ -481,15 +545,27 @@ impl FleetDriver {
             max_code,
             &cfg.multiples,
         )?;
-        let path = SamplerPath::from_env()?;
+        let engine = DeviceEngine::from_env().map_err(LdpError::from)?;
         let ingest_path = IngestPath::from_env().map_err(LdpError::from)?;
         Ok(FleetDriver {
             cfg,
             model,
             max_code,
-            path,
+            engine,
             ingest_path,
         })
+    }
+
+    /// Overrides the environment-selected device engine (differential-test
+    /// and benchmark hook).
+    pub fn with_engine(mut self, engine: DeviceEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The device engine this driver simulates with.
+    pub fn engine(&self) -> DeviceEngine {
+        self.engine
     }
 
     /// The collector-side noise model (estimators, window, RR mechanism).
@@ -520,14 +596,18 @@ impl FleetDriver {
         // Simulate in fixed-size chunks; par_map returns chunk results in
         // chunk order regardless of schedule.
         let chunk_starts: Vec<u32> = (0..cfg.devices as u32).step_by(cfg.chunk).collect();
-        let chunk_results: Vec<Result<ChunkResult, FleetError>> =
+        let chunk_results: Vec<Result<ChunkResult, FleetError>> = {
+            let _span = SIM_SPAN.enter();
             ulp_par::par_map(&chunk_starts, |&start| {
                 let end = (start as usize + cfg.chunk).min(cfg.devices) as u32;
-                match self.path {
-                    SamplerPath::Fast => self.simulate_chunk_fast(start, end, &truth.codes_k, rr),
-                    SamplerPath::Reference => self.simulate_chunk(start, end, &truth.codes_k, rr),
+                match self.engine {
+                    DeviceEngine::Batch => {
+                        self.simulate_chunk_batch(start, end, &truth.codes_k, rr)
+                    }
+                    DeviceEngine::Reference => self.simulate_chunk(start, end, &truth.codes_k, rr),
                 }
-            });
+            })
+        };
 
         // Stream epochs through the collector, fold ledgers chunk-major.
         let mut collector = Collector::new(
@@ -546,7 +626,11 @@ impl FleetDriver {
                 },
             ],
         )
-        .with_ingest_path(self.ingest_path);
+        .with_ingest_path(self.ingest_path)
+        // Every id the fleet mints (population + planted malformed
+        // senders) takes the flat accumulate route; only forged ids
+        // recovered from corrupted bytes fall back to the hash maps.
+        .with_device_capacity((cfg.devices + cfg.malformed_senders) as u32);
         let mut chunks = Vec::with_capacity(chunk_results.len());
         for r in chunk_results {
             chunks.push(r?);
@@ -764,8 +848,6 @@ impl FleetDriver {
         codes_k: &[i64],
         rr: RandomizedResponse,
     ) -> Result<ChunkResult, FleetError> {
-        let cfg = &self.cfg;
-        let epochs = cfg.epochs as usize;
         let rounds = self.rounds();
         let mut buckets = RoundBuckets::new(rounds);
         let mut out = ChunkResult {
@@ -779,9 +861,28 @@ impl FleetDriver {
             reports_unacked: 0,
         };
         for id in start..end {
-            let x_code = codes_k[id as usize];
-            let faulty =
-                stream_seed(cfg.seed, &[u64::from(id), 7]) % 1000 < u64::from(cfg.faulty_per_mille);
+            self.simulate_device_scalar(id, codes_k[id as usize], rr, &mut buckets, &mut out)?;
+        }
+        out.frames = buckets.finalize();
+        Ok(out)
+    }
+
+    /// One device's full scalar simulation — a [`DpBox`] FSM booted,
+    /// stepped one `noise_value` per epoch, and its cached report bytes
+    /// pushed through the uplink. Shared by the reference engine (every
+    /// device) and the batch engine (faulty-URNG sidecar).
+    fn simulate_device_scalar(
+        &self,
+        id: u32,
+        x_code: i64,
+        rr: RandomizedResponse,
+        buckets: &mut RoundBuckets,
+        out: &mut ChunkResult,
+    ) -> Result<(), FleetError> {
+        let cfg = &self.cfg;
+        let epochs = cfg.epochs as usize;
+        {
+            let faulty = Self::is_faulty(cfg, id);
             let urng = if faulty {
                 FleetUrng::Faulty(CorrelatedBits::new(
                     Taus88::from_seed(stream_seed(cfg.seed, &[u64::from(id), 1])),
@@ -814,7 +915,7 @@ impl FleetDriver {
             dev.issue(Command::ResetHealth, 0)?;
             if dev.phase() == Phase::HealthFault {
                 out.excluded.push(id);
-                continue;
+                return Ok(());
             }
             // Initialization phase: budget, then freeze into waiting.
             dev.issue(Command::SetEpsilon, cfg.budget_raw)?;
@@ -864,7 +965,7 @@ impl FleetDriver {
                 }
                 .encode();
                 for frame in [&value_frame, &rr_frame] {
-                    let (extra, acked) = self.transmit(chaos.as_mut(), frame, epoch, &mut buckets);
+                    let (extra, acked) = self.transmit(chaos.as_mut(), frame, epoch, buckets);
                     out.retry_attempts += extra;
                     out.reports_unacked += u64::from(!acked);
                 }
@@ -872,20 +973,28 @@ impl FleetDriver {
             out.charges.extend(dev.accountant().losses());
             out.ledger.merge(dev.ledger());
         }
-        out.frames = buckets.finalize();
-        Ok(out)
+        Ok(())
     }
 
-    /// The batched generation engine: same power-on self-test, exclusion
-    /// decisions, RR bit streams, and chaos transport as
-    /// [`FleetDriver::simulate_chunk`], but each device's value noising runs
-    /// through [`BudgetController::respond_index_batch`] over the cached
-    /// alias table — the exact output PMF at O(1) per draw instead of the
-    /// cycle-faithful CORDIC datapath. Budget semantics are identical to
-    /// the device FSM: fresh outputs charge the ledger per
-    /// `(device, epoch)`, exhaustion replays the cached report for free,
-    /// and a halt with nothing cached drops the device.
-    fn simulate_chunk_fast(
+    /// Whether `id`'s URNG is wired through the correlated-bits fault — a
+    /// pure function of `(seed, id)`, identical in both engines.
+    fn is_faulty(cfg: &FleetConfig, id: u32) -> bool {
+        stream_seed(cfg.seed, &[u64::from(id), 7]) % 1000 < u64::from(cfg.faulty_per_mille)
+    }
+
+    /// The batch engine: identical power-on self-tests, RNG streams,
+    /// noising dataflow, frame bytes, and ledger records as
+    /// [`FleetDriver::simulate_chunk`] — proven bit-for-bit by the
+    /// differential test matrix — but the chunk's healthy-URNG devices
+    /// advance in lockstep as one [`DeviceArray`] (vectorized startup
+    /// self-test, memoized CORDIC, no per-device FSM allocation). Devices
+    /// wired through the correlated-bits fault keep the scalar [`DpBox`]
+    /// sidecar: they exist to exercise the full fault-latch machinery.
+    ///
+    /// Frames are emitted in device-id order from the precomputed lane
+    /// outcomes, so every round's byte stream — and therefore every ingest
+    /// stat, estimate, and digest — matches the reference engine exactly.
+    fn simulate_chunk_batch(
         &self,
         start: u32,
         end: u32,
@@ -906,63 +1015,77 @@ impl FleetDriver {
             retry_attempts: 0,
             reports_unacked: 0,
         };
-        let health_cfg =
-            HealthConfig::new(40, 64, 4).map_err(|e| FleetError::Device(DpBoxError::Rng(e)))?;
-        let sampler = FxpLaplace::analytic(self.model.lap_config());
-        let range = QuantizedRange::new(0, self.max_code, 1.0)?;
-        // `frac_bits = 0`: one raw budget grid unit is one nat, exactly the
-        // conversion `DpBox` applies to the initialization-phase
-        // `SetEpsilon` overload.
-        let budget_nats = cfg.budget_raw as f64;
-        let mut xs = vec![0i64; epochs];
-        let mut ys = vec![0i64; epochs];
+        // Partition the chunk: healthy devices become array lanes (their
+        // RNG streams are independent, so lockstep advance is safe);
+        // faulty devices take the scalar sidecar during emission.
+        let n = (end - start) as usize;
+        let mut lane_of: Vec<Option<u32>> = vec![None; n];
+        let mut seeds = Vec::with_capacity(n);
         for id in start..end {
-            let x_code = codes_k[id as usize];
-            let faulty =
-                stream_seed(cfg.seed, &[u64::from(id), 7]) % 1000 < u64::from(cfg.faulty_per_mille);
-            let mut urng = if faulty {
-                FleetUrng::Faulty(CorrelatedBits::new(
-                    Taus88::from_seed(stream_seed(cfg.seed, &[u64::from(id), 1])),
-                    1,
-                    230,
-                ))
-            } else {
-                FleetUrng::Healthy(Taus88::from_seed(stream_seed(
-                    cfg.seed,
-                    &[u64::from(id), 0],
-                )))
+            if !Self::is_faulty(cfg, id) {
+                lane_of[(id - start) as usize] = Some(seeds.len() as u32);
+                seeds.push(stream_seed(cfg.seed, &[u64::from(id), 0]));
+            }
+        }
+        let array_cfg = DeviceArrayConfig {
+            word_bits: cfg.word_bits,
+            frac_bits: 0,
+            bu: cfg.bu,
+            cordic_iterations: 24,
+            segment_multiples: cfg.multiples.clone(),
+            // The same short-window power-on self-test the scalar boot
+            // configures via `set_health_config`.
+            health: HealthConfig::new(40, 64, 4)
+                .map_err(|e| FleetError::Device(DpBoxError::Rng(e)))?,
+            budget_raw: cfg.budget_raw,
+            eps_shift: cfg.eps_shift,
+            range_lower: 0,
+            range_upper: self.max_code,
+        };
+        let mut array = DeviceArray::new(&array_cfg, &seeds)?;
+        let mut xs = vec![0i64; seeds.len()];
+        for id in start..end {
+            if let Some(lane) = lane_of[(id - start) as usize] {
+                xs[lane as usize] = codes_k[id as usize];
+            }
+        }
+        // Advance every lane through all epochs, column-wise.
+        let mut matrix: Vec<Vec<LaneOutcome>> = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut col = Vec::new();
+            array.step(&xs, &mut col);
+            matrix.push(col);
+        }
+        // Emission in device-id order: the exact per-device frame, spend,
+        // and ledger sequence the reference engine produces.
+        for id in start..end {
+            let Some(lane) = lane_of[(id - start) as usize] else {
+                self.simulate_device_scalar(id, codes_k[id as usize], rr, &mut buckets, &mut out)?;
+                continue;
             };
-            // Power-on self-test: the same monitor, configuration, and
-            // word budget as the reference engine's `ResetHealth` path, so
-            // the excluded set is identical between engines.
-            let mut health = UrngHealth::new(health_cfg);
-            if health.startup(&mut urng).is_err() {
+            let lane = lane as usize;
+            if array.is_excluded(lane) {
                 out.excluded.push(id);
                 continue;
             }
-            let mut ctrl = BudgetController::new(self.model.table().clone(), range, budget_nats)?;
-            xs.fill(x_code);
-            let served = match ctrl.respond_index_batch(&xs, &sampler, &mut urng, &mut ys) {
-                Ok(outcome) => outcome.served as usize,
-                // Halt with nothing cached (only reachable at entry 0):
-                // the device stops before emitting anything, exactly like
-                // the FSM's fail-safe path.
-                Err(LdpError::BudgetExhausted) => {
-                    out.dropped.push(id);
-                    continue;
-                }
-                Err(e) => return Err(e.into()),
-            };
-            // Fresh charges land in the ledger one per served epoch, in
-            // epoch order — the same (device, epoch, charge) records the
-            // reference engine extracts from the device FSM's ledger.
-            for (e, entry) in ctrl.ledger().entries().iter().take(served).enumerate() {
-                out.spends.push((id, e as u32, entry.charge));
-            }
+            let x_code = codes_k[id as usize];
             let mut rr_rng = Taus88::from_seed(stream_seed(cfg.seed, &[u64::from(id), 2]));
             let above = x_code >= cfg.threshold_code;
             let mut chaos = cfg.chaos.as_ref().map(|c| DeviceChaos::new(c, id));
-            for (epoch, &y) in ys.iter().enumerate() {
+            for (epoch, col) in matrix.iter().enumerate() {
+                let y = match col[lane] {
+                    LaneOutcome::Fresh { y, charge } => {
+                        out.spends.push((id, epoch as u32, charge));
+                        out.ledger.record(charge);
+                        out.charges.push(charge);
+                        y
+                    }
+                    LaneOutcome::Cached { y } => y,
+                    LaneOutcome::Dropped => {
+                        out.dropped.push(id);
+                        break;
+                    }
+                };
                 let value_frame = Report {
                     device: id,
                     query: VALUE_QUERY,
@@ -983,8 +1106,6 @@ impl FleetDriver {
                     out.reports_unacked += u64::from(!acked);
                 }
             }
-            out.charges.extend(ctrl.accountant().losses());
-            out.ledger.merge(ctrl.ledger());
         }
         out.frames = buckets.finalize();
         Ok(out)
@@ -1147,6 +1268,74 @@ mod tests {
         // Estimates still come out, debiased, with SE from realized counts.
         let mean = out.mean.expect("estimates survive degraded coverage");
         assert!(mean.value.is_finite() && mean.stderr > 0.0);
+    }
+
+    #[test]
+    fn device_engine_parses_strictly() {
+        assert_eq!(DeviceEngine::parse(None), Ok(DeviceEngine::Batch));
+        assert_eq!(DeviceEngine::parse(Some("batch")), Ok(DeviceEngine::Batch));
+        assert_eq!(
+            DeviceEngine::parse(Some(" Reference ")),
+            Ok(DeviceEngine::Reference)
+        );
+        let err = DeviceEngine::parse(Some("fast")).unwrap_err();
+        assert_eq!(err.var, DEVICE_ENGINE_ENV);
+        assert_eq!(err.expected, "batch | reference");
+    }
+
+    #[test]
+    fn batch_engine_matches_reference_bit_for_bit() {
+        let cfg = FleetConfig {
+            malformed_senders: 2,
+            shards: 3,
+            ..small_cfg(300)
+        };
+        let batch = FleetDriver::new(cfg.clone())
+            .unwrap()
+            .with_engine(DeviceEngine::Batch)
+            .run()
+            .unwrap();
+        let reference = FleetDriver::new(cfg)
+            .unwrap()
+            .with_engine(DeviceEngine::Reference)
+            .run()
+            .unwrap();
+        // The full canonical outcome — estimates, ingest stats, truths,
+        // ledger, seal, quarantine — must be byte-identical.
+        assert_eq!(batch.canonical_text(), reference.canonical_text());
+        assert_eq!(batch.digest(), reference.digest());
+        assert_eq!(batch.ledger_digest, reference.ledger_digest);
+        assert!(batch.devices_excluded > 0, "the 5‰ fault plant must fire");
+    }
+
+    #[test]
+    fn batch_engine_matches_reference_under_chaos() {
+        use crate::chaos::{ChaosConfig, FaultClass};
+        let cfg = FleetConfig {
+            chaos: Some(ChaosConfig {
+                drop: FaultClass::bursty(0.1, 4.0),
+                duplicate: FaultClass::flat(0.1),
+                corrupt: FaultClass::flat(0.05),
+                reorder: FaultClass::flat(0.05),
+                delay: FaultClass::flat(0.05),
+                truncate: FaultClass::flat(0.02),
+                ..ChaosConfig::quiet(0xBEEF)
+            }),
+            ..small_cfg(300)
+        };
+        let batch = FleetDriver::new(cfg.clone())
+            .unwrap()
+            .with_engine(DeviceEngine::Batch)
+            .run()
+            .unwrap();
+        let reference = FleetDriver::new(cfg)
+            .unwrap()
+            .with_engine(DeviceEngine::Reference)
+            .run()
+            .unwrap();
+        assert_eq!(batch.canonical_text(), reference.canonical_text());
+        assert_eq!(batch.ledger_digest, reference.ledger_digest);
+        assert!(batch.retry_attempts > 0, "chaos must actually fire");
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub use collector::{
     QueryConfig, QueryKind, QueryTotals, SealStatus, WireErrorTally, DEFAULT_QUARANTINE_STRIKES,
     INGEST_PATH_ENV,
 };
-pub use driver::{FleetConfig, FleetDriver, FleetError, FleetOutcome, RR_QUERY, VALUE_QUERY};
+pub use driver::{
+    sim_phase_ns, DeviceEngine, FleetConfig, FleetDriver, FleetError, FleetOutcome,
+    DEVICE_ENGINE_ENV, RR_QUERY, VALUE_QUERY,
+};
 pub use estimator::{Estimate, NoiseModel};
 pub use sketch::GridSketch;
 pub use sweep::{fleet_sweep, render_sweep, FleetSweepRow, GateResult};

@@ -45,6 +45,7 @@ use ulp_obs::Counter;
 
 use crate::error::RngError;
 use crate::source::RandomBits;
+use crate::tausworthe::Taus88;
 
 /// Words that passed every online health test.
 static VERDICTS_OK: Counter = Counter::new("rng.health.verdicts_ok");
@@ -392,6 +393,138 @@ impl UrngHealth {
             self.observe(src.next_u32())?;
         }
         Ok(())
+    }
+
+    /// Batched startup pass over a [`Taus88`] source: draws and evaluates
+    /// one full window ([`HealthConfig::startup_words`] words) in tight
+    /// whole-buffer loops instead of `observe`-per-word, reproducing the
+    /// scalar [`startup`](Self::startup) **bit-for-bit** — same verdict,
+    /// same latched alarm, same monitor state, same RNG position, same
+    /// `rng.taus88.words_drawn` / `rng.health.verdicts_ok` counter deltas.
+    ///
+    /// The equivalence argument: the window is pre-filled speculatively
+    /// (uncounted), then screened for any possible repetition-count trip
+    /// with an exact sliding-window AND over the same-bit transition masks
+    /// — a lane reaches the cutoff iff `rct_cutoff − 1` consecutive
+    /// transitions keep it constant, so the screen has neither false
+    /// positives nor false negatives. A screen hit rewinds the generator to
+    /// a snapshot and replays the scalar path (which stops mid-window at
+    /// the exact tripping word). A clean screen means every word survives
+    /// the RCT, so the window accumulators (ones, per-lag agreements) are
+    /// plain popcount sums and the APT/lag verdict is evaluated once at
+    /// window close, exactly as `observe` would on the final word; the
+    /// post-window register state (`runs8`, `last`, lag shift register) is
+    /// reconstructed in closed form.
+    ///
+    /// `scratch` is reused across calls to keep per-device startup
+    /// allocation-free in batch simulations.
+    ///
+    /// Falls back to the scalar path when the monitor is mid-stream or
+    /// already latched (the fast path assumes a fresh window).
+    pub fn startup_batched(
+        &mut self,
+        src: &mut Taus88,
+        scratch: &mut Vec<u32>,
+    ) -> Result<(), HealthAlarm> {
+        let w = self.cfg.startup_words() as usize;
+        if self.words != 0 || self.alarm.is_some() || self.cfg.apt_window as usize != w {
+            return self.startup(src);
+        }
+        let snapshot = src.clone();
+        // `scratch` holds the window's words followed by a workspace for
+        // the transition masks, so steady-state startups allocate nothing.
+        scratch.clear();
+        scratch.resize(2 * w - 1, 0);
+        let (words_buf, trans) = scratch.split_at_mut(w);
+        src.fill_u32_uncounted(words_buf);
+
+        // Window accumulators first (the RCT screen below consumes the
+        // transition masks in place).
+        let ones: u64 = words_buf.iter().map(|&x| u64::from(x.count_ones())).sum();
+        let max_lag = usize::from(self.cfg.max_lag);
+        let mut agreements = [0u64; 8];
+        let mut lag_pairs = [0u64; 8];
+        for slot in 0..max_lag {
+            let lag = slot + 1;
+            agreements[slot] = words_buf[lag..]
+                .iter()
+                .zip(words_buf.iter())
+                .map(|(&a, &b)| u64::from((!(a ^ b)).count_ones()))
+                .sum();
+            lag_pairs[slot] = (w - lag) as u64 * 32;
+        }
+
+        // Exact RCT screen: `trans[i] = !(w[i+1] ^ w[i])` has bit `b` set
+        // iff lane `b` kept its value across that transition; a lane trips
+        // iff some `m = rct_cutoff − 1` consecutive transitions all keep
+        // it. Sliding-window AND by doubling (AND is idempotent, so the
+        // two covering sub-windows may overlap).
+        let m = (self.rct_cutoff - 1) as usize;
+        let rct_possible = m <= w.saturating_sub(1) && {
+            for (i, t) in trans.iter_mut().enumerate() {
+                *t = !(words_buf[i + 1] ^ words_buf[i]);
+            }
+            let mut len = w - 1;
+            let mut span = 1usize;
+            while span * 2 <= m {
+                for i in 0..len - span {
+                    trans[i] &= trans[i + span];
+                }
+                len -= span;
+                span *= 2;
+            }
+            let rem = m - span;
+            (0..len - rem).any(|i| trans[i] & trans[i + rem] != 0)
+        };
+        if rct_possible {
+            // Somewhere in the window a lane reaches the cutoff: rewind and
+            // let the scalar path reproduce the exact trip word, counter
+            // accounting, and RNG position.
+            *src = snapshot;
+            return self.startup(src);
+        }
+
+        // No RCT trip anywhere in the window, so the per-word loop is
+        // unconditional: reconstruct its final register state directly.
+        // `runs8` is 1 + the trailing run of constant transitions per lane.
+        self.runs8 = [LANE_LSB; 4];
+        let mut alive: u32 = !0;
+        for pair in words_buf.windows(2).rev() {
+            alive &= !(pair[1] ^ pair[0]);
+            if alive == 0 {
+                break;
+            }
+            for (g, runs) in self.runs8.iter_mut().enumerate() {
+                *runs += byte_mask((u64::from(alive) >> (8 * g)) & 0xFF) & LANE_LSB;
+            }
+        }
+        self.last = words_buf[w - 1];
+        for slot in 0..max_lag {
+            self.prev[slot] = words_buf[w - 1 - slot];
+        }
+        self.ones = ones;
+        self.agreements = agreements;
+        self.lag_pairs = lag_pairs;
+        self.words = w as u64;
+        self.window_pos = self.cfg.apt_window;
+        Taus88::note_words_drawn(w as u64);
+
+        // Window close on the final word, exactly as `observe` would run it.
+        match self.close_window(w as u64 - 1) {
+            Ok(()) => {
+                VERDICTS_OK.add(w as u64);
+                Ok(())
+            }
+            Err(alarm) => {
+                // The final word's verdict is the alarm, so it is not
+                // counted as OK; accumulators stay un-reset, as on the
+                // scalar trip path.
+                self.alarm = Some(alarm);
+                ALARMS.record_always(1);
+                VERDICTS_OK.add(w as u64 - 1);
+                Err(alarm)
+            }
+        }
     }
 
     /// Evaluates the windowed tests and resets the window accumulators.
@@ -853,6 +986,106 @@ mod tests {
                 assert_eq!(fast.alarm().copied(), scalar.alarm);
             }
         }
+    }
+
+    /// Runs scalar `startup` and `startup_batched` from identical
+    /// (monitor, generator) pairs and asserts bitwise-equivalent results:
+    /// verdict, alarm, word count, generator position, and — by feeding
+    /// two more full windows through `observe` — the entire reconstructed
+    /// register state (runs, lag shift register, window accumulators).
+    fn assert_startup_equivalence(cfg: HealthConfig, rng: &Taus88) -> Result<(), HealthAlarm> {
+        let (mut scalar_h, mut batched_h) = (UrngHealth::new(cfg), UrngHealth::new(cfg));
+        let (mut scalar_rng, mut batched_rng) = (rng.clone(), rng.clone());
+        let mut scratch = Vec::new();
+        let scalar = scalar_h.startup(&mut scalar_rng);
+        let batched = batched_h.startup_batched(&mut batched_rng, &mut scratch);
+        assert_eq!(scalar, batched);
+        assert_eq!(scalar_h.words(), batched_h.words());
+        assert_eq!(scalar_h.alarm(), batched_h.alarm());
+        assert_eq!(
+            scalar_rng, batched_rng,
+            "generator positions diverged after startup"
+        );
+        let mut probe = Taus88::from_seed(0x9E37_79B9);
+        for i in 0..2 * cfg.apt_window() {
+            let word = probe.next_u32();
+            assert_eq!(
+                scalar_h.observe(word),
+                batched_h.observe(word),
+                "post-startup observe diverged at word {i}"
+            );
+        }
+        assert_eq!(scalar_h.words(), batched_h.words());
+        batched
+    }
+
+    #[test]
+    fn batched_startup_matches_the_scalar_startup() {
+        // Low alpha_exp makes healthy Taus88 windows trip the repetition
+        // count often (exercising the rewind-and-replay path); alpha 40 is
+        // the always-clean fleet operating point.
+        let configs = [
+            HealthConfig::new(4, 64, 4).unwrap(),
+            HealthConfig::new(6, 64, 8).unwrap(),
+            HealthConfig::new(8, 128, 2).unwrap(),
+            HealthConfig::new(12, 64, 0).unwrap(),
+            HealthConfig::new(40, 64, 4).unwrap(),
+            HealthConfig::new(60, 64, 1).unwrap(),
+        ];
+        let mut rct_trips = 0u32;
+        let mut clean = 0u32;
+        for cfg in configs {
+            for seed in 0..200u64 {
+                match assert_startup_equivalence(cfg, &Taus88::from_seed(seed)) {
+                    Ok(()) => clean += 1,
+                    Err(a) => {
+                        if let HealthTest::RepetitionCount { .. } = a.test {
+                            rct_trips += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(rct_trips > 50, "sweep exercised only {rct_trips} RCT trips");
+        assert!(clean > 50, "sweep exercised only {clean} clean startups");
+    }
+
+    #[test]
+    fn batched_startup_window_trip_matches_the_scalar_startup() {
+        // A window-close trip on a *healthy* Taus88 is a designed-rare
+        // false positive (p ≈ 2^-alpha_exp per window), so the seed is
+        // pinned by offline search: at alpha_exp 12 this window survives
+        // every repetition-count check and then trips at window close,
+        // covering the batched path's closed-form trip-state construction.
+        let cfg = HealthConfig::new(12, 64, 4).unwrap();
+        let alarm = assert_startup_equivalence(cfg, &Taus88::from_seed(WINDOW_TRIP_SEED))
+            .expect_err("pinned seed must trip at window close");
+        assert!(
+            !matches!(alarm.test, HealthTest::RepetitionCount { .. }),
+            "pinned seed tripped RCT ({alarm}), not a windowed test"
+        );
+    }
+
+    /// Found by scanning seeds for a windowed (APT / lag-correlation) trip
+    /// at `HealthConfig::new(12, 64, 4)`; see the test above.
+    const WINDOW_TRIP_SEED: u64 = 28816;
+
+    #[test]
+    fn batched_startup_mid_stream_falls_back_to_scalar() {
+        let cfg = HealthConfig::new(40, 64, 4).unwrap();
+        let (mut scalar_h, mut batched_h) = (UrngHealth::new(cfg), UrngHealth::new(cfg));
+        let (mut scalar_rng, mut batched_rng) = (Taus88::from_seed(3), Taus88::from_seed(3));
+        // One word observed out-of-band: the fast path's fresh-window
+        // precondition fails and it must delegate to the scalar loop.
+        assert!(scalar_h.observe(0x1234_5678).is_ok());
+        assert!(batched_h.observe(0x1234_5678).is_ok());
+        let mut scratch = Vec::new();
+        assert_eq!(
+            scalar_h.startup(&mut scalar_rng),
+            batched_h.startup_batched(&mut batched_rng, &mut scratch)
+        );
+        assert_eq!(scalar_rng, batched_rng);
+        assert_eq!(scalar_h.words(), batched_h.words());
     }
 
     #[test]

@@ -70,6 +70,36 @@ impl Taus88 {
     }
 }
 
+impl Taus88 {
+    /// Fills `out` with the next words **without** counting them against
+    /// the process-wide `rng.taus88.words_drawn` counter.
+    ///
+    /// This exists for batched consumers (the vectorized health startup)
+    /// that pre-fill a buffer speculatively and only afterwards know how
+    /// many words were really "drawn" by the scalar-equivalent computation;
+    /// they account via [`Taus88::note_words_drawn`] once the count is
+    /// final, keeping the counter bit-identical to the scalar path.
+    pub(crate) fn fill_u32_uncounted(&mut self, out: &mut [u32]) {
+        let (mut s1, mut s2, mut s3) = (self.s1, self.s2, self.s3);
+        for w in out.iter_mut() {
+            let b1 = ((s1 << 13) ^ s1) >> 19;
+            s1 = ((s1 & 0xFFFF_FFFE) << 12) ^ b1;
+            let b2 = ((s2 << 2) ^ s2) >> 25;
+            s2 = ((s2 & 0xFFFF_FFF8) << 4) ^ b2;
+            let b3 = ((s3 << 3) ^ s3) >> 11;
+            s3 = ((s3 & 0xFFFF_FFF0) << 17) ^ b3;
+            *w = s1 ^ s2 ^ s3;
+        }
+        (self.s1, self.s2, self.s3) = (s1, s2, s3);
+    }
+
+    /// Credits `n` words to the process-wide draw counter (see
+    /// [`Taus88::fill_u32_uncounted`]).
+    pub(crate) fn note_words_drawn(n: u64) {
+        WORDS_DRAWN.add(n);
+    }
+}
+
 impl RandomBits for Taus88 {
     fn next_u32(&mut self) -> u32 {
         WORDS_DRAWN.inc();

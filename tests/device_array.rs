@@ -1,0 +1,147 @@
+//! Batch-engine equivalence properties: a [`DeviceArray`] lane pinned to a
+//! fresh scalar [`DpBox`] stepped in lockstep must be bit-identical —
+//! outputs, per-epoch budget state, health-fault latching, and budget
+//! exhaustion — across randomized configurations, seeds, and sensor
+//! schedules. This is the property backing the fleet driver's batch
+//! engine (`ULP_DEVICE_ENGINE=batch`): the column loops are a
+//! reorganization of the scalar FSM, not an approximation of it.
+
+use proptest::prelude::*;
+use ulp_ldp::dpbox::{
+    Command, DeviceArray, DeviceArrayConfig, DpBox, DpBoxConfig, DpBoxError, HealthConfig,
+    LaneOutcome, Phase,
+};
+use ulp_ldp::rng::Taus88;
+
+/// Boots a scalar DP-Box through the exact command sequence the array
+/// models (the fleet driver's boot sequence), on the same seed.
+///
+/// Returns the device still in `HealthFault` phase when the power-on
+/// self-test trips (the caller checks the phase — the fleet excludes such
+/// devices), and an error when a later boot command fails (the array
+/// reports the same as a construction error).
+fn scalar_device(cfg: &DeviceArrayConfig, seed: u64) -> Result<DpBox, DpBoxError> {
+    let mut dev = DpBox::with_urng(
+        DpBoxConfig {
+            word_bits: cfg.word_bits,
+            frac_bits: cfg.frac_bits,
+            bu: cfg.bu,
+            cordic_iterations: cfg.cordic_iterations,
+            segment_multiples: cfg.segment_multiples.clone(),
+            seed: 0,
+        },
+        Taus88::from_seed(seed),
+    )?;
+    dev.set_health_config(cfg.health);
+    dev.issue(Command::ResetHealth, 0)?;
+    if dev.phase() == Phase::HealthFault {
+        return Ok(dev);
+    }
+    dev.issue(Command::SetEpsilon, cfg.budget_raw)?;
+    dev.issue(Command::StartNoising, 0)?;
+    dev.issue(Command::SetEpsilon, i64::from(cfg.eps_shift))?;
+    dev.issue(Command::SetSensorRangeLower, cfg.range_lower)?;
+    dev.issue(Command::SetSensorRangeUpper, cfg.range_upper)?;
+    dev.issue(Command::SetThreshold, 0)?;
+    Ok(dev)
+}
+
+/// Randomized array configurations around the fleet operating point:
+/// small budgets so exhaustion lands mid-run, and health monitors from
+/// paper-realistic (`alpha_exp` 40) down to hair-trigger (`alpha_exp` 4,
+/// which trips monitors both at power-on and mid-batch).
+fn arb_config() -> impl Strategy<Value = DeviceArrayConfig> {
+    (4u8..=40, 1i64..=3, 0u8..=2, (16u8..=18)).prop_map(|(alpha, budget_raw, eps_shift, bu)| {
+        DeviceArrayConfig {
+            word_bits: 20,
+            frac_bits: 0,
+            bu,
+            cordic_iterations: 24,
+            segment_multiples: vec![1.5, 2.0, 2.5, 3.0],
+            health: HealthConfig::new(alpha, 64, 4).unwrap(),
+            budget_raw,
+            eps_shift,
+            range_lower: 0,
+            range_upper: 256,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every lane, every epoch: the array's outcome equals the scalar
+    /// device's, the remaining budget is bit-identical, exclusion matches
+    /// the scalar `HealthFault` phase, and once either side stops
+    /// reporting the other has stopped too — across random configs,
+    /// seeds, and per-epoch sensor codes.
+    #[test]
+    fn array_lanes_are_bit_identical_to_scalar_devices(
+        cfg in arb_config(),
+        seeds in proptest::collection::vec(any::<u64>(), 1..6),
+        schedule in proptest::collection::vec(
+            proptest::collection::vec(0i64..=256, 1..6), 1..10),
+    ) {
+        let array = match DeviceArray::new(&cfg, &seeds) {
+            Ok(a) => a,
+            Err(e) => {
+                // A lane's monitor tripped while staging its first
+                // sample: the scalar boot sequence must fail the same
+                // way on the first such seed (lanes boot in index order).
+                let scalar_err = seeds.iter().find_map(|&s| scalar_device(&cfg, s).err());
+                prop_assert_eq!(
+                    format!("{e}"),
+                    format!("{}", scalar_err.expect("a scalar boot fails too"))
+                );
+                return Ok(());
+            }
+        };
+
+        for (lane, &seed) in seeds.iter().enumerate() {
+            let mut dev = scalar_device(&cfg, seed).unwrap();
+            prop_assert_eq!(
+                dev.phase() == Phase::HealthFault,
+                array.is_excluded(lane),
+                "lane {} exclusion parity", lane
+            );
+            if array.is_excluded(lane) {
+                continue;
+            }
+            // Fresh array per lane so the lockstep comparison sees every
+            // epoch's outcome for this lane.
+            let mut mirror = DeviceArray::new(&cfg, &seeds).unwrap();
+            let mut out = Vec::new();
+            for (epoch, epoch_codes) in schedule.iter().enumerate() {
+                let xs: Vec<i64> = (0..seeds.len())
+                    .map(|l| epoch_codes[l % epoch_codes.len()])
+                    .collect();
+                mirror.step(&xs, &mut out);
+                match dev.noise_value(xs[lane]) {
+                    Ok((y, _)) => {
+                        let ok = matches!(
+                            out[lane],
+                            LaneOutcome::Fresh { y: ay, .. } | LaneOutcome::Cached { y: ay }
+                                if ay == y
+                        );
+                        prop_assert!(
+                            ok,
+                            "lane {} epoch {}: scalar {}, array {:?}",
+                            lane, epoch, y, out[lane]
+                        );
+                    }
+                    // Health-fault latch or budget exhaustion with no
+                    // cached output: the lane must be compacted away.
+                    Err(_) => prop_assert_eq!(
+                        out[lane], LaneOutcome::Dropped,
+                        "lane {} epoch {}: scalar stopped, array did not", lane, epoch
+                    ),
+                }
+                prop_assert_eq!(
+                    dev.remaining_budget().to_bits(),
+                    mirror.remaining_budget(lane).to_bits(),
+                    "lane {} epoch {} remaining budget", lane, epoch
+                );
+            }
+        }
+    }
+}
