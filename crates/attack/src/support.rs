@@ -1,0 +1,113 @@
+//! Realized-support extraction and audits.
+//!
+//! The loss analysis certifies a *distribution*; the sampler paths draw
+//! from *tables*. This module closes the gap: it reconstructs the law an
+//! [`AliasTable`] actually samples from its integer outcome weights and
+//! checks it against the exact conditional distribution — equality of
+//! support (never a superset) and exact proportionality of weights. The
+//! differential tests in `tests/attack_support.rs` sweep this audit across
+//! mechanisms, Q-formats, and ε.
+
+use std::collections::BTreeSet;
+
+use ldp_core::ConditionalDist;
+use ulp_rng::{AliasTable, FxpNoisePmf};
+
+/// The support of an exact noise PMF, as signed grid offsets with positive
+/// weight.
+pub fn pmf_support(pmf: &FxpNoisePmf) -> BTreeSet<i64> {
+    pmf.iter().filter(|&(_, w)| w > 0).map(|(k, _)| k).collect()
+}
+
+/// The support of the law an alias table samples, shifted by `shift`
+/// (mechanisms add the input index to the drawn offset).
+pub fn table_support(table: &AliasTable, shift: i64) -> BTreeSet<i64> {
+    table
+        .outcomes()
+        .iter()
+        .filter(|&&(_, w)| w > 0)
+        .map(|&(k, _)| k + shift)
+        .collect()
+}
+
+/// The law an alias table actually samples, as a [`ConditionalDist`] over
+/// `shift + offset`, or `None` if the table carries no positive weight
+/// (cannot happen for tables built from nonempty PMFs).
+pub fn table_dist(table: &AliasTable, shift: i64) -> Option<ConditionalDist> {
+    ConditionalDist::from_weights(
+        table
+            .outcomes()
+            .iter()
+            .filter(|&&(_, w)| w > 0)
+            .map(|&(k, w)| (k + shift, w)),
+    )
+}
+
+/// Audits that a table samples *exactly* the expected conditional law:
+/// identical support and exactly proportional integer weights (cross
+/// multiplication over `u128`, no floating point involved).
+pub fn table_matches_dist(table: &AliasTable, shift: i64, expected: &ConditionalDist) -> bool {
+    let Some(realized) = table_dist(table, shift) else {
+        return false;
+    };
+    if realized.support_bounds() != expected.support_bounds() {
+        return false;
+    }
+    let (rn, en) = (realized.norm(), expected.norm());
+    let mut exp_iter = expected.iter();
+    for (y, rw) in realized.iter() {
+        let Some((ey, ew)) = exp_iter.next() else {
+            return false;
+        };
+        if y != ey || rw.checked_mul(en) != ew.checked_mul(rn) {
+            return false;
+        }
+    }
+    exp_iter.next().is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::{conditional, LimitMode, QuantizedRange};
+    use ulp_rng::{cached_alias_full, cached_alias_window, FxpLaplaceConfig};
+
+    fn setup() -> (FxpLaplaceConfig, FxpNoisePmf, QuantizedRange) {
+        let cfg = FxpLaplaceConfig::new(10, 12, 0.5, 4.0).unwrap();
+        let pmf = FxpNoisePmf::closed_form(cfg);
+        let range = QuantizedRange::new(0, 8, cfg.delta()).unwrap();
+        (cfg, pmf, range)
+    }
+
+    #[test]
+    fn full_table_support_equals_pmf_support() {
+        let (cfg, pmf, _) = setup();
+        let table = cached_alias_full(cfg).unwrap();
+        assert_eq!(table_support(&table, 0), pmf_support(&pmf));
+    }
+
+    #[test]
+    fn window_table_matches_the_exact_conditional() {
+        let (cfg, pmf, range) = setup();
+        let n_th = 40;
+        for x_k in [range.min_k(), 4, range.max_k()] {
+            let lo = range.min_k() - n_th;
+            let hi = range.max_k() + n_th;
+            let table = cached_alias_window(cfg, lo - x_k, hi - x_k).unwrap();
+            let expected = conditional(&pmf, range, LimitMode::Resampling, Some(n_th), x_k);
+            assert!(
+                table_matches_dist(&table, x_k, &expected),
+                "window table diverges from exact conditional at x_k={x_k}"
+            );
+        }
+    }
+
+    #[test]
+    fn audit_detects_a_wrong_window() {
+        let (cfg, pmf, range) = setup();
+        let x_k = range.min_k();
+        let table = cached_alias_window(cfg, -10, 10).unwrap();
+        let expected = conditional(&pmf, range, LimitMode::Resampling, Some(40), x_k);
+        assert!(!table_matches_dist(&table, x_k, &expected));
+    }
+}

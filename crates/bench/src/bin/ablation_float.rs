@@ -16,8 +16,11 @@ fn main() {
     ]);
     for (x1, x2) in [(0.0, 1.0), (5.0, 5.125), (100.0, 101.0)] {
         for bu in [10u8, 14, 16] {
-            let n = reachable_outputs(x1, 20.0, bu).len();
-            let frac = distinguishing_fraction(x1, x2, 20.0, bu);
+            let n = reachable_outputs(x1, 20.0, bu)
+                .expect("Bu within enumeration range")
+                .len();
+            let frac =
+                distinguishing_fraction(x1, x2, 20.0, bu).expect("Bu within enumeration range");
             t.row(vec![
                 format!("({x1}, {x2})"),
                 bu.to_string(),

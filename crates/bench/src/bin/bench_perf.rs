@@ -246,6 +246,7 @@ fn main() {
     let sampler_path = match SamplerPath::from_env() {
         Ok(SamplerPath::Reference) => "reference",
         Ok(SamplerPath::Fast) => "fast",
+        Ok(SamplerPath::Secure) => "secure",
         Err(e) => {
             eprintln!("bench_perf: {e}");
             std::process::exit(2);

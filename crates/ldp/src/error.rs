@@ -5,6 +5,8 @@ use core::fmt;
 use ulp_obs::EnvError;
 use ulp_rng::RngError;
 
+use crate::loss::PrivacyLoss;
+
 /// Error produced by mechanism construction and budget operations.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LdpError {
@@ -42,6 +44,28 @@ pub enum LdpError {
         /// The sensor range's grid step.
         range: f64,
     },
+    /// A precision parameter (uniform-grid width) was outside the supported
+    /// enumeration range.
+    InvalidPrecision {
+        /// The rejected width.
+        bu: u8,
+        /// The largest accepted width.
+        max: u8,
+    },
+    /// The secure sampler path was requested for a mechanism whose output
+    /// distribution cannot be machine-checked against an Eq. 4 loss bound
+    /// (no claimed bound, or a sampler with no exact PMF). Refusal is loud
+    /// by design — the secure path never silently falls back.
+    Uncertifiable(&'static str),
+    /// The secure sampler path machine-checked the mechanism's realized
+    /// worst-case loss against its claimed bound and the check failed: the
+    /// configured threshold does not deliver the ε it advertises.
+    CertificationFailed {
+        /// The loss bound the mechanism claims (nats).
+        claimed: f64,
+        /// The exact realized worst-case loss over the extreme input pair.
+        realized: PrivacyLoss,
+    },
     /// An underlying RNG/substrate error.
     Rng(RngError),
 }
@@ -71,6 +95,24 @@ impl fmt::Display for LdpError {
                 f,
                 "noise grid step {noise} does not match sensor grid step {range}"
             ),
+            LdpError::InvalidPrecision { bu, max } => write!(
+                f,
+                "precision parameter Bu = {bu} outside supported enumeration range 1..={max}"
+            ),
+            LdpError::Uncertifiable(msg) => {
+                write!(f, "secure path refused (uncertifiable): {msg}")
+            }
+            LdpError::CertificationFailed { claimed, realized } => {
+                let realized = match realized {
+                    PrivacyLoss::Finite(l) => format!("{l}"),
+                    PrivacyLoss::Infinite => "infinite".to_string(),
+                };
+                write!(
+                    f,
+                    "secure path certification failed: realized worst-case loss {realized} \
+                     exceeds claimed bound {claimed} nats"
+                )
+            }
             LdpError::Rng(e) => write!(f, "rng error: {e}"),
         }
     }

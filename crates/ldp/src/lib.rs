@@ -92,7 +92,7 @@ pub use range::QuantizedRange;
 pub use renyi::{renyi_divergence, worst_case_renyi, RdpAccountant};
 pub use rr::RandomizedResponse;
 pub use threshold::{
-    closed_form_threshold, exact_threshold, exact_threshold_for_bound, resampling_threshold,
-    thresholding_threshold, ThresholdSpec,
+    closed_form_threshold, exact_threshold, exact_threshold_for_bound, refine_threshold,
+    resampling_threshold, thresholding_threshold, RefinedThreshold, ThresholdSpec,
 };
 pub use timing::ConstantTimeResampling;

@@ -21,16 +21,29 @@
 //! bit-for-bit, at O(1) per draw with no `ln` and no rejection loop. Single
 //! [`Mechanism::privatize`] calls always use the reference path, so
 //! per-request latency/resample observables are unaffected by the flag.
+//!
+//! [`SamplerPath::Secure`] is the interval-refining defense mode: before a
+//! batch is privatized, the mechanism's realized output distribution is
+//! machine-checked against its claimed Eq. 4 loss bound from the exact
+//! integer-count PMF, and draws then come from certified per-window
+//! conditional alias tables — rejection-free, constant word consumption per
+//! output (no data-dependent redraw loop to leak through timing). Mechanisms
+//! that cannot be certified (no claimed bound, a continuous `f64` sampler, or
+//! a CORDIC sampler with no exact PMF) refuse loudly with
+//! [`LdpError::Uncertifiable`]; a claimed bound the exact check contradicts
+//! surfaces as [`LdpError::CertificationFailed`]. The secure path never
+//! silently falls back.
 
 use std::sync::Arc;
 
 use ulp_obs::{parse_env, Counter, EnvError, Histogram};
 use ulp_rng::{
-    cached_alias_full, cached_alias_laplace_grid, cached_alias_window, AliasTable, FxpLaplace,
-    FxpLaplaceConfig, IdealLaplace, RandomBits, ZigguratExp,
+    cached_alias_full, cached_alias_laplace_grid, cached_alias_window, cached_pmf, AliasTable,
+    FxpLaplace, FxpLaplaceConfig, IdealLaplace, RandomBits, ZigguratExp,
 };
 
 use crate::error::LdpError;
+use crate::loss::{worst_case_loss_extremes, LimitMode};
 use crate::range::QuantizedRange;
 use crate::threshold::ThresholdSpec;
 
@@ -38,6 +51,8 @@ use crate::threshold::ThresholdSpec;
 static RESAMPLE_REDRAWS: Counter = Counter::new("ldp.resample.redraws");
 /// Outputs the thresholding mechanisms actually clamped to the window edge.
 static THRESHOLD_CLAMPS: Counter = Counter::new("ldp.threshold.clamps");
+/// Successful secure-path certifications (one per certified batch call).
+static SECURE_CERTIFICATIONS: Counter = Counter::new("ldp.secure.certifications");
 /// Redraws needed per single `privatize` call (resampling mode).
 static RETRIES_PER_CALL: Histogram = Histogram::new("ldp.resample.retries_per_call", "retries");
 
@@ -58,15 +73,20 @@ pub enum SamplerPath {
     /// The cycle-faithful sampler datapath everywhere (hardware model).
     #[default]
     Reference,
+    /// Certified sampling: batched privatization machine-checks the realized
+    /// worst-case loss against the claimed bound before drawing from exact
+    /// conditional tables, and refuses uncertifiable mechanisms (see the
+    /// module docs).
+    Secure,
 }
 
 /// Environment variable selecting the batched sampler path.
 pub const SAMPLER_PATH_ENV: &str = "ULP_SAMPLER_PATH";
 
 impl SamplerPath {
-    /// Parses a raw value: `fast` or `reference` (case-insensitive).
-    /// `None` (unset) selects [`SamplerPath::Fast`] — the documented
-    /// default for simulation throughput.
+    /// Parses a raw value: `fast`, `reference`, or `secure`
+    /// (case-insensitive). `None` (unset) selects [`SamplerPath::Fast`] —
+    /// the documented default for simulation throughput.
     ///
     /// # Errors
     ///
@@ -80,10 +100,11 @@ impl SamplerPath {
         match raw.trim().to_ascii_lowercase().as_str() {
             "fast" => Ok(SamplerPath::Fast),
             "reference" => Ok(SamplerPath::Reference),
+            "secure" => Ok(SamplerPath::Secure),
             _ => Err(EnvError {
                 var: SAMPLER_PATH_ENV,
                 value: raw.to_string(),
-                expected: "fast | reference",
+                expected: "fast | reference | secure",
             }),
         }
     }
@@ -98,7 +119,7 @@ impl SamplerPath {
     /// [`LdpError::InvalidEnv`] on a set-but-unrecognized value — never a
     /// silent fallback.
     pub fn from_env() -> Result<Self, LdpError> {
-        match parse_env(SAMPLER_PATH_ENV, "fast | reference", |s| {
+        match parse_env(SAMPLER_PATH_ENV, "fast | reference | secure", |s| {
             SamplerPath::parse(Some(s)).ok()
         })? {
             Some(p) => Ok(p),
@@ -369,6 +390,9 @@ impl Mechanism for IdealLaplaceMechanism {
         rng: &mut dyn RandomBits,
         out: &mut [f64],
     ) -> Result<u64, LdpError> {
+        if self.path == SamplerPath::Secure {
+            return Err(ideal_uncertifiable());
+        }
         if self.path == SamplerPath::Reference {
             return batch_via_single(self, xs, rng, out);
         }
@@ -390,6 +414,9 @@ impl Mechanism for IdealLaplaceMechanism {
         rng: &mut dyn RandomBits,
         out: &mut [i64],
     ) -> Result<Option<u64>, LdpError> {
+        if self.path == SamplerPath::Secure {
+            return Err(ideal_uncertifiable());
+        }
         if self.path == SamplerPath::Reference {
             return Ok(None);
         }
@@ -443,6 +470,17 @@ impl Mechanism for IdealLaplaceMechanism {
     }
 }
 
+/// The ideal mechanism's secure-path refusal: continuous `f64` Laplace
+/// cannot be realized exactly in finite precision (the Mironov attack is
+/// precisely the gap between the real-valued ideal and its `f64` image), so
+/// there is no exact output distribution to certify.
+fn ideal_uncertifiable() -> LdpError {
+    LdpError::Uncertifiable(
+        "continuous f64 Laplace cannot be realized exactly in finite precision; \
+         use a certified fixed-point mechanism",
+    )
+}
+
 fn check_delta(sampler: &FxpLaplace, range: QuantizedRange) -> Result<(), LdpError> {
     let noise = sampler.config().delta();
     let grid = range.delta();
@@ -450,6 +488,42 @@ fn check_delta(sampler: &FxpLaplace, range: QuantizedRange) -> Result<(), LdpErr
         return Err(LdpError::MismatchedDelta { noise, range: grid });
     }
     Ok(())
+}
+
+/// Machine-checks a window-limited mechanism's claimed loss bound (the
+/// secure-path gate): computes the exact realized worst-case Eq. 4 loss over
+/// the extreme input pair from the integer-count PMF and compares it with
+/// the claimed `guaranteed_loss`.
+///
+/// # Errors
+///
+/// [`LdpError::Uncertifiable`] for a CORDIC sampler (its distribution is
+/// not the analytic PMF, so there is nothing exact to check against);
+/// [`LdpError::CertificationFailed`] when the exact check contradicts the
+/// claimed bound — e.g. a threshold from the paper's closed-form Eq. 15,
+/// which can overshoot into the RNG's zero-probability gap region.
+fn certify_window(
+    sampler: &FxpLaplace,
+    range: QuantizedRange,
+    mode: LimitMode,
+    spec: ThresholdSpec,
+) -> Result<(), LdpError> {
+    if !sampler.is_analytic() {
+        return Err(LdpError::Uncertifiable(
+            "CORDIC sampler has no exact analytic PMF to certify against",
+        ));
+    }
+    let pmf = cached_pmf(sampler.config());
+    let realized = worst_case_loss_extremes(&pmf, range, mode, Some(spec.n_th_k));
+    if realized.is_bounded_by(spec.guaranteed_loss) {
+        SECURE_CERTIFICATIONS.inc();
+        Ok(())
+    } else {
+        Err(LdpError::CertificationFailed {
+            claimed: spec.guaranteed_loss,
+            realized,
+        })
+    }
 }
 
 /// Resolves the full-support alias table for a fast-path mechanism, or
@@ -526,6 +600,9 @@ impl Mechanism for FxpBaseline {
         rng: &mut dyn RandomBits,
         out: &mut [f64],
     ) -> Result<u64, LdpError> {
+        if self.path == SamplerPath::Secure {
+            return Err(baseline_uncertifiable());
+        }
         let Some(table) = fast_table(self.path, &self.sampler)? else {
             return batch_via_single(self, xs, rng, out);
         };
@@ -543,6 +620,9 @@ impl Mechanism for FxpBaseline {
         rng: &mut dyn RandomBits,
         out: &mut [i64],
     ) -> Result<Option<u64>, LdpError> {
+        if self.path == SamplerPath::Secure {
+            return Err(baseline_uncertifiable());
+        }
         let Some(table) = fast_table(self.path, &self.sampler)? else {
             return Ok(None);
         };
@@ -566,6 +646,33 @@ impl Mechanism for FxpBaseline {
     fn name(&self) -> &'static str {
         "fxp-baseline"
     }
+}
+
+/// Adapts a secure index-batch path to `f64` values: quantize, draw on the
+/// grid, map back. Certification (and the length check) happens inside the
+/// index path.
+fn secure_value_batch(
+    xs: &[f64],
+    out: &mut [f64],
+    range: QuantizedRange,
+    draw: impl FnOnce(&[i64], &mut [i64]) -> Result<u64, LdpError>,
+) -> Result<u64, LdpError> {
+    assert_eq!(xs.len(), out.len(), "privatize_batch: length mismatch");
+    let xs_k: Vec<i64> = xs.iter().map(|&x| range.quantize(x)).collect();
+    let mut idx = vec![0i64; xs.len()];
+    let resamples = draw(&xs_k, &mut idx)?;
+    for (slot, &k) in out.iter_mut().zip(&idx) {
+        *slot = range.to_value(k);
+    }
+    Ok(resamples)
+}
+
+/// The baseline's secure-path refusal: its guarantee is [`Guarantee::Broken`]
+/// by construction, so there is no claimed bound to certify against.
+fn baseline_uncertifiable() -> LdpError {
+    LdpError::Uncertifiable(
+        "fxp-baseline claims no loss bound (guarantee is Broken); there is nothing to certify",
+    )
 }
 
 /// Resampling (Section III-B1): noise is redrawn until the noised output
@@ -630,6 +737,42 @@ impl ResamplingMechanism {
         self.sampler.sample_index(rng)
     }
 
+    /// The secure batch path: certify the claimed bound against the exact
+    /// PMF, then draw every output from its input's certified conditional
+    /// window table — rejection-free, exactly one table draw per output, so
+    /// word consumption is input-independent (no resampling-count side
+    /// channel) and `resamples` is 0 by construction.
+    fn secure_index_batch(
+        &self,
+        xs_k: &[i64],
+        rng: &mut dyn RandomBits,
+        out: &mut [i64],
+    ) -> Result<u64, LdpError> {
+        assert_eq!(
+            xs_k.len(),
+            out.len(),
+            "privatize_index_batch: length mismatch"
+        );
+        certify_window(&self.sampler, self.range, LimitMode::Resampling, self.spec)?;
+        let lo = self.range.min_k() - self.spec.n_th_k;
+        let hi = self.range.max_k() + self.spec.n_th_k;
+        let cfg = self.sampler.config();
+        // Memoize the last window table: sensor batches are strongly
+        // run-length correlated, so most lookups skip the cache lock.
+        let mut last: Option<(i64, Arc<AliasTable>)> = None;
+        for (slot, &x_k) in out.iter_mut().zip(xs_k) {
+            let table = match &last {
+                Some((k, t)) if *k == x_k => t,
+                _ => {
+                    let t = cached_alias_window(cfg, lo - x_k, hi - x_k)?;
+                    &last.insert((x_k, t)).1
+                }
+            };
+            *slot = x_k + table.draw(rng);
+        }
+        Ok(0)
+    }
+
     /// Privatizes on the grid, returning `(y_k, resamples)`.
     ///
     /// # Errors
@@ -677,6 +820,11 @@ impl Mechanism for ResamplingMechanism {
         rng: &mut dyn RandomBits,
         out: &mut [f64],
     ) -> Result<u64, LdpError> {
+        if self.path == SamplerPath::Secure {
+            return secure_value_batch(xs, out, self.range, |xs_k, idx| {
+                self.secure_index_batch(xs_k, rng, idx)
+            });
+        }
         let Some(table) = fast_table(self.path, &self.sampler)? else {
             return batch_via_single(self, xs, rng, out);
         };
@@ -714,6 +862,9 @@ impl Mechanism for ResamplingMechanism {
         rng: &mut dyn RandomBits,
         out: &mut [i64],
     ) -> Result<Option<u64>, LdpError> {
+        if self.path == SamplerPath::Secure {
+            return self.secure_index_batch(xs_k, rng, out).map(Some);
+        }
         let Some(table) = fast_table(self.path, &self.sampler)? else {
             return Ok(None);
         };
@@ -815,6 +966,43 @@ impl ThresholdingMechanism {
         }
         clamped
     }
+
+    /// The secure batch path: certify the claimed bound, then draw from the
+    /// full-support table and clamp. Clamping a full-support draw *is* the
+    /// thresholded law (boundary atoms included) — and that is exactly the
+    /// distribution the certification checked — with one draw per output,
+    /// so word consumption is input-independent.
+    fn secure_index_batch(
+        &self,
+        xs_k: &[i64],
+        rng: &mut dyn RandomBits,
+        out: &mut [i64],
+    ) -> Result<u64, LdpError> {
+        assert_eq!(
+            xs_k.len(),
+            out.len(),
+            "privatize_index_batch: length mismatch"
+        );
+        certify_window(
+            &self.sampler,
+            self.range,
+            LimitMode::Thresholding,
+            self.spec,
+        )?;
+        let table = cached_alias_full(self.sampler.config())?;
+        let lo = self.range.min_k() - self.spec.n_th_k;
+        let hi = self.range.max_k() + self.spec.n_th_k;
+        table.fill_batch(rng, out);
+        for (slot, &x_k) in out.iter_mut().zip(xs_k) {
+            let y = x_k + *slot;
+            let clamped = y.clamp(lo, hi);
+            if clamped != y {
+                THRESHOLD_CLAMPS.inc();
+            }
+            *slot = clamped;
+        }
+        Ok(0)
+    }
 }
 
 impl Mechanism for ThresholdingMechanism {
@@ -832,6 +1020,11 @@ impl Mechanism for ThresholdingMechanism {
         rng: &mut dyn RandomBits,
         out: &mut [f64],
     ) -> Result<u64, LdpError> {
+        if self.path == SamplerPath::Secure {
+            return secure_value_batch(xs, out, self.range, |xs_k, idx| {
+                self.secure_index_batch(xs_k, rng, idx)
+            });
+        }
         let Some(table) = fast_table(self.path, &self.sampler)? else {
             return batch_via_single(self, xs, rng, out);
         };
@@ -858,6 +1051,9 @@ impl Mechanism for ThresholdingMechanism {
         rng: &mut dyn RandomBits,
         out: &mut [i64],
     ) -> Result<Option<u64>, LdpError> {
+        if self.path == SamplerPath::Secure {
+            return self.secure_index_batch(xs_k, rng, out).map(Some);
+        }
         let Some(table) = fast_table(self.path, &self.sampler)? else {
             return Ok(None);
         };
@@ -1176,5 +1372,154 @@ mod tests {
         // Don't mutate the environment (tests run in parallel): exercise
         // the default and the documented contract only.
         assert_eq!(SamplerPath::default(), SamplerPath::Reference);
+        assert_eq!(
+            SamplerPath::parse(Some("secure")).unwrap(),
+            SamplerPath::Secure
+        );
+        assert_eq!(
+            SamplerPath::parse(Some(" SECURE ")).unwrap(),
+            SamplerPath::Secure
+        );
+        let err = SamplerPath::parse(Some("secure-ish")).unwrap_err();
+        assert_eq!(err.expected, "fast | reference | secure");
+    }
+
+    #[test]
+    fn secure_batches_are_certified_windowed_and_resample_free() {
+        let (sampler, range, pmf, cfg) = setup();
+        let xs: Vec<f64> = (0..4_000)
+            .map(|i| (i % 33) as f64 * range.delta())
+            .collect();
+        let mut out = vec![0.0; xs.len()];
+        let mut rng = Taus88::from_seed(44);
+        for mode in [LimitMode::Resampling, LimitMode::Thresholding] {
+            let spec = exact_threshold(cfg, &pmf, range, 2.0, mode).unwrap();
+            let (lo, hi) = (
+                range.to_value(range.min_k() - spec.n_th_k),
+                range.to_value(range.max_k() + spec.n_th_k),
+            );
+            let mech: Box<dyn Mechanism> = match mode {
+                LimitMode::Resampling => Box::new(
+                    ResamplingMechanism::new(sampler.clone(), range, spec)
+                        .unwrap()
+                        .with_sampler_path(SamplerPath::Secure),
+                ),
+                LimitMode::Thresholding => Box::new(
+                    ThresholdingMechanism::new(sampler.clone(), range, spec)
+                        .unwrap()
+                        .with_sampler_path(SamplerPath::Secure),
+                ),
+            };
+            let resamples = mech.privatize_batch(&xs, &mut rng, &mut out).unwrap();
+            assert_eq!(resamples, 0, "{mode:?}: certified draws never resample");
+            assert!(out.iter().all(|&y| y >= lo - 1e-9 && y <= hi + 1e-9));
+            let mean_in = xs.iter().sum::<f64>() / xs.len() as f64;
+            let mean_out = out.iter().sum::<f64>() / out.len() as f64;
+            assert!(
+                (mean_out - mean_in).abs() < 2.0,
+                "{mode:?}: mean {mean_out} vs {mean_in}"
+            );
+        }
+    }
+
+    #[test]
+    fn secure_path_rejects_a_lying_threshold() {
+        // A threshold far beyond what the loss target allows: the claimed
+        // bound is a lie and the exact check must catch it before a single
+        // draw is emitted.
+        let (sampler, range, pmf, cfg) = setup();
+        let honest = exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Thresholding).unwrap();
+        let lying = ThresholdSpec {
+            n_th_k: honest.n_th_k + 200,
+            guaranteed_loss: honest.guaranteed_loss,
+        };
+        let mech = ThresholdingMechanism::new(sampler, range, lying)
+            .unwrap()
+            .with_sampler_path(SamplerPath::Secure);
+        let mut rng = Taus88::from_seed(45);
+        let mut out = vec![0i64; 4];
+        let err = mech
+            .privatize_index_batch(&[0, 1, 2, 3], &mut rng, &mut out)
+            .unwrap_err();
+        assert!(
+            matches!(err, LdpError::CertificationFailed { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn secure_path_refuses_uncertifiable_mechanisms() {
+        let (sampler, range, _, _) = setup();
+        let mut rng = Taus88::from_seed(46);
+        let xs = [0.0, 1.0];
+        let mut out = [0.0; 2];
+
+        let baseline = FxpBaseline::new(sampler, range)
+            .unwrap()
+            .with_sampler_path(SamplerPath::Secure);
+        assert!(matches!(
+            baseline.privatize_batch(&xs, &mut rng, &mut out),
+            Err(LdpError::Uncertifiable(_))
+        ));
+
+        let ideal = IdealLaplaceMechanism::new(range, 0.5)
+            .unwrap()
+            .with_sampler_path(SamplerPath::Secure);
+        assert!(matches!(
+            ideal.privatize_batch(&xs, &mut rng, &mut out),
+            Err(LdpError::Uncertifiable(_))
+        ));
+
+        // CORDIC sampler: no exact PMF to certify against.
+        let cfg = FxpLaplaceConfig::new(12, 12, 0.25, 5.0).unwrap();
+        let cordic = FxpLaplace::cordic(cfg, ulp_rng::CordicLn::new(24));
+        let c_range = QuantizedRange::new(0, 16, 0.25).unwrap();
+        let spec = ThresholdSpec {
+            n_th_k: 10,
+            guaranteed_loss: 2.0,
+        };
+        let mech = ThresholdingMechanism::new(cordic, c_range, spec)
+            .unwrap()
+            .with_sampler_path(SamplerPath::Secure);
+        assert!(matches!(
+            mech.privatize_batch(&xs, &mut rng, &mut out),
+            Err(LdpError::Uncertifiable(_))
+        ));
+    }
+
+    #[test]
+    fn secure_resampling_matches_the_exact_conditional_distribution() {
+        // The certified window draw must realize the same conditional law
+        // the loss machinery certifies: compare empirical frequencies on the
+        // paper grid against `ConditionalDist` probabilities.
+        use crate::loss::conditional;
+        let (sampler, range, pmf, cfg) = setup();
+        let spec = exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Resampling).unwrap();
+        let mech = ResamplingMechanism::new(sampler, range, spec)
+            .unwrap()
+            .with_sampler_path(SamplerPath::Secure);
+        let x_k = range.min_k();
+        let dist = conditional(&pmf, range, LimitMode::Resampling, Some(spec.n_th_k), x_k);
+        let n = 200_000usize;
+        let xs_k = vec![x_k; n];
+        let mut out = vec![0i64; n];
+        let mut rng = Taus88::from_seed(47);
+        mech.privatize_index_batch(&xs_k, &mut rng, &mut out)
+            .unwrap()
+            .expect("secure path is a grid fast path");
+        let mut counts = std::collections::BTreeMap::new();
+        for &y in &out {
+            *counts.entry(y).or_insert(0u64) += 1;
+        }
+        for (&y, &c) in &counts {
+            let p = dist.prob(y);
+            assert!(p > 0.0, "draw {y} outside the certified support");
+            let emp = c as f64 / n as f64;
+            let sigma = (p * (1.0 - p) / n as f64).sqrt();
+            assert!(
+                (emp - p).abs() < 6.0 * sigma + 1e-4,
+                "y={y}: empirical {emp} vs exact {p}"
+            );
+        }
     }
 }

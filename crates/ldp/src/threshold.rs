@@ -18,7 +18,7 @@
 use ulp_rng::{FxpLaplaceConfig, FxpNoisePmf};
 
 use crate::error::LdpError;
-use crate::loss::{worst_case_loss_extremes, LimitMode};
+use crate::loss::{worst_case_loss_extremes, LimitMode, PrivacyLoss};
 use crate::range::QuantizedRange;
 
 /// A threshold together with the loss bound it guarantees.
@@ -225,6 +225,86 @@ pub fn exact_threshold_for_bound(
     })
 }
 
+/// The certificate produced by [`refine_threshold`]: where the refinement
+/// started (the paper's closed-form window), the certified final spec, and
+/// the exact realized loss the machine check measured there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefinedThreshold {
+    /// The closed-form starting threshold (Eq. 13 / Eq. 15), or 0 when the
+    /// closed form is infeasible for this configuration.
+    pub start_n_th_k: i64,
+    /// The certified window: `n_th_k` passed the exact Eq. 4 check against
+    /// `guaranteed_loss`.
+    pub spec: ThresholdSpec,
+    /// Net grid steps the window moved during refinement: positive when the
+    /// interval was shrunk (the closed form overshot), negative when the
+    /// feasible plateau extended past the conservative start.
+    pub steps: i64,
+    /// The exact realized worst-case loss at the certified window (nats),
+    /// always ≤ `spec.guaranteed_loss`.
+    pub realized: f64,
+}
+
+/// Interval-refining threshold selection — the secure-mode solver.
+///
+/// Starts from the paper's closed-form window (Eq. 13 / Eq. 15) and
+/// *refines the interval* one grid step at a time, machine-checking the
+/// exact Eq. 4 worst-case loss at every step: while the check fails the
+/// window shrinks (this is what rescues Eq. 15 configurations that land in
+/// the RNG's zero-probability gap region, where the closed form's claimed
+/// bound is actually infinite); once feasible it extends through the
+/// feasible plateau so the certified window is locally maximal. The
+/// returned certificate records the trajectory, so callers can report how
+/// far the claimed threshold was from a sound one.
+///
+/// # Errors
+///
+/// [`LdpError::InvalidEpsilon`] for `multiple ≤ 1`;
+/// [`LdpError::Unsatisfiable`] if even `n_th = 0` exceeds the bound.
+pub fn refine_threshold(
+    cfg: FxpLaplaceConfig,
+    pmf: &FxpNoisePmf,
+    range: QuantizedRange,
+    multiple: f64,
+    mode: LimitMode,
+) -> Result<RefinedThreshold, LdpError> {
+    let (eps, _) = validate(cfg, range, multiple)?;
+    let bound = multiple * eps;
+    let ok = |t: i64| worst_case_loss_extremes(pmf, range, mode, Some(t)).is_bounded_by(bound);
+    if !ok(0) {
+        return Err(LdpError::Unsatisfiable(
+            "even a zero threshold exceeds the loss target",
+        ));
+    }
+    let start = closed_form_threshold(cfg, range, multiple, mode)
+        .map(|s| s.n_th_k)
+        .unwrap_or(0);
+    let hi_cap = (pmf.support_max_k() - range.span_k()).max(0);
+    // Shrink while the exact check fails…
+    let mut t = start.clamp(0, hi_cap);
+    while t > 0 && !ok(t) {
+        t -= 1;
+    }
+    // …then extend through the feasible plateau (floor/ceiling raggedness
+    // can make the closed form locally over-conservative).
+    while t < hi_cap && ok(t + 1) {
+        t += 1;
+    }
+    let realized = match worst_case_loss_extremes(pmf, range, mode, Some(t)) {
+        PrivacyLoss::Finite(l) => l,
+        PrivacyLoss::Infinite => unreachable!("ok(t) held, so the loss is finite"),
+    };
+    Ok(RefinedThreshold {
+        start_n_th_k: start,
+        spec: ThresholdSpec {
+            n_th_k: t,
+            guaranteed_loss: bound,
+        },
+        steps: start - t,
+        realized,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +398,50 @@ mod tests {
         let at_eq15 =
             worst_case_loss_extremes(&pmf, range, LimitMode::Thresholding, Some(eq15.n_th_k));
         assert_eq!(at_eq15, crate::loss::PrivacyLoss::Infinite);
+    }
+
+    #[test]
+    fn refinement_rescues_the_eq15_overshoot() {
+        // The secure-mode solver starts at the unsound Eq. 15 window and
+        // shrinks it until the exact check passes — landing on the same
+        // maximal window the exact solver finds, with a positive shrink
+        // count recorded in the certificate.
+        let (cfg, pmf, range) = paper_setup();
+        let refined = refine_threshold(cfg, &pmf, range, 1.5, LimitMode::Thresholding).unwrap();
+        let exact = exact_threshold(cfg, &pmf, range, 1.5, LimitMode::Thresholding).unwrap();
+        assert_eq!(refined.spec, exact);
+        assert!(refined.steps > 0, "Eq. 15 overshoot must force shrinking");
+        assert_eq!(refined.start_n_th_k - refined.steps, refined.spec.n_th_k);
+        assert!(refined.realized <= refined.spec.guaranteed_loss);
+        assert!(refined.realized > 0.0);
+    }
+
+    #[test]
+    fn refinement_extends_the_sound_eq13_start() {
+        // Eq. 13 (resampling) is sound but conservative: refinement keeps
+        // it feasible and extends it to the same maximal window as the
+        // exact solver (steps ≤ 0 — never shrunk).
+        let (cfg, pmf, range) = paper_setup();
+        let refined = refine_threshold(cfg, &pmf, range, 2.0, LimitMode::Resampling).unwrap();
+        let exact = exact_threshold(cfg, &pmf, range, 2.0, LimitMode::Resampling).unwrap();
+        assert_eq!(refined.spec, exact);
+        assert!(refined.steps <= 0, "a sound start never shrinks");
+        let at = worst_case_loss_extremes(
+            &pmf,
+            range,
+            LimitMode::Resampling,
+            Some(refined.spec.n_th_k),
+        );
+        assert!(at.is_bounded_by(refined.spec.guaranteed_loss));
+    }
+
+    #[test]
+    fn refinement_rejects_infeasible_targets() {
+        let (cfg, pmf, range) = paper_setup();
+        assert!(matches!(
+            refine_threshold(cfg, &pmf, range, 1.0, LimitMode::Thresholding),
+            Err(LdpError::InvalidEpsilon(_))
+        ));
     }
 
     #[test]

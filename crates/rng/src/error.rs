@@ -12,6 +12,9 @@ pub enum RngError {
     NonPositive,
     /// An invalid sampler configuration (word widths, scale) was supplied.
     InvalidConfig(&'static str),
+    /// A domain-restricted function (survival, inverse survival) was called
+    /// outside its documented domain.
+    OutOfDomain(&'static str),
     /// An underlying fixed-point operation failed.
     Fixed(FixedError),
 }
@@ -21,6 +24,7 @@ impl fmt::Display for RngError {
         match self {
             RngError::NonPositive => write!(f, "input must be strictly positive"),
             RngError::InvalidConfig(msg) => write!(f, "invalid sampler configuration: {msg}"),
+            RngError::OutOfDomain(msg) => write!(f, "argument outside function domain: {msg}"),
             RngError::Fixed(e) => write!(f, "fixed-point error: {e}"),
         }
     }

@@ -118,11 +118,13 @@ impl IdealStaircase {
     /// Survival of the magnitude, `S(x) = Pr[|X| ≥ x]` for `x ≥ 0`, with
     /// the closed form `S(kd) = e^{-kε}`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `x < 0`.
-    pub fn survival(self, x: f64) -> f64 {
-        assert!(x >= 0.0, "survival is defined for x ≥ 0");
+    /// [`RngError::OutOfDomain`] if `x < 0` or `x` is NaN.
+    pub fn survival(self, x: f64) -> Result<f64, RngError> {
+        if x < 0.0 || x.is_nan() {
+            return Err(RngError::OutOfDomain("survival is defined for x ≥ 0"));
+        }
         let b = self.b();
         let k = (x / self.d).floor();
         let t = x - k * self.d;
@@ -132,18 +134,20 @@ impl IdealStaircase {
             b * (self.d - t)
         };
         let c = self.gamma + b * (1.0 - self.gamma);
-        2.0 * self.a() * b.powf(k) * (rem + b * self.d * c / (1.0 - b))
+        Ok(2.0 * self.a() * b.powf(k) * (rem + b * self.d * c / (1.0 - b)))
     }
 
     /// Inverse of [`IdealStaircase::survival`]: the magnitude `x` with
     /// `S(x) = u`, for `u ∈ (0, 1]`. Piecewise linear — no transcendentals
     /// beyond one logarithm for the period index.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `u` is outside `(0, 1]`.
-    pub fn survival_inverse(self, u: f64) -> f64 {
-        assert!(u > 0.0 && u <= 1.0, "survival inverse domain is (0,1]");
+    /// [`RngError::OutOfDomain`] if `u` is outside `(0, 1]` or NaN.
+    pub fn survival_inverse(self, u: f64) -> Result<f64, RngError> {
+        if !(u > 0.0 && u <= 1.0) {
+            return Err(RngError::OutOfDomain("survival inverse domain is (0,1]"));
+        }
         let b = self.b();
         // Period: u ∈ (b^{k+1}, b^k].
         let k = (u.ln() / b.ln()).floor().max(0.0);
@@ -156,7 +160,7 @@ impl IdealStaircase {
         } else {
             self.d - rem / b
         };
-        k * self.d + t.clamp(0.0, self.d)
+        Ok(k * self.d + t.clamp(0.0, self.d))
     }
 
     /// Draws one sample (sign + magnitude by inversion).
@@ -164,7 +168,10 @@ impl IdealStaircase {
         let sign = if rng.bit() { -1.0 } else { 1.0 };
         let m = rng.bits(53) + 1;
         let u = m as f64 * 2f64.powi(-53);
-        sign * self.survival_inverse(u)
+        let mag = self
+            .survival_inverse(u)
+            .expect("m + 1 over 2^53 is always in (0, 1]");
+        sign * mag
     }
 }
 
@@ -252,11 +259,13 @@ impl FxpStaircase {
             if x <= 0.0 {
                 1.0
             } else {
-                dist.survival(x)
+                dist.survival(x).expect("x > 0 is in the survival domain")
             }
         };
         // Support top: deepest magnitude reachable from u = 2^-Bu.
-        let top_val = dist.survival_inverse(1.0 / two_bu);
+        let top_val = dist
+            .survival_inverse(1.0 / two_bu)
+            .expect("2^-Bu is in (0, 1] for Bu in 1..=52");
         let top = ((top_val / cfg.delta()).round() as i64).min(cfg.max_output_k());
         let mut counts = vec![0u64; (top + 1) as usize];
         if top == 0 {
@@ -313,7 +322,10 @@ impl FxpStaircase {
             "uniform index out of range"
         );
         let u = m as f64 * 2f64.powi(-(self.cfg.bu() as i32));
-        let mag = self.dist.survival_inverse(u);
+        let mag = self
+            .dist
+            .survival_inverse(u)
+            .expect("m in [1, 2^Bu] keeps u in (0, 1]");
         ((mag / self.cfg.delta()).round() as i64).min(self.cfg.max_output_k())
     }
 
@@ -359,7 +371,7 @@ mod tests {
             .sum();
         // The truncated tail holds exactly S(hi) mass — a consistency check
         // between the density and the survival function.
-        let want = 1.0 - st.survival(hi);
+        let want = 1.0 - st.survival(hi).unwrap();
         assert!(
             (integral - want).abs() < 1e-6,
             "integral {integral} vs {want}"
@@ -380,19 +392,42 @@ mod tests {
     fn survival_at_period_boundaries_is_geometric() {
         let st = dist();
         for k in 0..8 {
-            let s = st.survival(k as f64 * 10.0);
+            let s = st.survival(k as f64 * 10.0).unwrap();
             let want = (-0.5 * k as f64).exp();
             assert!((s - want).abs() < 1e-12, "k={k}: {s} vs {want}");
         }
-        assert!((st.survival(0.0) - 1.0).abs() < 1e-12);
+        assert!((st.survival(0.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_domain_violations_are_typed_errors() {
+        // Regression: these used to be `assert!`s, so a caller handing in a
+        // negative magnitude or an out-of-range uniform crashed the process
+        // instead of getting a recoverable error.
+        let st = dist();
+        assert!((st.survival(0.0).unwrap() - 1.0).abs() < 1e-12);
+        for bad in [-1.0, -f64::MIN_POSITIVE, f64::NEG_INFINITY, f64::NAN] {
+            assert!(
+                matches!(st.survival(bad), Err(RngError::OutOfDomain(_))),
+                "survival({bad}) should be out of domain"
+            );
+        }
+        assert!((st.survival_inverse(1.0).unwrap()).abs() < 1e-12);
+        assert!(st.survival_inverse(1e-300).unwrap().is_finite());
+        for bad in [0.0, -0.5, 1.0 + 1e-9, 2.0, f64::INFINITY, f64::NAN] {
+            assert!(
+                matches!(st.survival_inverse(bad), Err(RngError::OutOfDomain(_))),
+                "survival_inverse({bad}) should be out of domain"
+            );
+        }
     }
 
     #[test]
     fn survival_inverse_roundtrips() {
         let st = dist();
         for &u in &[1.0, 0.9, 0.7, 0.5, 0.25, 0.1, 1e-3, 1e-6] {
-            let x = st.survival_inverse(u);
-            let back = st.survival(x);
+            let x = st.survival_inverse(u).unwrap();
+            let back = st.survival(x).unwrap();
             assert!((back - u).abs() < 1e-9, "u={u}: x={x}, S(x)={back}");
         }
     }
@@ -404,7 +439,7 @@ mod tests {
         let n = 100_000;
         let xs: Vec<f64> = (0..n).map(|_| st.sample(&mut rng)).collect();
         // Median of |X|: S(x) = 0.5.
-        let med_want = st.survival_inverse(0.5);
+        let med_want = st.survival_inverse(0.5).unwrap();
         let mut mags: Vec<f64> = xs.iter().map(|x| x.abs()).collect();
         mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = mags[n / 2];

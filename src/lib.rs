@@ -68,6 +68,7 @@ pub use dp_box as dpbox;
 pub use ldp_core as ldp;
 pub use ldp_datasets as datasets;
 pub use ldp_eval as eval;
+pub use ulp_attack as attack;
 pub use ulp_fixed as fixed;
 pub use ulp_fleet as fleet;
 pub use ulp_par as par;

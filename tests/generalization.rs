@@ -87,6 +87,6 @@ fn float_laplace_is_vulnerable_as_well() {
     // Section III-A4 cites the floating-point attack: naive f64 Laplace
     // noising also produces input-identifying outputs.
     use ulp_ldp::ldp::float_vuln::distinguishing_fraction;
-    let frac = distinguishing_fraction(0.0, 1.0, 20.0, 14);
+    let frac = distinguishing_fraction(0.0, 1.0, 20.0, 14).expect("Bu within enumeration range");
     assert!(frac > 0.5, "distinguishing fraction {frac}");
 }
