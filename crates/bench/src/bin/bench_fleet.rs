@@ -51,8 +51,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use ulp_fleet::{
-    decode_counter_totals, ingest_phase_totals, render_sweep, sim_phase_ns, DeviceEngine,
-    FleetConfig, FleetDriver, FleetOutcome, FleetSweepRow, GateResult, IngestPath,
+    decode_counter_totals, ingest_phase_totals, render_sweep, sim_phase_ns, FleetConfig,
+    FleetDriver, FleetOutcome, FleetSweepRow, GateResult,
 };
 use ulp_obs::MetricsLevel;
 
@@ -418,46 +418,14 @@ fn main() {
 
     // Validate every ULP_* knob up front: a typo exits with a clear message
     // naming the variable instead of silently selecting a default.
-    let level = match MetricsLevel::from_env() {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("bench_fleet: {e}");
-            std::process::exit(2);
-        }
-    };
     // `--metrics` with no explicit ULP_METRICS raises the level to `full`
     // so the embedded snapshot actually contains data. (The per-cell phase
     // breakdown does not need this: it comes from a dedicated
     // instrumented re-run per cell, whatever the ambient level.)
-    let level = if metrics && std::env::var_os(ulp_obs::METRICS_ENV).is_none() {
-        MetricsLevel::Full
-    } else {
-        level
-    };
-    ulp_obs::set_level(level);
-    let threads = match ulp_par::try_threads() {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("bench_fleet: {e}");
-            std::process::exit(2);
-        }
-    };
-    let ingest_path = match IngestPath::from_env() {
-        Ok(IngestPath::Columnar) => "columnar",
-        Ok(IngestPath::Reference) => "reference",
-        Err(e) => {
-            eprintln!("bench_fleet: {e}");
-            std::process::exit(2);
-        }
-    };
-    let device_engine = match DeviceEngine::from_env() {
-        Ok(DeviceEngine::Batch) => "batch",
-        Ok(DeviceEngine::Reference) => "reference",
-        Err(e) => {
-            eprintln!("bench_fleet: {e}");
-            std::process::exit(2);
-        }
-    };
+    let env = ldp_bench::FleetEnv::validate("bench_fleet", metrics);
+    let (threads, level) = (env.threads, env.level);
+    let ingest_path = env.ingest_path_name();
+    let device_engine = env.device_engine_name();
     eprintln!(
         "bench_fleet: {} mode, {threads} worker thread(s) (ULP_PAR_THREADS to override), \
          {ingest_path} ingest path, {device_engine} device engine, metrics {}",

@@ -37,8 +37,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use ulp_fleet::{
-    chaos_seed_from_env, ChaosConfig, DeviceEngine, FaultClass, FleetConfig, FleetDriver,
-    FleetOutcome, GateResult, IngestPath, SealStatus,
+    chaos_seed_from_env, ChaosConfig, FaultClass, FleetConfig, FleetDriver, FleetOutcome,
+    GateResult, SealStatus,
 };
 
 /// Default chaos seed when `ULP_CHAOS_SEED` is unset.
@@ -303,30 +303,13 @@ fn main() {
         }
     }
 
-    let chaos_seed = match chaos_seed_from_env() {
-        Ok(s) => s.unwrap_or(DEFAULT_CHAOS_SEED),
-        Err(e) => {
-            eprintln!("chaos_campaign: {e}");
-            std::process::exit(2);
-        }
-    };
-    let threads = match ulp_par::try_threads() {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("chaos_campaign: {e}");
-            std::process::exit(2);
-        }
-    };
-    // The driver reads both knobs at construction; validating them here
-    // keeps the exit-2 contract (name the variable, never default).
-    if let Err(e) = IngestPath::from_env() {
-        eprintln!("chaos_campaign: {e}");
-        std::process::exit(2);
-    }
-    if let Err(e) = DeviceEngine::from_env() {
-        eprintln!("chaos_campaign: {e}");
-        std::process::exit(2);
-    }
+    // Validate every ULP_* knob up front (the driver reads the fleet
+    // knobs at construction; the shared helper keeps the exit-2 contract:
+    // name the variable, never default).
+    let chaos_seed = ldp_bench::require_env("chaos_campaign", chaos_seed_from_env())
+        .unwrap_or(DEFAULT_CHAOS_SEED);
+    let env = ldp_bench::FleetEnv::validate("chaos_campaign", false);
+    let threads = env.threads;
 
     let devices = devices.unwrap_or(if smoke { 2_000 } else { 100_000 });
     let epochs = epochs.unwrap_or(2);

@@ -1,0 +1,83 @@
+//! Shared strict `ULP_*` startup validation for the campaign binaries.
+//!
+//! Every campaign binary (`bench_fleet`, `chaos_campaign`,
+//! `fleet_service`, …) enforces the same contract: a set-but-malformed
+//! `ULP_*` variable exits with status 2 and a message naming the variable
+//! — never a silent fallback to a default. This module is the single
+//! implementation of that boilerplate; binaries call
+//! [`FleetEnv::validate`] (or [`require_env`] for their extra knobs)
+//! instead of hand-rolling the match/exit ladder.
+
+use ulp_fleet::{DeviceEngine, IngestPath};
+use ulp_obs::MetricsLevel;
+
+/// Unwraps a strict environment parse, exiting with status 2 and a
+/// `bin: message` line on stderr when the value is malformed — the
+/// campaign binaries' shared rejection path. The message comes from the
+/// parse error and names the offending variable.
+pub fn require_env<T, E: std::fmt::Display>(bin: &str, result: Result<T, E>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{bin}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The fleet knobs every fleet campaign binary validates up front:
+/// `ULP_METRICS`, `ULP_PAR_THREADS`, `ULP_FLEET_INGEST_PATH`, and
+/// `ULP_DEVICE_ENGINE`.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetEnv {
+    /// The resolved metrics level (already applied process-wide).
+    pub level: MetricsLevel,
+    /// Worker threads `ulp_par` will fan out over.
+    pub threads: usize,
+    /// The collector ingest path the driver will use.
+    pub ingest_path: IngestPath,
+    /// The device engine the driver will simulate with.
+    pub device_engine: DeviceEngine,
+}
+
+impl FleetEnv {
+    /// Validates all four fleet knobs, exiting with status 2 (naming the
+    /// variable) on the first malformed value, and applies the resolved
+    /// metrics level process-wide.
+    ///
+    /// `raise_to_full` is the `--metrics` flag behavior: when set and
+    /// `ULP_METRICS` is *not* in the environment, the level is raised to
+    /// `full` so an embedded snapshot actually contains data. An explicit
+    /// `ULP_METRICS` always wins.
+    pub fn validate(bin: &str, raise_to_full: bool) -> FleetEnv {
+        let level = require_env(bin, MetricsLevel::from_env());
+        let level = if raise_to_full && std::env::var_os(ulp_obs::METRICS_ENV).is_none() {
+            MetricsLevel::Full
+        } else {
+            level
+        };
+        ulp_obs::set_level(level);
+        FleetEnv {
+            level,
+            threads: require_env(bin, ulp_par::try_threads()),
+            ingest_path: require_env(bin, IngestPath::from_env()),
+            device_engine: require_env(bin, DeviceEngine::from_env()),
+        }
+    }
+
+    /// The ingest path as the report-JSON string.
+    pub fn ingest_path_name(&self) -> &'static str {
+        match self.ingest_path {
+            IngestPath::Columnar => "columnar",
+            IngestPath::Reference => "reference",
+        }
+    }
+
+    /// The device engine as the report-JSON string.
+    pub fn device_engine_name(&self) -> &'static str {
+        match self.device_engine {
+            DeviceEngine::Batch => "batch",
+            DeviceEngine::Reference => "reference",
+        }
+    }
+}

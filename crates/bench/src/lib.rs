@@ -9,8 +9,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod env;
 mod render;
 
+pub use env::{require_env, FleetEnv};
 pub use render::{
     render_adversary, render_counting_table, render_fault_campaign, render_latency, render_rr,
     render_scaling, render_svm, render_utility_table, Artifact,

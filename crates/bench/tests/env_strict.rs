@@ -18,12 +18,25 @@ const CASES: &[(&str, &str)] = &[
     (env!("CARGO_BIN_EXE_bench_fleet"), "ULP_FLEET_INGEST_PATH"),
     (env!("CARGO_BIN_EXE_bench_fleet"), "ULP_DEVICE_ENGINE"),
     (env!("CARGO_BIN_EXE_chaos_campaign"), "ULP_CHAOS_SEED"),
+    (env!("CARGO_BIN_EXE_chaos_campaign"), "ULP_METRICS"),
     (env!("CARGO_BIN_EXE_chaos_campaign"), "ULP_PAR_THREADS"),
     (
         env!("CARGO_BIN_EXE_chaos_campaign"),
         "ULP_FLEET_INGEST_PATH",
     ),
     (env!("CARGO_BIN_EXE_chaos_campaign"), "ULP_DEVICE_ENGINE"),
+    (env!("CARGO_BIN_EXE_fleet_service"), "ULP_METRICS"),
+    (env!("CARGO_BIN_EXE_fleet_service"), "ULP_PAR_THREADS"),
+    (env!("CARGO_BIN_EXE_fleet_service"), "ULP_FLEET_INGEST_PATH"),
+    (env!("CARGO_BIN_EXE_fleet_service"), "ULP_DEVICE_ENGINE"),
+    (
+        env!("CARGO_BIN_EXE_fleet_service"),
+        "ULP_SERVICE_WINDOW_EPOCHS",
+    ),
+    (
+        env!("CARGO_BIN_EXE_fleet_service"),
+        "ULP_SERVICE_QUEUE_FRAMES",
+    ),
     (env!("CARGO_BIN_EXE_attack_campaign"), "ULP_ATTACK_SEED"),
     (env!("CARGO_BIN_EXE_attack_campaign"), "ULP_PAR_THREADS"),
     (env!("CARGO_BIN_EXE_attack_campaign"), "ULP_SAMPLER_PATH"),
@@ -39,6 +52,8 @@ const ALL_VARS: &[&str] = &[
     "ULP_DEVICE_ENGINE",
     "ULP_CHAOS_SEED",
     "ULP_ATTACK_SEED",
+    "ULP_SERVICE_WINDOW_EPOCHS",
+    "ULP_SERVICE_QUEUE_FRAMES",
 ];
 
 fn scrubbed(bin: &str) -> Command {
@@ -101,5 +116,31 @@ fn valid_env_values_are_accepted() {
     let json = std::fs::read_to_string(&out_file).expect("report written");
     assert!(json.contains("\"schema\": \"ulp-ldp/attack_campaign/v1\""));
     assert!(json.contains("\"seed\": 7"), "ULP_ATTACK_SEED must win");
+    std::fs::remove_file(&out_file).ok();
+}
+
+/// Positive control for the service knobs: valid `ULP_SERVICE_*` values
+/// override the headline cell's window width and queue capacity, and the
+/// report records them.
+#[test]
+fn valid_service_overrides_are_applied() {
+    let out_file = std::env::temp_dir().join("ulp_env_strict_service_ok.json");
+    let output = scrubbed(env!("CARGO_BIN_EXE_fleet_service"))
+        .args(["--smoke", "--out", out_file.to_str().expect("utf-8 tmp")])
+        .env("ULP_SERVICE_WINDOW_EPOCHS", "4")
+        .env("ULP_SERVICE_QUEUE_FRAMES", "8192")
+        .output()
+        .expect("spawn fleet_service");
+    assert!(
+        output.status.success(),
+        "valid service env rejected: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let json = std::fs::read_to_string(&out_file).expect("report written");
+    assert!(json.contains("\"schema\": \"ulp-ldp/fleet_service/v1\""));
+    assert!(
+        json.contains("\"name\": \"stream\", \"devices\": 2000, \"epochs\": 8, \"window_epochs\": 4, \"queue_frames\": 8192"),
+        "ULP_SERVICE_* must win for the stream cell"
+    );
     std::fs::remove_file(&out_file).ok();
 }

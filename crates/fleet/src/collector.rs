@@ -68,6 +68,8 @@ static RESYNCS: Counter = Counter::new("fleet.wire.resyncs");
 static DUPLICATES: Counter = Counter::new("fleet.dedup.duplicates");
 /// Frames older than the dedup window, rejected as unverifiable.
 static STALE: Counter = Counter::new("fleet.dedup.stale");
+/// Frames that arrived after their window's watermark sealed it.
+static LATE: Counter = Counter::new("fleet.window.late");
 /// Senders latched into quarantine — recorded at every metrics level:
 /// excluding a sender is a fleet-integrity event, like a failed audit.
 static QUARANTINE_LATCHED: Counter = Counter::new("fleet.quarantine.latched");
@@ -171,7 +173,7 @@ impl Default for QueryTotals {
 }
 
 impl QueryTotals {
-    fn new(kind: QueryKind) -> Self {
+    pub(crate) fn new(kind: QueryKind) -> Self {
         let sketch = match kind {
             QueryKind::Numeric {
                 sketch_min_k,
@@ -224,7 +226,7 @@ impl QueryTotals {
         }
     }
 
-    fn merge(&mut self, other: &QueryTotals) {
+    pub(crate) fn merge(&mut self, other: &QueryTotals) {
         self.count += other.count;
         self.sum += other.sum;
         self.sum2 += other.sum2;
@@ -313,6 +315,11 @@ pub struct IngestStats {
     pub duplicates: u64,
     /// Frames older than the dedup window (counted in `rejected` too).
     pub stale: u64,
+    /// Frames whose epoch predates the collector's window floor — late
+    /// arrivals for an already-sealed window under the service's watermark
+    /// policy (counted in `rejected` too). Always zero while the floor
+    /// stays at its default of epoch 0 (the batch path).
+    pub late: u64,
     /// Corruption events the stream scanner skipped.
     pub corrupt_frames: u64,
     /// Times the scanner re-acquired alignment at a non-adjacent offset.
@@ -331,6 +338,7 @@ impl IngestStats {
         self.rejected += other.rejected;
         self.duplicates += other.duplicates;
         self.stale += other.stale;
+        self.late += other.late;
         self.corrupt_frames += other.corrupt_frames;
         self.resyncs += other.resyncs;
         self.quarantine_dropped += other.quarantine_dropped;
@@ -503,6 +511,7 @@ struct ShardBatch {
     accepted: u64,
     duplicates: u64,
     stale: u64,
+    late: u64,
     quarantine_dropped: u64,
     quarantine_latched: u64,
 }
@@ -581,6 +590,9 @@ pub struct Collector {
     shard_states: Vec<ShardState>,
     strike_limit: u32,
     ingest_path: IngestPath,
+    /// Reports with `epoch < window_floor` are late arrivals for a window
+    /// the service already sealed; `0` (the default) disables the check.
+    window_floor: u32,
     ingested: u64,
     rejected: u64,
     wire_errors: WireErrorTally,
@@ -633,6 +645,7 @@ impl Collector {
             shard_states,
             strike_limit: DEFAULT_QUARANTINE_STRIKES,
             ingest_path: IngestPath::default(),
+            window_floor: 0,
             ingested: 0,
             rejected: 0,
             wire_errors: WireErrorTally::default(),
@@ -779,6 +792,7 @@ impl Collector {
         RESYNCS.add(stats.resyncs);
         DUPLICATES.add(stats.duplicates);
         STALE.add(stats.stale);
+        LATE.add(stats.late);
         QUARANTINE_DROPPED.add(stats.quarantine_dropped);
         QUARANTINE_LATCHED.record_always(stats.quarantine_latched);
         BATCH_SIZE.record(stats.accepted);
@@ -823,10 +837,17 @@ impl Collector {
     }
 
     /// Applies one item to its owning shard: the quarantine latch, strike
-    /// counting, the dedup window, and accumulator absorption. The single
-    /// definition of per-item semantics — both ingest paths route every
-    /// item through here, in the same per-shard order.
-    fn apply_item(st: &mut ShardState, strike_limit: u32, item: &Item, batch: &mut ShardBatch) {
+    /// counting, the watermark (late-arrival) check, the dedup window, and
+    /// accumulator absorption. The single definition of per-item semantics
+    /// — both ingest paths route every item through here, in the same
+    /// per-shard order.
+    fn apply_item(
+        st: &mut ShardState,
+        strike_limit: u32,
+        window_floor: u32,
+        item: &Item,
+        batch: &mut ShardBatch,
+    ) {
         let device = item.device();
         if device < st.flat_cap {
             // Flat route: direct indexing, no hashing. Mirrors the
@@ -847,6 +868,10 @@ impl Collector {
                 Item::Report { q, report } => {
                     if st.flat_latched[d] {
                         batch.quarantine_dropped += 1;
+                        return;
+                    }
+                    if report.epoch < window_floor {
+                        batch.late += 1;
                         return;
                     }
                     let nq = st.accs.len();
@@ -880,6 +905,10 @@ impl Collector {
                     batch.quarantine_dropped += 1;
                     return;
                 }
+                if report.epoch < window_floor {
+                    batch.late += 1;
+                    return;
+                }
                 let nq = st.accs.len();
                 let slots = st
                     .dedup
@@ -903,11 +932,13 @@ impl Collector {
             stats.accepted += b.accepted;
             stats.duplicates += b.duplicates;
             stats.stale += b.stale;
+            stats.late += b.late;
             stats.quarantine_dropped += b.quarantine_dropped;
             stats.quarantine_latched += b.quarantine_latched;
         }
-        // Stale and quarantined frames were delivered but not folded.
-        stats.rejected += stats.stale + stats.quarantine_dropped;
+        // Stale, late, and quarantined frames were delivered but not
+        // folded.
+        stats.rejected += stats.stale + stats.late + stats.quarantine_dropped;
     }
 
     /// The scalar reference pipeline (kept selectable for differential
@@ -954,6 +985,7 @@ impl Collector {
         let accumulate_span = ACCUMULATE_SPAN.enter();
         let shards = self.shard_states.len() as u64;
         let strike_limit = self.strike_limit;
+        let window_floor = self.window_floor;
         let guards: Vec<std::sync::Mutex<(u64, &mut ShardState)>> = self
             .shard_states
             .iter_mut()
@@ -968,7 +1000,7 @@ impl Collector {
                 if device_hash(item.device()) % shards != shard {
                     continue;
                 }
-                Self::apply_item(st, strike_limit, item, &mut batch);
+                Self::apply_item(st, strike_limit, window_floor, item, &mut batch);
             }
             batch
         });
@@ -1028,6 +1060,7 @@ impl Collector {
         // Phase 2b: contention-free per-shard accumulation. Each shard
         // walks only its own buckets, in canonical shard-then-chunk order.
         let strike_limit = self.strike_limit;
+        let window_floor = self.window_floor;
         let guards: Vec<std::sync::Mutex<(usize, &mut ShardState)>> = self
             .shard_states
             .iter_mut()
@@ -1040,7 +1073,7 @@ impl Collector {
             let mut batch = ShardBatch::default();
             for chunk_buckets in &bucketed {
                 for item in &chunk_buckets[shard] {
-                    Self::apply_item(st, strike_limit, item, &mut batch);
+                    Self::apply_item(st, strike_limit, window_floor, item, &mut batch);
                 }
             }
             batch
@@ -1075,6 +1108,48 @@ impl Collector {
     /// The registered query streams.
     pub fn queries(&self) -> &[QueryConfig] {
         &self.queries
+    }
+
+    /// The current watermark floor: reports with an older epoch are late
+    /// arrivals for a window the service already sealed.
+    pub fn window_floor(&self) -> u32 {
+        self.window_floor
+    }
+
+    /// Raises the watermark floor to `floor` (the first epoch of the
+    /// oldest still-open window). Called by the streaming service when it
+    /// seals a window; every per-device dedup window, strike count, and
+    /// quarantine latch is deliberately left intact so sender state
+    /// carries across window boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor` would move the watermark backwards — a sealed
+    /// window must never reopen.
+    pub fn advance_window_floor(&mut self, floor: u32) {
+        assert!(
+            floor >= self.window_floor,
+            "watermark cannot retreat: {} -> {floor}",
+            self.window_floor
+        );
+        self.window_floor = floor;
+    }
+
+    /// Drains the accumulators of every registered query — the fold of
+    /// [`Collector::totals`] over all queries, in registration order —
+    /// and resets them to empty for the next window. Dedup windows,
+    /// strikes, and quarantine latches persist; only the aggregates move
+    /// out. The streaming service calls this at each window seal.
+    pub fn take_window_totals(&mut self) -> Vec<QueryTotals> {
+        let out: Vec<QueryTotals> = self.queries.iter().map(|q| self.totals(q.id)).collect();
+        for st in &mut self.shard_states {
+            st.accs = self
+                .queries
+                .iter()
+                .map(|q| QueryTotals::new(q.kind))
+                .collect();
+        }
+        out
     }
 }
 

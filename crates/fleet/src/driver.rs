@@ -40,6 +40,8 @@ use crate::collector::{
     Collector, EpochSeal, IngestPath, IngestStats, QueryConfig, QueryKind, SealStatus,
 };
 use crate::estimator::{Estimate, NoiseModel};
+use crate::service::{FleetService, ServiceConfig, ServiceSnapshot};
+use crate::window::window_spans;
 use crate::wire::{Payload, Report};
 
 /// Devices booted, process-wide.
@@ -409,6 +411,211 @@ impl FleetOutcome {
     }
 }
 
+/// Ground-truth population statistics over the included devices.
+struct Truths {
+    mean: f64,
+    variance: f64,
+    median: f64,
+    fraction: f64,
+}
+
+/// What one [`FleetDriver::run_service`] streaming run produced: the
+/// per-window seals and digests, the live snapshot served at end of run,
+/// the multi-epoch rollup, and the fleet-wide audits — everything
+/// schedule-independent, plus wall-clock seal timings kept strictly
+/// outside the digest.
+#[derive(Debug, Clone)]
+pub struct ServiceOutcome {
+    /// Devices booted (the configured population).
+    pub devices_simulated: usize,
+    /// Devices the power-on URNG self-test excluded before any report.
+    pub devices_excluded: usize,
+    /// Devices that stopped reporting mid-stream.
+    pub devices_dropped: usize,
+    /// Windows sealed over the run (every window, by construction).
+    pub windows_sealed: usize,
+    /// Each sealed window's canonical digest, ascending window index.
+    pub window_digests: Vec<u64>,
+    /// Each sealed window's coverage seal, ascending window index.
+    pub window_seals: Vec<EpochSeal>,
+    /// The live snapshot taken after the last seal: debiased per-window
+    /// estimates exactly as a query client would have read them.
+    pub snapshot: ServiceSnapshot,
+    /// Debiased mean over the rollup's merged accumulators.
+    pub rollup_mean: Option<Estimate>,
+    /// Debiased variance over the rollup's merged accumulators.
+    pub rollup_variance: Option<Estimate>,
+    /// Median over the rollup's merged sketch.
+    pub rollup_median: Option<Estimate>,
+    /// Debiased RR frequency over the rollup's merged bits.
+    pub rollup_rr_frequency: Option<Estimate>,
+    /// Total privacy loss in the rollup's merged ledger, in nats.
+    pub rollup_ledger_total: f64,
+    /// Entries in the rollup's merged ledger.
+    pub rollup_ledger_entries: usize,
+    /// Coverage seal over the whole rollup.
+    pub rollup_seal: EpochSeal,
+    /// The rollup's order-canonical digest.
+    pub rollup_digest: u64,
+    /// Whether every per-window audit AND the merged-ledger audit passed
+    /// bitwise.
+    pub audit_ok: bool,
+    /// Service-lifetime ingest totals (including `late` arrivals).
+    pub stats: IngestStats,
+    /// Batches refused with typed backpressure (each was retried after a
+    /// drain — refusal never loses reports).
+    pub backpressure_rejections: u64,
+    /// Largest staged frame count any single drain folded.
+    pub max_drain_frames: usize,
+    /// FNV-1a digest over every `(device, epoch, charge)` fresh-spend
+    /// record — bitwise identical to the batch driver's for the same
+    /// configuration, windowed or not.
+    pub ledger_digest: u64,
+    /// `(device, epoch)` keys that recorded two fresh-randomization
+    /// charges (expected 0).
+    pub double_spends: u64,
+    /// Retransmissions attempted fleet-wide.
+    pub retry_attempts: u64,
+    /// Reports whose retry budget expired without an ack.
+    pub reports_unacked: u64,
+    /// True mean (codes) over the included devices.
+    pub truth_mean: f64,
+    /// True variance (codes²) over the included devices.
+    pub truth_variance: f64,
+    /// True median (codes) over the included devices.
+    pub truth_median: f64,
+    /// True fraction of included devices at or above the RR threshold.
+    pub truth_fraction: f64,
+    /// Senders the collector latched into quarantine, ascending.
+    pub quarantined: Vec<u32>,
+    /// The thresholding window bound `n_th` (codes).
+    pub n_th_k: i64,
+    /// Wall-clock nanoseconds per seal — observability only, **never**
+    /// rendered into [`ServiceOutcome::canonical_text`].
+    pub seal_ns: Vec<u64>,
+}
+
+impl ServiceOutcome {
+    /// Canonical rendering of every schedule-independent field — the text
+    /// the service determinism digest is computed over. Exact float bits
+    /// are rendered via [`f64::to_bits`]; wall-clock timings are excluded.
+    pub fn canonical_text(&self) -> String {
+        fn est(e: &Option<Estimate>) -> String {
+            match e {
+                None => "none".to_string(),
+                Some(e) => format!(
+                    "{:016x}:{:016x}:{}:{:016x}",
+                    e.value.to_bits(),
+                    e.stderr.to_bits(),
+                    e.n,
+                    e.bias_bound.to_bits()
+                ),
+            }
+        }
+        fn seal(s: &EpochSeal) -> String {
+            let status = match s.status {
+                SealStatus::Full => "full".to_string(),
+                SealStatus::Degraded { coverage } => {
+                    format!("degraded:{:016x}", coverage.to_bits())
+                }
+            };
+            format!("{status}:{}:{}", s.expected, s.accepted)
+        }
+        let mut out = format!(
+            "devices={} excluded={} dropped={} windows={}\n",
+            self.devices_simulated,
+            self.devices_excluded,
+            self.devices_dropped,
+            self.windows_sealed,
+        );
+        for (i, (digest, s)) in self
+            .window_digests
+            .iter()
+            .zip(&self.window_seals)
+            .enumerate()
+        {
+            out.push_str(&format!("window[{i}]={digest:016x} seal={}\n", seal(s)));
+        }
+        for w in &self.snapshot.windows {
+            out.push_str(&format!(
+                "snapshot[{}] mean={} variance={} median={} rr_frequency={}\n",
+                w.index,
+                est(&w.mean),
+                est(&w.variance),
+                est(&w.median),
+                est(&w.rr_frequency),
+            ));
+        }
+        out.push_str(&format!(
+            "rollup mean={} variance={} median={} rr_frequency={}\n\
+             rollup_ledger_total={:016x} rollup_ledger_entries={} rollup_seal={} \
+             rollup_digest={:016x} audit_ok={}\n",
+            est(&self.rollup_mean),
+            est(&self.rollup_variance),
+            est(&self.rollup_median),
+            est(&self.rollup_rr_frequency),
+            self.rollup_ledger_total.to_bits(),
+            self.rollup_ledger_entries,
+            seal(&self.rollup_seal),
+            self.rollup_digest,
+            self.audit_ok,
+        ));
+        let quarantined = {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for d in &self.quarantined {
+                for b in d.to_le_bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+            h
+        };
+        out.push_str(&format!(
+            "accepted={} rejected={} duplicates={} stale={} late={} corrupt_frames={} \
+             resyncs={} quarantine_dropped={} quarantine_latched={}\n\
+             backpressure_rejections={} max_drain_frames={}\n\
+             ledger_digest={:016x} double_spends={} retry_attempts={} reports_unacked={}\n\
+             truth_mean={:016x} truth_variance={:016x} truth_median={:016x} truth_fraction={:016x}\n\
+             quarantined={}:{:016x} n_th_k={}\n",
+            self.stats.accepted,
+            self.stats.rejected,
+            self.stats.duplicates,
+            self.stats.stale,
+            self.stats.late,
+            self.stats.corrupt_frames,
+            self.stats.resyncs,
+            self.stats.quarantine_dropped,
+            self.stats.quarantine_latched,
+            self.backpressure_rejections,
+            self.max_drain_frames,
+            self.ledger_digest,
+            self.double_spends,
+            self.retry_attempts,
+            self.reports_unacked,
+            self.truth_mean.to_bits(),
+            self.truth_variance.to_bits(),
+            self.truth_median.to_bits(),
+            self.truth_fraction.to_bits(),
+            self.quarantined.len(),
+            quarantined,
+            self.n_th_k,
+        ));
+        out
+    }
+
+    /// FNV-1a 64-bit digest of [`ServiceOutcome::canonical_text`]: equal
+    /// digests witness bit-identical service runs across thread counts
+    /// and device engines.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in self.canonical_text().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
 /// Per-chunk simulation result, folded on the main thread in chunk order.
 struct ChunkResult {
     /// `frames[round]` holds the chunk's delivered wire bytes for that
@@ -583,81 +790,13 @@ impl FleetDriver {
     /// the outcome.
     pub fn run(&self) -> Result<FleetOutcome, FleetError> {
         let cfg = &self.cfg;
-        let truth = GroundTruth::prepare(
-            &DatasetSpec {
-                entries: cfg.devices,
-                ..cfg.spec.clone()
-            },
-            2f64.powi(-i32::from(cfg.eps_shift)),
-            cfg.seed,
-        )?;
+        let truth = self.prepare_truth()?;
         let rr = self.model.rr()?;
-
-        // Simulate in fixed-size chunks; par_map returns chunk results in
-        // chunk order regardless of schedule.
-        let chunk_starts: Vec<u32> = (0..cfg.devices as u32).step_by(cfg.chunk).collect();
-        let chunk_results: Vec<Result<ChunkResult, FleetError>> = {
-            let _span = SIM_SPAN.enter();
-            ulp_par::par_map(&chunk_starts, |&start| {
-                let end = (start as usize + cfg.chunk).min(cfg.devices) as u32;
-                match self.engine {
-                    DeviceEngine::Batch => {
-                        self.simulate_chunk_batch(start, end, &truth.codes_k, rr)
-                    }
-                    DeviceEngine::Reference => self.simulate_chunk(start, end, &truth.codes_k, rr),
-                }
-            })
-        };
+        let chunks = self.simulate_fleet(&truth.codes_k, rr)?;
 
         // Stream epochs through the collector, fold ledgers chunk-major.
-        let mut collector = Collector::new(
-            cfg.shards,
-            &[
-                QueryConfig {
-                    id: VALUE_QUERY,
-                    kind: QueryKind::Numeric {
-                        sketch_min_k: self.model.window_lo(),
-                        sketch_max_k: self.model.window_hi(),
-                    },
-                },
-                QueryConfig {
-                    id: RR_QUERY,
-                    kind: QueryKind::RrBit,
-                },
-            ],
-        )
-        .with_ingest_path(self.ingest_path)
-        // Every id the fleet mints (population + planted malformed
-        // senders) takes the flat accumulate route; only forged ids
-        // recovered from corrupted bytes fall back to the hash maps.
-        .with_device_capacity((cfg.devices + cfg.malformed_senders) as u32);
-        let mut chunks = Vec::with_capacity(chunk_results.len());
-        for r in chunk_results {
-            chunks.push(r?);
-        }
-
-        // Planted malformed senders: checksum-valid frames for an
-        // unregistered query, enough per epoch to trip the default strike
-        // limit in the very first batch. Their ids sit above the
-        // population, so they touch no truth and no ledger.
-        let malformed: Vec<Vec<u8>> = (0..cfg.epochs)
-            .map(|epoch| {
-                let mut bytes = Vec::new();
-                for m in 0..cfg.malformed_senders {
-                    let id = (cfg.devices + m) as u32;
-                    for burst in 0..4 {
-                        Report {
-                            device: id,
-                            query: 0x7FFF,
-                            epoch,
-                            payload: Payload::Value(burst),
-                        }
-                        .encode_into(&mut bytes);
-                    }
-                }
-                bytes
-            })
-            .collect();
+        let mut collector = self.fresh_collector();
+        let malformed = self.malformed_rounds();
 
         // One concatenated batch per round (chunk order, malformed senders
         // last): the round's whole traffic reaches the collector as a
@@ -725,35 +864,7 @@ impl FleetDriver {
         DEVICES.add(cfg.devices as u64);
         EXCLUDED.record_always(excluded.len() as u64);
 
-        // Included-population ground truth: exclusion happens before any
-        // value-dependent computation, so this is an unbiased subsample.
-        let excluded_set: std::collections::HashSet<u32> = excluded.iter().copied().collect();
-        let included: Vec<i64> = truth
-            .codes_k
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !excluded_set.contains(&(*i as u32)))
-            .map(|(_, &k)| k)
-            .collect();
-        let n = included.len().max(1) as f64;
-        let truth_mean = included.iter().map(|&k| k as f64).sum::<f64>() / n;
-        let truth_variance = included
-            .iter()
-            .map(|&k| (k as f64 - truth_mean).powi(2))
-            .sum::<f64>()
-            / n;
-        let truth_median = {
-            let mut sorted = included.clone();
-            sorted.sort_unstable();
-            sorted
-                .get(sorted.len().saturating_sub(1) / 2)
-                .map_or(f64::NAN, |&k| k as f64)
-        };
-        let truth_fraction = included
-            .iter()
-            .filter(|&&k| k >= cfg.threshold_code)
-            .count() as f64
-            / n;
+        let truths = self.included_truths(&truth.codes_k, &excluded);
 
         // Coverage seal: expected is what a perfect transport would have
         // delivered from the included population; estimators downstream
@@ -774,10 +885,10 @@ impl FleetDriver {
             median: self.model.median(&values),
             rr_frequency: self.model.rr_frequency(&bits)?,
             rr_count: self.model.rr_count(&bits)?,
-            truth_mean,
-            truth_variance,
-            truth_median,
-            truth_fraction,
+            truth_mean: truths.mean,
+            truth_variance: truths.variance,
+            truth_median: truths.median,
+            truth_fraction: truths.fraction,
             ledger_total: fleet_ledger.total(),
             ledger_entries: fleet_ledger.len(),
             audit_ok,
@@ -789,6 +900,316 @@ impl FleetDriver {
             quarantined: collector.quarantined_devices(),
             n_th_k: self.model.n_th_k(),
         })
+    }
+
+    /// Runs the simulation through the streaming service instead of the
+    /// one-shot collector fold: the same deterministic device traffic is
+    /// offered round-by-round to a [`FleetService`] (one ingest lane per
+    /// simulation chunk plus one for the planted malformed senders),
+    /// windows seal as the watermark passes, live snapshots are served
+    /// from sealed windows, and every sealed window folds into an
+    /// order-canonicalized rollup.
+    ///
+    /// Backpressure follows the service contract: a [`crate::Busy`]
+    /// refusal triggers a drain and a same-round retry of the *same*
+    /// bytes, so no admitted report is ever dropped and the outcome stays
+    /// a pure function of the configuration — bit-identical at any thread
+    /// count and with either device engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-boot and mechanism-construction failures, as
+    /// [`FleetDriver::run`] does.
+    pub fn run_service(&self, svc: &ServiceConfig) -> Result<ServiceOutcome, FleetError> {
+        let cfg = &self.cfg;
+        let truth = self.prepare_truth()?;
+        let rr = self.model.rr()?;
+        let chunks = self.simulate_fleet(&truth.codes_k, rr)?;
+        let malformed = self.malformed_rounds();
+
+        // Global ε-spend witness and keyed double-spend audit, identical
+        // to the batch driver's: chaos and windowing act only on delivered
+        // bytes, so this digest is invariant across both.
+        let mut excluded: Vec<u32> = Vec::new();
+        let mut dropped = 0usize;
+        let mut retry_attempts = 0u64;
+        let mut reports_unacked = 0u64;
+        let mut keyed = BudgetLedger::new();
+        let mut double_spends = 0u64;
+        let mut ledger_digest: u64 = 0xCBF2_9CE4_8422_2325;
+        for chunk in &chunks {
+            for &(device, epoch, charge) in &chunk.spends {
+                if keyed
+                    .record_spend(u64::from(device), u64::from(epoch), charge)
+                    .is_err()
+                {
+                    double_spends += 1;
+                }
+                for b in device
+                    .to_le_bytes()
+                    .into_iter()
+                    .chain(epoch.to_le_bytes())
+                    .chain(charge.to_bits().to_le_bytes())
+                {
+                    ledger_digest ^= u64::from(b);
+                    ledger_digest = ledger_digest.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+            excluded.extend_from_slice(&chunk.excluded);
+            dropped += chunk.dropped.len();
+            retry_attempts += chunk.retry_attempts;
+            reports_unacked += chunk.reports_unacked;
+        }
+        DEVICES.add(cfg.devices as u64);
+        EXCLUDED.record_always(excluded.len() as u64);
+
+        // Each window's share of the privacy ledger: the fresh spends
+        // whose epoch falls inside the window, replayed in (chunk, device,
+        // epoch) order — the canonical order the rollup audit re-folds.
+        let spans = window_spans(cfg.epochs, svc.window_epochs);
+        let mut window_ledgers: Vec<BudgetLedger> =
+            spans.iter().map(|_| BudgetLedger::new()).collect();
+        let mut window_charges: Vec<Vec<f64>> = spans.iter().map(|_| Vec::new()).collect();
+        for chunk in &chunks {
+            for &(device, epoch, charge) in &chunk.spends {
+                let w = (epoch / svc.window_epochs) as usize;
+                if window_ledgers[w]
+                    .record_spend(u64::from(device), u64::from(epoch), charge)
+                    .is_ok()
+                {
+                    window_charges[w].push(charge);
+                }
+            }
+        }
+        let reports_per_window = |w: usize| {
+            let (lo, hi) = spans[w];
+            2 * u64::from(hi - lo) * (cfg.devices - excluded.len()) as u64
+        };
+
+        let lanes = chunks.len() + 1;
+        let malformed_lane = chunks.len();
+        let mut service = FleetService::new(self.fresh_collector(), svc.clone(), lanes, cfg.epochs);
+        let rounds = self.rounds();
+        let mut next_seal = 0usize;
+        let mut seal_window = |service: &mut FleetService, next_seal: &mut usize| {
+            let w = *next_seal;
+            service
+                .seal_active(
+                    std::mem::take(&mut window_ledgers[w]),
+                    std::mem::take(&mut window_charges[w]),
+                    reports_per_window(w),
+                )
+                .expect("windows seal in order");
+            *next_seal += 1;
+        };
+        for round in 0..rounds {
+            let _span = EPOCH_SPAN.enter();
+            for (lane, chunk) in chunks.iter().enumerate() {
+                let bytes = &chunk.frames[round];
+                if service.offer(lane, bytes).is_err() {
+                    // Typed backpressure: drain, then retry the same
+                    // bytes — an empty lane always admits.
+                    service.drain();
+                    service.offer(lane, bytes).expect("drained lane admits");
+                }
+            }
+            if let Some(bytes) = malformed.get(round) {
+                if service.offer(malformed_lane, bytes).is_err() {
+                    service.drain();
+                    service
+                        .offer(malformed_lane, bytes)
+                        .expect("drained lane admits");
+                }
+            }
+            let completed = round as u32 + 1;
+            while service.seal_due(completed) {
+                seal_window(&mut service, &mut next_seal);
+            }
+        }
+        // Flush-seal windows whose watermark sits past the last round
+        // (delivery is over, so the grace can't admit anything more).
+        while service.active_window().is_some() {
+            seal_window(&mut service, &mut next_seal);
+        }
+        // Deliveries staged after the last seal (backoff/delay slack under
+        // a strict watermark) still get classified — as the typed `late`
+        // outcome, never a silent drop of admitted bytes.
+        service.drain();
+
+        let snapshot = service.snapshot(&self.model)?;
+        let rollup = service.rollup().finalize(svc.quorum);
+        let truths = self.included_truths(&truth.codes_k, &excluded);
+        let (numeric, rr_role) = crate::window::query_roles(service.collector().queries());
+        let rollup_values = numeric.map(|q| &rollup.totals[q]);
+        let rollup_bits = rr_role.map(|q| &rollup.totals[q]);
+        Ok(ServiceOutcome {
+            devices_simulated: cfg.devices,
+            devices_excluded: excluded.len(),
+            devices_dropped: dropped,
+            windows_sealed: service.sealed_windows().len(),
+            window_digests: service
+                .sealed_windows()
+                .iter()
+                .map(|w| w.digest())
+                .collect(),
+            window_seals: service.sealed_windows().iter().map(|w| w.seal).collect(),
+            snapshot,
+            rollup_mean: rollup_values.and_then(|t| self.model.mean(t)),
+            rollup_variance: rollup_values.and_then(|t| self.model.variance(t)),
+            rollup_median: rollup_values.and_then(|t| self.model.median(t)),
+            rollup_rr_frequency: match rollup_bits {
+                Some(t) => self.model.rr_frequency(t)?,
+                None => None,
+            },
+            rollup_ledger_total: rollup.ledger.total(),
+            rollup_ledger_entries: rollup.ledger.len(),
+            rollup_seal: rollup.seal,
+            rollup_digest: rollup.digest,
+            audit_ok: rollup.audit_ok,
+            stats: service.stats(),
+            backpressure_rejections: service.backpressure_rejections(),
+            max_drain_frames: service.max_drain_frames(),
+            ledger_digest,
+            double_spends,
+            retry_attempts,
+            reports_unacked,
+            truth_mean: truths.mean,
+            truth_variance: truths.variance,
+            truth_median: truths.median,
+            truth_fraction: truths.fraction,
+            quarantined: service.collector().quarantined_devices(),
+            n_th_k: self.model.n_th_k(),
+            seal_ns: service.seal_ns().to_vec(),
+        })
+    }
+
+    /// Draws the population's ground-truth sensor codes from the dataset
+    /// spec (shared by the batch and service drivers).
+    fn prepare_truth(&self) -> Result<GroundTruth, FleetError> {
+        let cfg = &self.cfg;
+        Ok(GroundTruth::prepare(
+            &DatasetSpec {
+                entries: cfg.devices,
+                ..cfg.spec.clone()
+            },
+            2f64.powi(-i32::from(cfg.eps_shift)),
+            cfg.seed,
+        )?)
+    }
+
+    /// Simulates every device in fixed-size chunks; `par_map` returns
+    /// chunk results in chunk order regardless of schedule.
+    fn simulate_fleet(
+        &self,
+        codes_k: &[i64],
+        rr: RandomizedResponse,
+    ) -> Result<Vec<ChunkResult>, FleetError> {
+        let cfg = &self.cfg;
+        let chunk_starts: Vec<u32> = (0..cfg.devices as u32).step_by(cfg.chunk).collect();
+        let chunk_results: Vec<Result<ChunkResult, FleetError>> = {
+            let _span = SIM_SPAN.enter();
+            ulp_par::par_map(&chunk_starts, |&start| {
+                let end = (start as usize + cfg.chunk).min(cfg.devices) as u32;
+                match self.engine {
+                    DeviceEngine::Batch => self.simulate_chunk_batch(start, end, codes_k, rr),
+                    DeviceEngine::Reference => self.simulate_chunk(start, end, codes_k, rr),
+                }
+            })
+        };
+        let mut chunks = Vec::with_capacity(chunk_results.len());
+        for r in chunk_results {
+            chunks.push(r?);
+        }
+        Ok(chunks)
+    }
+
+    /// A fresh collector registered for the fleet's two queries.
+    fn fresh_collector(&self) -> Collector {
+        let cfg = &self.cfg;
+        Collector::new(
+            cfg.shards,
+            &[
+                QueryConfig {
+                    id: VALUE_QUERY,
+                    kind: QueryKind::Numeric {
+                        sketch_min_k: self.model.window_lo(),
+                        sketch_max_k: self.model.window_hi(),
+                    },
+                },
+                QueryConfig {
+                    id: RR_QUERY,
+                    kind: QueryKind::RrBit,
+                },
+            ],
+        )
+        .with_ingest_path(self.ingest_path)
+        // Every id the fleet mints (population + planted malformed
+        // senders) takes the flat accumulate route; only forged ids
+        // recovered from corrupted bytes fall back to the hash maps.
+        .with_device_capacity((cfg.devices + cfg.malformed_senders) as u32)
+    }
+
+    /// Planted malformed senders: checksum-valid frames for an
+    /// unregistered query, enough per epoch to trip the default strike
+    /// limit in the very first batch. Their ids sit above the population,
+    /// so they touch no truth and no ledger.
+    fn malformed_rounds(&self) -> Vec<Vec<u8>> {
+        let cfg = &self.cfg;
+        (0..cfg.epochs)
+            .map(|epoch| {
+                let mut bytes = Vec::new();
+                for m in 0..cfg.malformed_senders {
+                    let id = (cfg.devices + m) as u32;
+                    for burst in 0..4 {
+                        Report {
+                            device: id,
+                            query: 0x7FFF,
+                            epoch,
+                            payload: Payload::Value(burst),
+                        }
+                        .encode_into(&mut bytes);
+                    }
+                }
+                bytes
+            })
+            .collect()
+    }
+
+    /// Included-population ground truth: exclusion happens before any
+    /// value-dependent computation, so this is an unbiased subsample.
+    fn included_truths(&self, codes_k: &[i64], excluded: &[u32]) -> Truths {
+        let excluded_set: std::collections::HashSet<u32> = excluded.iter().copied().collect();
+        let included: Vec<i64> = codes_k
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !excluded_set.contains(&(*i as u32)))
+            .map(|(_, &k)| k)
+            .collect();
+        let n = included.len().max(1) as f64;
+        let mean = included.iter().map(|&k| k as f64).sum::<f64>() / n;
+        let variance = included
+            .iter()
+            .map(|&k| (k as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let median = {
+            let mut sorted = included.clone();
+            sorted.sort_unstable();
+            sorted
+                .get(sorted.len().saturating_sub(1) / 2)
+                .map_or(f64::NAN, |&k| k as f64)
+        };
+        let fraction = included
+            .iter()
+            .filter(|&&k| k >= self.cfg.threshold_code)
+            .count() as f64
+            / n;
+        Truths {
+            mean,
+            variance,
+            median,
+            fraction,
+        }
     }
 
     /// Delivery rounds per run: the configured epochs plus, under chaos,
@@ -1050,12 +1471,7 @@ impl FleetDriver {
             }
         }
         // Advance every lane through all epochs, column-wise.
-        let mut matrix: Vec<Vec<LaneOutcome>> = Vec::with_capacity(epochs);
-        for _ in 0..epochs {
-            let mut col = Vec::new();
-            array.step(&xs, &mut col);
-            matrix.push(col);
-        }
+        let matrix: Vec<Vec<LaneOutcome>> = array.step_epochs(&xs, epochs);
         // Emission in device-id order: the exact per-device frame, spend,
         // and ledger sequence the reference engine produces.
         for id in start..end {
@@ -1357,5 +1773,117 @@ mod tests {
         assert_eq!(base.rr_frequency, resharded.rr_frequency);
         assert_eq!(base.ledger_total, resharded.ledger_total);
         assert_eq!(base.devices_excluded, resharded.devices_excluded);
+    }
+
+    #[test]
+    fn service_mode_matches_the_batch_driver() {
+        let driver = FleetDriver::new(small_cfg(200)).unwrap();
+        let batch = driver.run().unwrap();
+        let svc = driver.run_service(&ServiceConfig::new(1, 1 << 20)).unwrap();
+        // One window per epoch, all full: the windowed fold accepts the
+        // exact same reports and charges the exact same ε-spends.
+        assert_eq!(svc.windows_sealed, 2);
+        assert!(svc.window_seals.iter().all(|s| s.is_full()));
+        assert_eq!(svc.stats.accepted, batch.ingest.accepted);
+        assert_eq!(svc.stats.late, 0);
+        assert_eq!(svc.ledger_digest, batch.ledger_digest);
+        assert_eq!(svc.double_spends, 0);
+        assert!(svc.audit_ok, "rollup ledger must audit clean");
+        assert_eq!(svc.backpressure_rejections, 0);
+        // The rollup merges the windows back into the whole-run totals,
+        // so its estimates are bit-equal to the batch driver's.
+        assert_eq!(svc.rollup_mean, batch.mean);
+        assert_eq!(svc.rollup_variance, batch.variance);
+        assert_eq!(svc.rollup_median, batch.median);
+        assert_eq!(svc.rollup_rr_frequency, batch.rr_frequency);
+        // The live snapshot served one estimate set per sealed window.
+        assert_eq!(svc.snapshot.windows_sealed, 2);
+        assert!(svc.snapshot.windows[0].mean.is_some());
+    }
+
+    #[test]
+    fn service_outcome_is_engine_invariant() {
+        let cfg = FleetConfig {
+            epochs: 4,
+            ..small_cfg(200)
+        };
+        let svc_cfg = ServiceConfig::new(2, 1 << 20);
+        let batch = FleetDriver::new(cfg.clone())
+            .unwrap()
+            .with_engine(DeviceEngine::Batch)
+            .run_service(&svc_cfg)
+            .unwrap();
+        let reference = FleetDriver::new(cfg)
+            .unwrap()
+            .with_engine(DeviceEngine::Reference)
+            .run_service(&svc_cfg)
+            .unwrap();
+        assert_eq!(batch.canonical_text(), reference.canonical_text());
+        assert_eq!(batch.digest(), reference.digest());
+        assert_eq!(batch.windows_sealed, 2);
+    }
+
+    #[test]
+    fn undersized_queues_backpressure_without_losing_reports() {
+        // One 2-epoch window: no seal-drain between the two rounds, so an
+        // 8-frame lane must refuse the second round's 128-frame batch.
+        let driver = FleetDriver::new(small_cfg(200)).unwrap();
+        let roomy = driver.run_service(&ServiceConfig::new(2, 1 << 20)).unwrap();
+        let squeezed = driver.run_service(&ServiceConfig::new(2, 8)).unwrap();
+        assert!(
+            squeezed.backpressure_rejections > 0,
+            "an 8-frame queue must refuse 128-frame rounds"
+        );
+        // Refusal + retry-after-drain loses nothing: the accepted totals,
+        // window digests, and estimates are identical to the roomy run.
+        assert_eq!(squeezed.stats.accepted, roomy.stats.accepted);
+        assert_eq!(squeezed.window_digests, roomy.window_digests);
+        assert_eq!(squeezed.rollup_mean, roomy.rollup_mean);
+        assert_eq!(squeezed.rollup_digest, roomy.rollup_digest);
+    }
+
+    #[test]
+    fn service_under_chaos_respects_the_watermark_grace() {
+        use crate::chaos::{ChaosConfig, FaultClass};
+        let cfg = FleetConfig {
+            chaos: Some(ChaosConfig {
+                drop: FaultClass::bursty(0.1, 4.0),
+                duplicate: FaultClass::flat(0.1),
+                corrupt: FaultClass::flat(0.05),
+                reorder: FaultClass::flat(0.05),
+                truncate: FaultClass::flat(0.02),
+                delay: FaultClass::flat(0.05),
+                seed: 7,
+            }),
+            ..small_cfg(300)
+        };
+        let driver = FleetDriver::new(cfg.clone()).unwrap();
+        let batch = driver.run().unwrap();
+        let slack = (driver.rounds() - cfg.epochs as usize) as u32;
+        // With the grace covering the full backoff/delay slack, every
+        // delayed frame lands before its window seals: nothing is late and
+        // the service accepts exactly what the batch driver accepted.
+        let graced = driver
+            .run_service(&ServiceConfig::new(1, 1 << 20).with_watermark_lag(slack))
+            .unwrap();
+        assert_eq!(graced.stats.late, 0);
+        assert_eq!(graced.stats.accepted, batch.ingest.accepted);
+        assert_eq!(graced.ledger_digest, batch.ledger_digest);
+        assert!(graced.audit_ok);
+        // With no grace, the same delayed frames surface as the typed
+        // `late` outcome instead of vanishing (chaos run at these rates
+        // reliably delays frames past their epoch).
+        let strict = driver
+            .run_service(&ServiceConfig::new(1, 1 << 20).with_quorum(0.5))
+            .unwrap();
+        assert!(strict.stats.late > 0, "delays must surface as late");
+        // Late frames are refusals, not absorptions: the strict run
+        // accepts a subset of the batch driver's reports, and every
+        // missing acceptance is covered by at least one late-counted
+        // delivery (a report can also go late *more* than once via
+        // post-seal redeliveries).
+        assert!(strict.stats.accepted < batch.ingest.accepted);
+        assert!(strict.stats.accepted + strict.stats.late >= batch.ingest.accepted);
+        assert_eq!(strict.ledger_digest, batch.ledger_digest);
     }
 }

@@ -30,7 +30,15 @@
 //!   `3·SE + bias_bound` across population sizes;
 //! * [`chaos`] — seeded, deterministic lossy-transport fault injection
 //!   (drop, duplicate, reorder, corrupt, truncate, delay in correlated
-//!   bursts), driving the replay-safe retry and idempotent-ingest paths.
+//!   bursts), driving the replay-safe retry and idempotent-ingest paths;
+//! * [`window`] — the epoch-window lifecycle (`Open → Accumulating →
+//!   Sealing → Sealed → Compacted`), sealed-window records, and
+//!   order-canonicalized multi-epoch [`Rollup`]s whose merged ledgers stay
+//!   bitwise auditable;
+//! * [`service`] — the long-running streaming aggregation service:
+//!   bounded per-lane ingest queues with typed [`Busy`] backpressure,
+//!   watermark-driven window sealing, live snapshot queries over sealed
+//!   windows, and rollup folding.
 //!
 //! Everything is deterministic by construction: device streams are
 //! [`ulp_rng::stream_seed`]-derived, parallelism partitions by data (never
@@ -43,8 +51,10 @@ pub mod chaos;
 pub mod collector;
 pub mod driver;
 pub mod estimator;
+pub mod service;
 pub mod sketch;
 pub mod sweep;
+pub mod window;
 pub mod wire;
 
 pub use chaos::{
@@ -57,12 +67,20 @@ pub use collector::{
     INGEST_PATH_ENV,
 };
 pub use driver::{
-    sim_phase_ns, DeviceEngine, FleetConfig, FleetDriver, FleetError, FleetOutcome,
+    sim_phase_ns, DeviceEngine, FleetConfig, FleetDriver, FleetError, FleetOutcome, ServiceOutcome,
     DEVICE_ENGINE_ENV, RR_QUERY, VALUE_QUERY,
 };
 pub use estimator::{Estimate, NoiseModel};
+pub use service::{
+    Busy, FleetService, ServiceConfig, ServiceSnapshot, WindowEstimates, SERVICE_QUEUE_ENV,
+    SERVICE_WINDOW_ENV,
+};
 pub use sketch::GridSketch;
 pub use sweep::{fleet_sweep, render_sweep, FleetSweepRow, GateResult};
+pub use window::{
+    window_spans, Rollup, RollupError, RollupOutcome, SealedWindow, Window, WindowPhase,
+    WindowStateError,
+};
 pub use wire::{
     decode_counter_totals, decode_stream, ColumnarBatch, DecodeCounterTotals, DecodedStream,
     Payload, Report, WireError, FRAME_LEN, MAGIC, VERSION, VERSION_LEGACY,

@@ -18,6 +18,7 @@
 
 mod counter;
 mod env;
+mod gauge;
 mod hist;
 mod level;
 mod registry;
@@ -26,11 +27,12 @@ mod span;
 
 pub use counter::Counter;
 pub use env::{parse_env, EnvError};
+pub use gauge::Gauge;
 pub use hist::{bucket_floor, bucket_index, Histogram, BUCKETS};
 pub use level::{counters_enabled, full_enabled, level, set_level, MetricsLevel, METRICS_ENV};
 pub use report::{
-    reset_all, snapshot, BucketSnapshot, CounterSnapshot, HistogramSnapshot, MetricsReport,
-    SpanSnapshot,
+    reset_all, snapshot, BucketSnapshot, CounterSnapshot, GaugeSnapshot, HistogramSnapshot,
+    MetricsReport, SpanSnapshot,
 };
 pub use span::{span_stack, SpanGuard, SpanTimer};
 

@@ -10,12 +10,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 use crate::counter::Counter;
+use crate::gauge::Gauge;
 use crate::hist::Histogram;
 use crate::span::SpanTimer;
 
 /// One registry per metric kind; all hold `&'static` references.
 pub(crate) struct Registry {
     pub(crate) counters: Mutex<Vec<&'static Counter>>,
+    pub(crate) gauges: Mutex<Vec<&'static Gauge>>,
     pub(crate) histograms: Mutex<Vec<&'static Histogram>>,
     pub(crate) spans: Mutex<Vec<&'static SpanTimer>>,
 }
@@ -24,6 +26,7 @@ pub(crate) fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(Vec::new()),
+        gauges: Mutex::new(Vec::new()),
         histograms: Mutex::new(Vec::new()),
         spans: Mutex::new(Vec::new()),
     })

@@ -13,6 +13,15 @@ pub struct CounterSnapshot {
     pub value: u64,
 }
 
+/// Snapshot of one gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Registered name.
+    pub name: &'static str,
+    /// Level at snapshot time.
+    pub value: i64,
+}
+
 /// One non-empty histogram bucket: `[floor, 2*floor)` saw `count` values.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BucketSnapshot {
@@ -62,6 +71,8 @@ pub struct MetricsReport {
     pub level: MetricsLevel,
     /// All registered counters, sorted by name.
     pub counters: Vec<CounterSnapshot>,
+    /// All registered gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
     /// All registered histograms, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
     /// All registered span timers, sorted by name.
@@ -79,6 +90,15 @@ pub fn snapshot() -> MetricsReport {
         })
         .collect();
     counters.sort_by_key(|c| c.name);
+
+    let mut gauges: Vec<GaugeSnapshot> = lock(&reg.gauges)
+        .iter()
+        .map(|g| GaugeSnapshot {
+            name: g.name(),
+            value: g.get(),
+        })
+        .collect();
+    gauges.sort_by_key(|g| g.name);
 
     let mut histograms: Vec<HistogramSnapshot> = lock(&reg.histograms)
         .iter()
@@ -116,6 +136,7 @@ pub fn snapshot() -> MetricsReport {
     MetricsReport {
         level: level(),
         counters,
+        gauges,
         histograms,
         spans,
     }
@@ -128,6 +149,9 @@ pub fn reset_all() {
     let reg = registry();
     for c in lock(&reg.counters).iter() {
         c.reset();
+    }
+    for g in lock(&reg.gauges).iter() {
+        g.reset();
     }
     for h in lock(&reg.histograms).iter() {
         h.reset();
@@ -167,6 +191,15 @@ impl MetricsReport {
             push_json_str(&mut out, c.name);
             out.push(':');
             out.push_str(&c.value.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, g.name);
+            out.push(':');
+            out.push_str(&g.value.to_string());
         }
         out.push_str("},\"histograms\":[");
         for (i, h) in self.histograms.iter().enumerate() {
@@ -219,6 +252,13 @@ impl MetricsReport {
                 .unwrap_or(0);
             for c in &self.counters {
                 out.push_str(&format!("  {:<width$}  {}\n", c.name, c.value));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            let width = self.gauges.iter().map(|g| g.name.len()).max().unwrap_or(0);
+            for g in &self.gauges {
+                out.push_str(&format!("  {:<width$}  {}\n", g.name, g.value));
             }
         }
         if !self.histograms.is_empty() {
